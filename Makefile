@@ -1,0 +1,38 @@
+# Development entry points. Everything is stdlib-only Go; no external
+# dependencies are fetched.
+
+GO ?= go
+
+.PHONY: all build test race cover bench repro examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark per paper table/figure plus ablations (CI scale).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate the experiment outputs in results/ (~15 min at medium scale).
+repro:
+	$(GO) run ./cmd/nbr-repro -scale medium -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/moorehalo
+	$(GO) run ./examples/spmmdemo
+	$(GO) run ./examples/alltoalldemo
+
+clean:
+	rm -f test_output.txt bench_output.txt

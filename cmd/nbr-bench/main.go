@@ -1,0 +1,104 @@
+// Command nbr-bench regenerates the paper's micro-benchmark figures:
+//
+//	Fig. 4 — neighborhood allgather latency on Random Sparse Graphs
+//	          (DH vs default), densities × message sizes
+//	Fig. 5 — speedup scaling of DH and Common Neighbor over default
+//	          across communicator sizes
+//	Fig. 6 — Moore-neighborhood speedups at small/medium/large messages
+//
+// Default configurations are scaled down so a run finishes in minutes
+// on a laptop; pass -full for the paper-scale shapes (2160 ranks over
+// 60 nodes for Figs. 4/5, 2048 ranks over 64 nodes for Fig. 6 — budget
+// tens of minutes and several GB of RAM).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nbrallgather/internal/harness"
+	"nbrallgather/internal/topology"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate: 4, 5 or 6 (0 = all)")
+	nodes := flag.Int("nodes", 8, "number of simulated nodes")
+	rps := flag.Int("rps", 6, "ranks per socket (paper: 18 for Figs. 4/5, 16 for Fig. 6)")
+	trials := flag.Int("trials", 3, "timed repetitions per cell")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	full := flag.Bool("full", false, "paper-scale configuration (slow)")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	minMsg := flag.Int("min-msg", 32, "smallest message size in bytes")
+	maxMsg := flag.Int("max-msg", 1<<20, "largest message size in bytes")
+	wall := flag.Duration("wall", 10*time.Minute, "wall-clock budget per measurement")
+	scatter := flag.Bool("scatter", false, "scatter nodes across Dragonfly+ groups (the batch-scheduler placement the paper's jobs got); matters for structured topologies")
+	flag.Parse()
+
+	if *full {
+		*nodes, *rps = 60, 18
+	}
+	place := func(c topology.Cluster) topology.Cluster {
+		if *scatter {
+			return c.Scattered(*seed)
+		}
+		return c
+	}
+
+	run4 := *fig == 0 || *fig == 4
+	run5 := *fig == 0 || *fig == 5
+	run6 := *fig == 0 || *fig == 6
+
+	if run4 {
+		c := place(topology.Niagara(*nodes, *rps))
+		fmt.Printf("Fig. 4 cluster: %s\n", c)
+		rows, err := harness.RandomSparseSweep(c, harness.PaperDensities,
+			harness.MsgSizes(*minMsg, *maxMsg), *trials, *seed, *wall)
+		report(rows, err, *csv, "Fig. 4 — Random Sparse Graph latency")
+	}
+	if run5 {
+		scales := []int{*nodes / 4, *nodes / 2, *nodes}
+		if *full {
+			scales = []int{15, 30, 60}
+		}
+		for _, nn := range scales {
+			if nn < 1 {
+				continue
+			}
+			c := place(topology.Niagara(nn, *rps))
+			fmt.Printf("Fig. 5 cluster: %s\n", c)
+			rows, err := harness.RandomSparseSweep(c, harness.PaperDensities,
+				harness.MsgSizes(*minMsg, *maxMsg), *trials, *seed, *wall)
+			report(rows, err, *csv, fmt.Sprintf("Fig. 5 — speedup scaling, %d ranks", c.Ranks()))
+		}
+	}
+	if run6 {
+		mooreNodes, mooreRPS := *nodes, *rps
+		if *full {
+			mooreNodes, mooreRPS = 64, 16
+		}
+		c := place(topology.Niagara(mooreNodes, mooreRPS))
+		fmt.Printf("Fig. 6 cluster: %s\n", c)
+		sizes := []int{4 << 10, 256 << 10, 4 << 20}
+		if !*full {
+			sizes = []int{4 << 10, 256 << 10}
+		}
+		rows, err := harness.MooreSweep(c, harness.PaperMooreShapes, sizes, *trials, *wall)
+		report(rows, err, *csv, "Fig. 6 — Moore neighborhoods")
+	}
+}
+
+func report(rows []harness.Comparison, err error, csv bool, title string) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nbr-bench: %v\n", err)
+		if len(rows) == 0 {
+			os.Exit(1)
+		}
+	}
+	if csv {
+		harness.CSVComparisons(os.Stdout, rows)
+		return
+	}
+	harness.PrintComparisons(os.Stdout, title, rows)
+}

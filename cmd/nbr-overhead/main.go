@@ -1,0 +1,45 @@
+// Command nbr-overhead regenerates Fig. 8: the one-time communication
+// pattern creation cost of the Distance Halving algorithm (the full
+// REQ/ACCEPT/DROP/EXIT agent negotiation of Algorithms 2 and 3 run as
+// real messages) against the Common Neighbor baseline's group
+// formation, across Random Sparse Graph densities.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nbrallgather/internal/harness"
+	"nbrallgather/internal/topology"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "number of simulated nodes")
+	rps := flag.Int("rps", 6, "ranks per socket")
+	seed := flag.Int64("seed", 1, "graph generator seed")
+	full := flag.Bool("full", false, "paper-scale 2160 ranks (slow: the negotiation really exchanges O(n²) messages)")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	wall := flag.Duration("wall", 20*time.Minute, "wall-clock budget per build")
+	flag.Parse()
+
+	if *full {
+		*nodes, *rps = 60, 18
+	}
+	c := topology.Niagara(*nodes, *rps)
+	fmt.Printf("overhead cluster: %s\n", c)
+
+	rows, err := harness.OverheadSweep(c, harness.PaperDensities, *seed, *wall)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nbr-overhead: %v\n", err)
+		if len(rows) == 0 {
+			os.Exit(1)
+		}
+	}
+	if *csv {
+		harness.CSVOverhead(os.Stdout, rows)
+		return
+	}
+	harness.PrintOverhead(os.Stdout, rows)
+}

@@ -1,0 +1,175 @@
+// Command nbr-repro runs the complete reproduction in one shot — every
+// figure and table plus the load-balance study — at a chosen scale, and
+// writes the outputs to a results directory. It is the EXPERIMENTS.md
+// regeneration entry point.
+//
+//	nbr-repro                 # laptop scale (~2 minutes)
+//	nbr-repro -scale medium   # 540/512-rank shapes (~15 minutes)
+//	nbr-repro -scale full     # paper-scale 2160/2048 ranks (hours)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nbrallgather/internal/harness"
+	"nbrallgather/internal/perfmodel"
+	"nbrallgather/internal/topology"
+)
+
+type scaleCfg struct {
+	rsgNodes, rsgRPS     int // Figs. 4/5
+	mooreNodes, mooreRPS int // Fig. 6
+	spmmNodes, spmmRPS   int // Fig. 7
+	ovNodes, ovRPS       int // Fig. 8
+	trials               int
+	maxMsg               int
+	mooreSizes           []int
+}
+
+var scales = map[string]scaleCfg{
+	"small": {
+		rsgNodes: 8, rsgRPS: 6, mooreNodes: 8, mooreRPS: 6,
+		spmmNodes: 4, spmmRPS: 6, ovNodes: 8, ovRPS: 6,
+		trials: 2, maxMsg: 256 << 10, mooreSizes: []int{4 << 10, 256 << 10},
+	},
+	"medium": {
+		rsgNodes: 15, rsgRPS: 18, mooreNodes: 16, mooreRPS: 16,
+		spmmNodes: 4, spmmRPS: 16, ovNodes: 15, ovRPS: 18,
+		trials: 2, maxMsg: 1 << 20, mooreSizes: harness.PaperMooreSizes,
+	},
+	"full": {
+		rsgNodes: 60, rsgRPS: 18, mooreNodes: 64, mooreRPS: 16,
+		spmmNodes: 4, spmmRPS: 16, ovNodes: 60, ovRPS: 18,
+		trials: 3, maxMsg: 4 << 20, mooreSizes: harness.PaperMooreSizes,
+	},
+}
+
+func main() {
+	scale := flag.String("scale", "small", "small | medium | full")
+	outDir := flag.String("out", "results", "directory for output files")
+	seed := flag.Int64("seed", 1, "workload seed")
+	wall := flag.Duration("wall", 30*time.Minute, "wall-clock budget per measurement")
+	flag.Parse()
+
+	cfg, ok := scales[*scale]
+	if !ok {
+		fail(fmt.Errorf("unknown scale %q", *scale))
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	start := time.Now()
+
+	// Fig. 2 — analytical model (always full paper parameters).
+	withFile(*outDir, "fig2_model.txt", func(w io.Writer) error {
+		model := perfmodel.NiagaraModel(2160, 18)
+		pts := perfmodel.Fig2Series(model, harness.PaperDensities, harness.MsgSizes(8, 4<<20))
+		fmt.Fprintln(w, "delta,msg_bytes,t_naive_s,t_dh_s,speedup")
+		for _, p := range pts {
+			fmt.Fprintf(w, "%g,%d,%g,%g,%g\n", p.Delta, p.Bytes, p.TNaive, p.TDH, p.Speedup)
+		}
+		return nil
+	})
+
+	// Figs. 4 & 5 — random sparse graphs at three scales.
+	for _, frac := range []int{4, 2, 1} {
+		nodes := cfg.rsgNodes / frac
+		if nodes < 1 {
+			continue
+		}
+		c := topology.Niagara(nodes, cfg.rsgRPS)
+		name := fmt.Sprintf("fig45_rsg_%dranks.txt", c.Ranks())
+		withFile(*outDir, name, func(w io.Writer) error {
+			rows, err := harness.RandomSparseSweep(c, harness.PaperDensities,
+				harness.MsgSizes(32, cfg.maxMsg), cfg.trials, *seed, *wall)
+			if len(rows) > 0 {
+				harness.PrintComparisons(w, fmt.Sprintf("Random Sparse Graphs, %s", c), rows)
+			}
+			return err
+		})
+	}
+
+	// Fig. 6 — Moore neighborhoods.
+	withFile(*outDir, "fig6_moore.txt", func(w io.Writer) error {
+		c := topology.Niagara(cfg.mooreNodes, cfg.mooreRPS)
+		rows, err := harness.MooreSweep(c, harness.PaperMooreShapes, cfg.mooreSizes, cfg.trials, *wall)
+		if len(rows) > 0 {
+			harness.PrintComparisons(w, fmt.Sprintf("Moore neighborhoods, %s", c), rows)
+		}
+		return err
+	})
+
+	// Table II + Fig. 7 — SpMM.
+	withFile(*outDir, "fig7_spmm.txt", func(w io.Writer) error {
+		c := topology.Niagara(cfg.spmmNodes, cfg.spmmRPS)
+		rows, err := harness.SpMMSweep(c, 32, cfg.trials, *seed, *wall)
+		if len(rows) > 0 {
+			harness.PrintSpMM(w, rows)
+		}
+		return err
+	})
+
+	// Fig. 8 — pattern creation overhead.
+	withFile(*outDir, "fig8_overhead.txt", func(w io.Writer) error {
+		c := topology.Niagara(cfg.ovNodes, cfg.ovRPS)
+		rows, err := harness.OverheadSweep(c, harness.PaperDensities, *seed, *wall)
+		if len(rows) > 0 {
+			harness.PrintOverhead(w, rows)
+		}
+		return err
+	})
+
+	// Load-balance study (Section IV claim).
+	withFile(*outDir, "loadbalance.txt", func(w io.Writer) error {
+		c := topology.Niagara(cfg.rsgNodes, cfg.rsgRPS)
+		rows, err := harness.LoadBalanceSweep(c, []int{1, 2, 4}, 1024, *wall)
+		if len(rows) > 0 {
+			harness.PrintLoadBalance(w, rows)
+		}
+		return err
+	})
+
+	// Run-to-run variance across seeded topologies (the paper's
+	// repeated-runs methodology).
+	withFile(*outDir, "variance.txt", func(w io.Writer) error {
+		c := topology.Niagara(cfg.rsgNodes, cfg.rsgRPS)
+		var rows []harness.VarianceRow
+		for _, d := range []float64{0.1, 0.5} {
+			row, err := harness.SeedVariance(c, d, 2048, 5, *wall)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		harness.PrintVariance(w, rows)
+		return nil
+	})
+
+	fmt.Printf("reproduction complete in %v; outputs in %s/\n",
+		time.Since(start).Round(time.Second), *outDir)
+}
+
+// withFile runs f writing to outDir/name, tolerating partial failures
+// so one long experiment cannot sink the whole reproduction.
+func withFile(dir, name string, f func(io.Writer) error) {
+	path := filepath.Join(dir, name)
+	fmt.Printf("→ %s\n", path)
+	file, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer file.Close()
+	if err := f(file); err != nil {
+		fmt.Fprintf(os.Stderr, "nbr-repro: %s: %v (partial results kept)\n", name, err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "nbr-repro: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Command nbr-spmm regenerates Table II and Fig. 7: the SpMM kernel
+// (Z = X·Y with a neighborhood allgather of Y) over the seven
+// SuiteSparse matrices — synthetic stand-ins matched in order, nonzero
+// count and structure family (see DESIGN.md). A MatrixMarket file can
+// be substituted for the generated set with -mm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"nbrallgather/internal/harness"
+	"nbrallgather/internal/sparse"
+	"nbrallgather/internal/topology"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the Table II stand-in matrices and exit")
+	nodes := flag.Int("nodes", 4, "number of simulated nodes")
+	rps := flag.Int("rps", 6, "ranks per socket")
+	width := flag.Int("k", 32, "dense operand width (columns of Y)")
+	trials := flag.Int("trials", 3, "timed repetitions per cell")
+	seed := flag.Int64("seed", 1, "matrix generator seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	mm := flag.String("mm", "", "MatrixMarket file to run instead of the Table II set")
+	wall := flag.Duration("wall", 10*time.Minute, "wall-clock budget per measurement")
+	flag.Parse()
+
+	if *list {
+		mats := sparse.TableII(*seed)
+		fmt.Println("== Table II — sparse matrices (synthetic stand-ins) ==")
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "matrix\tpaper size\tpaper nnz\tgenerated nnz\tstructure")
+		for _, nm := range mats {
+			fmt.Fprintf(tw, "%s\t%d × %d\t%d\t%d\t%s\n",
+				nm.Name, nm.PaperRows, nm.PaperRows, nm.PaperNNZ, nm.M.NNZ(), nm.Structure)
+		}
+		tw.Flush()
+		return
+	}
+
+	c := topology.Niagara(*nodes, *rps)
+	fmt.Printf("SpMM cluster: %s, dense width k=%d\n", c, *width)
+
+	if *mm != "" {
+		f, err := os.Open(*mm)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nbr-spmm: %v\n", err)
+			os.Exit(1)
+		}
+		m, err := sparse.ReadMatrixMarket(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nbr-spmm: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %s: %d×%d, %d nonzeros\n", *mm, m.Rows, m.Cols, m.NNZ())
+		// Run the loaded matrix through the Fig. 7 pipeline by
+		// substituting the table.
+		rows, err := harness.SpMMSweepMatrices(c, []sparse.NamedMatrix{{
+			Name: *mm, PaperRows: m.Rows, PaperNNZ: m.NNZ(), Structure: "file", M: m,
+		}}, *width, *trials, *wall)
+		report(rows, err, *csv)
+		return
+	}
+
+	rows, err := harness.SpMMSweep(c, *width, *trials, *seed, *wall)
+	report(rows, err, *csv)
+}
+
+func report(rows []harness.SpMMResult, err error, csv bool) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nbr-spmm: %v\n", err)
+		if len(rows) == 0 {
+			os.Exit(1)
+		}
+	}
+	if csv {
+		harness.CSVSpMM(os.Stdout, rows)
+		return
+	}
+	harness.PrintSpMM(os.Stdout, rows)
+}

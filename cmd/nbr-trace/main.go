@@ -1,0 +1,152 @@
+// Command nbr-trace inspects a Distance Halving communication pattern:
+// it builds the pattern for a workload and prints, for one rank or for
+// the aggregate, the halving steps (halves, agent, origin, buffer
+// growth), the remainder-phase deliveries, and the pattern-quality
+// statistics the paper discusses (agent success rate, message counts,
+// worst-case buffer growth).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"nbrallgather/internal/collective"
+	"nbrallgather/internal/harness"
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/trace"
+	"nbrallgather/internal/vgraph"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "number of simulated nodes")
+	rps := flag.Int("rps", 6, "ranks per socket")
+	delta := flag.Float64("delta", 0.3, "Erdős–Rényi density (ignored with -moore)")
+	moore := flag.Int("moore", 0, "Moore radius r on a 2-D grid (0 = random sparse graph)")
+	seed := flag.Int64("seed", 1, "graph seed")
+	rank := flag.Int("rank", -1, "rank whose plan to print (-1 = summary only)")
+	firstFit := flag.Bool("first-fit", false, "use the first-fit agent policy instead of load-aware")
+	phases := flag.Bool("phases", false, "run one traced collective and print the halving/remainder phase breakdown")
+	msgSize := flag.Int("msg", 1024, "message size for the -phases run")
+	flag.Parse()
+
+	c := topology.Niagara(*nodes, *rps)
+	var g *vgraph.Graph
+	var err error
+	var workload string
+	if *moore > 0 {
+		dims, derr := vgraph.MooreDims(c.Ranks(), 2)
+		if derr != nil {
+			fail(derr)
+		}
+		g, err = vgraph.Moore(dims, *moore)
+		workload = fmt.Sprintf("Moore grid %v r=%d", dims, *moore)
+	} else {
+		g, err = vgraph.ErdosRenyi(c.Ranks(), *delta, *seed)
+		workload = fmt.Sprintf("random sparse δ=%.2f seed=%d", *delta, *seed)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	policy := pattern.PolicyLoadAware
+	if *firstFit {
+		policy = pattern.PolicyFirstFit
+	}
+	pat, err := pattern.BuildWithPolicy(g, c.L(), policy)
+	if err != nil {
+		fail(err)
+	}
+	if err := pat.Validate(); err != nil {
+		fail(fmt.Errorf("pattern failed validation: %w", err))
+	}
+
+	fmt.Printf("cluster:  %s\n", c)
+	fmt.Printf("workload: %s (%d edges, avg out-degree %.1f)\n", workload, g.Edges(), g.AvgOutDegree())
+	fmt.Printf("pattern:  valid; agent success %.0f%% (%d/%d attempts); worst buffer %d segments\n",
+		100*pat.Stats.SuccessRate(), pat.Stats.AgentSuccesses, pat.Stats.AgentAttempts, pat.Stats.MaxBufSources)
+
+	halving, final, selfc := 0, 0, 0
+	intra := 0
+	for r, plan := range pat.Plans {
+		for _, s := range plan.Steps {
+			if s.Agent != pattern.NoRank {
+				halving++
+			}
+			selfc += len(s.SelfCopies)
+		}
+		final += len(plan.FinalSends)
+		selfc += len(plan.FinalSelfCopies)
+		for _, fs := range plan.FinalSends {
+			if c.SameSocket(r, fs.Dst) {
+				intra++
+			}
+		}
+	}
+	fmt.Printf("messages: %d halving + %d final (%d intra-socket) + %d local copies; naive would send %d\n",
+		halving, final, intra, selfc, g.Edges())
+
+	if *phases {
+		tr := trace.New()
+		op := collective.NewDistanceHalvingFromPattern(pat)
+		_, err := mpirt.Run(mpirt.Config{Cluster: c, Ranks: g.N(), Phantom: true, Trace: tr},
+			func(p *mpirt.Proc) { op.Run(p, nil, *msgSize, nil) })
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\n== phase breakdown, m=%s ==\n", harness.FmtBytes(*msgSize))
+		trace.Print(os.Stdout, tr.PhaseBreakdown(collective.DHPhases()))
+	}
+
+	if *rank < 0 {
+		return
+	}
+	if *rank >= g.N() {
+		fail(fmt.Errorf("rank %d outside communicator of %d", *rank, g.N()))
+	}
+	plan := pat.Plans[*rank]
+	fmt.Printf("\n== plan for rank %d (out-degree %d, in-degree %d) ==\n",
+		*rank, g.OutDegree(*rank), g.InDegree(*rank))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "step\th1\th2\tagent\torigin\tsend segs\trecv segs\tself copies")
+	for t, s := range plan.Steps {
+		fmt.Fprintf(tw, "%d\t[%d,%d)\t[%d,%d)\t%s\t%s\t%d\t%d\t%d\n",
+			t, s.H1Lo, s.H1Hi, s.H2Lo, s.H2Hi,
+			rankOrDash(s.Agent), rankOrDash(s.Origin),
+			s.SendCount, len(s.RecvSources), len(s.SelfCopies))
+	}
+	tw.Flush()
+	fmt.Printf("final buffer sources (%d): %v\n", len(plan.BufSources), clip(plan.BufSources, 16))
+	for _, fs := range plan.FinalSends {
+		fmt.Printf("final send → %-4d (%s): sources %v\n",
+			fs.Dst, c.Dist(*rank, fs.Dst), clip(fs.Sources, 12))
+	}
+	if len(plan.FinalRecvs) > 0 {
+		fmt.Printf("final recvs from: %v\n", clip(plan.FinalRecvs, 16))
+	}
+	if len(plan.FinalSelfCopies) > 0 {
+		fmt.Printf("final self copies: %v\n", clip(plan.FinalSelfCopies, 16))
+	}
+}
+
+func rankOrDash(r int) string {
+	if r == pattern.NoRank {
+		return "-"
+	}
+	return fmt.Sprint(r)
+}
+
+func clip(s []int, n int) []int {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "nbr-trace: %v\n", err)
+	os.Exit(1)
+}

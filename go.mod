@@ -1,0 +1,3 @@
+module nbrallgather
+
+go 1.22

@@ -1,0 +1,188 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.N() != 130 {
+		t.Fatalf("N = %d", s.N())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Has(i) {
+			t.Fatalf("fresh set has %d", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("Add(%d) not visible", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 7 {
+		t.Fatalf("Remove(64) failed: count %d", s.Count())
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Fatalf("Clear left %d elements", s.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, f := range []func(){
+		func() { s.Add(10) },
+		func() { s.Add(-1) },
+		func() { s.Has(10) },
+		func() { s.Remove(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// reference is a map-based model for property testing.
+type reference map[int]bool
+
+func buildPair(n int, seed int64) (*Set, reference) {
+	rng := rand.New(rand.NewSource(seed))
+	s := New(n)
+	ref := reference{}
+	for i := 0; i < n/2; i++ {
+		x := rng.Intn(n)
+		s.Add(x)
+		ref[x] = true
+	}
+	return s, ref
+}
+
+func TestRangeOpsAgainstModel(t *testing.T) {
+	f := func(nSeed uint8, seed int64, loRaw, hiRaw uint16) bool {
+		n := 1 + int(nSeed)%200
+		s, ref := buildPair(n, seed)
+		s2, ref2 := buildPair(n, seed^0x5a5a)
+		lo := int(loRaw) % (n + 20)
+		hi := int(hiRaw) % (n + 20)
+		// Model AndCountRange.
+		want := 0
+		for x := range ref {
+			if ref2[x] && x >= lo && x < hi {
+				want++
+			}
+		}
+		if got := s.AndCountRange(s2, lo, hi); got != want {
+			return false
+		}
+		// Model CountRange and AnyInRange.
+		cnt := 0
+		for x := range ref {
+			if x >= lo && x < hi {
+				cnt++
+			}
+		}
+		if got := s.CountRange(lo, hi); got != cnt {
+			return false
+		}
+		if got := s.AnyInRange(lo, hi); got != (cnt > 0) {
+			return false
+		}
+		// Model ElemsRange ordering and content.
+		el := s.ElemsRange(nil, lo, hi)
+		if len(el) != cnt {
+			return false
+		}
+		for i, x := range el {
+			if !ref[x] || x < lo || x >= hi {
+				return false
+			}
+			if i > 0 && el[i-1] >= x {
+				return false
+			}
+		}
+		// Model RemoveRange.
+		c := s.Clone()
+		c.RemoveRange(lo, hi)
+		for x := range ref {
+			inRange := x >= lo && x < hi
+			if c.Has(x) == inRange {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndCount(t *testing.T) {
+	a, b := New(100), New(100)
+	for i := 0; i < 100; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Add(i)
+	}
+	want := 0
+	for i := 0; i < 100; i += 6 {
+		want++
+	}
+	if got := a.AndCount(b); got != want {
+		t.Fatalf("AndCount = %d, want %d", got, want)
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(10).AndCount(New(11))
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New(64)
+	s.Add(5)
+	c := s.Clone()
+	c.Add(6)
+	if s.Has(6) {
+		t.Fatal("Clone shares storage")
+	}
+	if !c.Has(5) {
+		t.Fatal("Clone dropped element")
+	}
+}
+
+func TestElemsFullWord(t *testing.T) {
+	s := New(64)
+	for i := 0; i < 64; i++ {
+		s.Add(i)
+	}
+	el := s.Elems(nil)
+	if len(el) != 64 || el[0] != 0 || el[63] != 63 {
+		t.Fatalf("Elems over full word wrong: %v", el)
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	s := New(0)
+	if s.Count() != 0 || s.AnyInRange(0, 10) {
+		t.Fatal("zero-capacity set misbehaves")
+	}
+	s2 := New(-5)
+	if s2.N() != 0 {
+		t.Fatal("negative capacity not clamped")
+	}
+}

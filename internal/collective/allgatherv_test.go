@@ -1,0 +1,354 @@
+package collective
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/vgraph"
+)
+
+// raggedCounts produces per-rank sizes spanning zero to a few hundred
+// bytes, including zero-length contributions (legal in MPI).
+func raggedCounts(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	counts := make([]int, n)
+	for i := range counts {
+		switch rng.Intn(4) {
+		case 0:
+			counts[i] = 0
+		case 1:
+			counts[i] = 1 + rng.Intn(8)
+		default:
+			counts[i] = 16 * (1 + rng.Intn(20))
+		}
+	}
+	return counts
+}
+
+// expectedRbufV computes the ground-truth allgatherv result for rank r.
+func expectedRbufV(g *vgraph.Graph, r int, counts []int) []byte {
+	var out []byte
+	for _, u := range g.In(r) {
+		seg := make([]byte, counts[u])
+		fillPattern(seg, u)
+		out = append(out, seg...)
+	}
+	return out
+}
+
+func runAndCheckV(t *testing.T, c topology.Cluster, g *vgraph.Graph, op VOp, counts []int) {
+	t.Helper()
+	_, err := mpirt.Run(mpirt.Config{Cluster: c, Ranks: g.N()}, func(p *mpirt.Proc) {
+		r := p.Rank()
+		sbuf := make([]byte, counts[r])
+		fillPattern(sbuf, r)
+		want := expectedRbufV(g, r, counts)
+		rbuf := make([]byte, len(want))
+		op.RunV(p, sbuf, counts, rbuf)
+		if !bytes.Equal(rbuf, want) {
+			panic(fmt.Sprintf("%s: rank %d allgatherv buffer mismatch", op.Name(), r))
+		}
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", op.Name(), err)
+	}
+}
+
+func vOps(t *testing.T, g *vgraph.Graph, l int) []VOp {
+	t.Helper()
+	dh, err := NewDistanceHalving(g, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := NewCommonNeighbor(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnAff, err := NewCommonNeighborAffinity(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []VOp{NewNaive(g), dh, cn, cnAff}
+}
+
+func TestAllgathervCorrect(t *testing.T) {
+	c := topology.Cluster{Nodes: 3, SocketsPerNode: 2, RanksPerSocket: 4, NodesPerGroup: 2}
+	for _, delta := range []float64{0.1, 0.4, 0.8} {
+		g := erGraph(t, c.Ranks(), delta, 31)
+		counts := raggedCounts(c.Ranks(), 77)
+		for _, op := range vOps(t, g, c.L()) {
+			t.Run(fmt.Sprintf("%s/d=%v", op.Name(), delta), func(t *testing.T) {
+				runAndCheckV(t, c, g, op, counts)
+			})
+		}
+	}
+}
+
+func TestAllgathervAllZeroCounts(t *testing.T) {
+	c := topology.Cluster{Nodes: 2, SocketsPerNode: 2, RanksPerSocket: 2, NodesPerGroup: 2}
+	g := erGraph(t, c.Ranks(), 0.5, 13)
+	counts := make([]int, c.Ranks())
+	for _, op := range vOps(t, g, c.L()) {
+		runAndCheckV(t, c, g, op, counts)
+	}
+}
+
+// TestAllgathervProperty drives random shapes, densities and ragged
+// size vectors through the Distance Halving allgatherv.
+func TestAllgathervProperty(t *testing.T) {
+	f := func(nSeed, dSeed uint8, cSeed int64) bool {
+		nodes := 1 + int(nSeed)%4
+		c := topology.Cluster{Nodes: nodes, SocketsPerNode: 2, RanksPerSocket: 3, NodesPerGroup: 2}
+		delta := float64(dSeed%100) / 100
+		g, err := vgraph.ErdosRenyi(c.Ranks(), delta, cSeed)
+		if err != nil {
+			return false
+		}
+		dh, err := NewDistanceHalving(g, c.L())
+		if err != nil {
+			return false
+		}
+		counts := raggedCounts(c.Ranks(), cSeed^0x9e37)
+		ok := true
+		_, err = mpirt.Run(mpirt.Config{Cluster: c, Ranks: g.N()}, func(p *mpirt.Proc) {
+			r := p.Rank()
+			sbuf := make([]byte, counts[r])
+			fillPattern(sbuf, r)
+			want := expectedRbufV(g, r, counts)
+			rbuf := make([]byte, len(want))
+			dh.RunV(p, sbuf, counts, rbuf)
+			if !bytes.Equal(rbuf, want) {
+				panic("mismatch")
+			}
+		})
+		if err != nil {
+			ok = false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgathervValidation(t *testing.T) {
+	c := topology.Cluster{Nodes: 1, SocketsPerNode: 2, RanksPerSocket: 2}
+	g := erGraph(t, c.Ranks(), 0.5, 1)
+	naive := NewNaive(g)
+	cases := map[string]func(p *mpirt.Proc){
+		"wrong counts length": func(p *mpirt.Proc) {
+			naive.RunV(p, nil, []int{1}, nil)
+		},
+		"negative count": func(p *mpirt.Proc) {
+			naive.RunV(p, make([]byte, 1), []int{1, -1, 1, 1}, nil)
+		},
+		"sbuf mismatch": func(p *mpirt.Proc) {
+			naive.RunV(p, make([]byte, 3), []int{8, 8, 8, 8}, make([]byte, 8*g.InDegree(p.Rank())))
+		},
+	}
+	for name, f := range cases {
+		_, err := mpirt.Run(mpirt.Config{Cluster: c}, func(p *mpirt.Proc) {
+			if p.Rank() == 0 {
+				f(p)
+			}
+		})
+		if err == nil {
+			t.Errorf("%s: not rejected", name)
+		}
+	}
+}
+
+// TestUniformRunMatchesRunV pins the delegation: Run(m) must behave as
+// RunV with uniform counts.
+func TestUniformRunMatchesRunV(t *testing.T) {
+	c := topology.Cluster{Nodes: 2, SocketsPerNode: 2, RanksPerSocket: 3, NodesPerGroup: 2}
+	g := erGraph(t, c.Ranks(), 0.5, 2)
+	dh, err := NewDistanceHalving(g, c.L())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 24
+	counts := make([]int, c.Ranks())
+	for i := range counts {
+		counts[i] = m
+	}
+	_, err = mpirt.Run(mpirt.Config{Cluster: c}, func(p *mpirt.Proc) {
+		r := p.Rank()
+		sbuf := make([]byte, m)
+		fillPattern(sbuf, r)
+		a := make([]byte, g.InDegree(r)*m)
+		b := make([]byte, g.InDegree(r)*m)
+		dh.Run(p, sbuf, m, a)
+		dh.RunV(p, sbuf, counts, b)
+		if !bytes.Equal(a, b) {
+			panic("Run and RunV disagree")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistentAllgather runs several iterations through one bound
+// handle, updating the send buffer in place each round.
+func TestPersistentAllgather(t *testing.T) {
+	c := topology.Cluster{Nodes: 2, SocketsPerNode: 2, RanksPerSocket: 3, NodesPerGroup: 2}
+	g := erGraph(t, c.Ranks(), 0.5, 61)
+	dh, err := NewDistanceHalving(g, c.L())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 8
+	_, err = mpirt.Run(mpirt.Config{Cluster: c}, func(p *mpirt.Proc) {
+		r := p.Rank()
+		sbuf := make([]byte, m)
+		rbuf := make([]byte, g.InDegree(r)*m)
+		req, err := AllgatherInit(dh, p, sbuf, m, rbuf)
+		if err != nil {
+			panic(err)
+		}
+		for round := 0; round < 3; round++ {
+			for i := range sbuf {
+				sbuf[i] = byte(r*31 + round*7 + i)
+			}
+			req.Start()
+			req.Wait()
+			for j, u := range g.In(r) {
+				for i := 0; i < m; i++ {
+					if rbuf[j*m+i] != byte(u*31+round*7+i) {
+						panic(fmt.Sprintf("rank %d round %d wrong data from %d", r, round, u))
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistentMisuse checks the Start/Wait state machine.
+func TestPersistentMisuse(t *testing.T) {
+	c := topology.Cluster{Nodes: 1, SocketsPerNode: 1, RanksPerSocket: 2}
+	g := erGraph(t, c.Ranks(), 1, 1)
+	naive := NewNaive(g)
+	_, err := mpirt.Run(mpirt.Config{Cluster: c, Phantom: true}, func(p *mpirt.Proc) {
+		req, err := AllgatherInit(naive, p, nil, 4, nil)
+		if err != nil {
+			panic(err)
+		}
+		if p.Rank() == 0 {
+			defer func() {
+				if recover() == nil {
+					panic("Wait without Start not rejected")
+				}
+			}()
+			req.Run() // sends to peer so its collective completes
+			req.Wait()
+		} else {
+			req.Run()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaderBasedAllgatherv: the hierarchical baseline under ragged
+// sizes, including clusters where leaders have no remote duties.
+func TestLeaderBasedAllgatherv(t *testing.T) {
+	shapes := []topology.Cluster{
+		{Nodes: 3, SocketsPerNode: 2, RanksPerSocket: 4, NodesPerGroup: 2},
+		{Nodes: 1, SocketsPerNode: 2, RanksPerSocket: 5},
+		{Nodes: 6, SocketsPerNode: 1, RanksPerSocket: 1, NodesPerGroup: 3},
+	}
+	for _, c := range shapes {
+		for _, delta := range []float64{0.1, 0.6} {
+			g := erGraph(t, c.Ranks(), delta, 53)
+			lb, err := NewLeaderBased(g, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := raggedCounts(c.Ranks(), 99)
+			runAndCheckV(t, c, g, lb, counts)
+		}
+	}
+}
+
+// TestLeaderBasedMessageProfile: the hierarchy collapses inter-node
+// messages to at most one per communicating node pair.
+func TestLeaderBasedMessageProfile(t *testing.T) {
+	c := topology.Cluster{Nodes: 4, SocketsPerNode: 2, RanksPerSocket: 6, NodesPerGroup: 2}
+	g := erGraph(t, c.Ranks(), 0.7, 12)
+	lb, err := NewLeaderBased(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mpirt.Run(mpirt.Config{Cluster: c, Phantom: true}, func(p *mpirt.Proc) {
+		lb.Run(p, nil, 64, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interNode := rep.MsgsByDist[topology.DistGroup] + rep.MsgsByDist[topology.DistGlobal]
+	maxPairs := int64(c.Nodes * (c.Nodes - 1))
+	if interNode > maxPairs {
+		t.Fatalf("leader-based sent %d inter-node messages, max %d node pairs", interNode, maxPairs)
+	}
+}
+
+// TestMultiLeaderCorrect: 2 and 4 leaders per node, uniform and ragged.
+func TestMultiLeaderCorrect(t *testing.T) {
+	c := topology.Cluster{Nodes: 3, SocketsPerNode: 2, RanksPerSocket: 4, NodesPerGroup: 2}
+	for _, k := range []int{2, 4, 99} { // 99 clamps to ranks-per-node
+		for _, delta := range []float64{0.15, 0.6} {
+			g := erGraph(t, c.Ranks(), delta, 71)
+			lb, err := NewLeaderBasedK(g, c, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := raggedCounts(c.Ranks(), int64(k)*31)
+			runAndCheckV(t, c, g, lb, counts)
+		}
+	}
+	if _, err := NewLeaderBasedK(erGraph(t, c.Ranks(), 0.5, 1), c, 0); err == nil {
+		t.Fatal("accepted zero leaders")
+	}
+}
+
+// TestMultiLeaderRelievesBottleneck: with bandwidth-bound messages,
+// spreading node-pair traffic over several leaders must beat the
+// single leader.
+func TestMultiLeaderRelievesBottleneck(t *testing.T) {
+	c := topology.Cluster{Nodes: 8, SocketsPerNode: 2, RanksPerSocket: 6, NodesPerGroup: 4}
+	g := erGraph(t, c.Ranks(), 0.5, 5)
+	timeOf := func(k int) float64 {
+		lb, err := NewLeaderBasedK(g, c, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res float64
+		_, err = mpirt.Run(mpirt.Config{Cluster: c, Phantom: true}, func(p *mpirt.Proc) {
+			p.SyncResetTime()
+			lb.Run(p, nil, 256<<10, nil)
+			v := p.CollectiveTime()
+			if p.Rank() == 0 {
+				res = v
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one, four := timeOf(1), timeOf(4)
+	if four >= one {
+		t.Fatalf("4 leaders (%.3g s) not faster than 1 (%.3g s) for 256KB messages", four, one)
+	}
+	t.Logf("256KB leader-based: 1 leader %.3gms, 4 leaders %.3gms (%.2fx)", one*1e3, four*1e3, one/four)
+}

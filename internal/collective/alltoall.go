@@ -1,0 +1,129 @@
+package collective
+
+import (
+	"fmt"
+
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/vgraph"
+)
+
+// Neighborhood alltoall — the paper's named future work ("we intend
+// to … extend our approach to alltoall and other variants"). Unlike
+// allgather, every rank sends a distinct payload to each outgoing
+// neighbor (MPI_Neighbor_alltoall), so nothing can be deduplicated —
+// but the topology-aware relay still applies: the Distance Halving
+// pattern's delivery-responsibility tracking is per edge (src→dst), so
+// the very same pattern routes alltoall segments through agents,
+// combining many small distant sends into one message per halving step.
+// Two differences from the allgather data path:
+//
+//   - a step message carries only the segments whose responsibility
+//     moves (the descriptor D's content), not the whole accumulated
+//     buffer — there is no payload replication;
+//   - the remainder phase's FinalSends/FinalRecvs/SelfCopies sets apply
+//     verbatim, with per-edge payloads substituted for source payloads.
+
+// Alltoall tags, disjoint from the allgather tag space.
+const (
+	tagA2ANaive = 300
+	tagA2AStep  = 400 // + step index
+	tagA2AFinal = 399
+)
+
+// AOp is a neighborhood alltoall implementation. sbuf holds
+// outdegree·m bytes: segment i is addressed to Out(rank)[i]. rbuf
+// receives indegree·m bytes: segment j comes from In(rank)[j]. In
+// phantom mode the buffers are ignored.
+type AOp interface {
+	Name() string
+	Graph() *vgraph.Graph
+	RunA(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+}
+
+func checkArgsA(p *mpirt.Proc, g *vgraph.Graph, sbuf []byte, m int, rbuf []byte) {
+	if p.Size() != g.N() {
+		panic(fmt.Sprintf("collective: runtime has %d ranks, graph %d", p.Size(), g.N()))
+	}
+	if m < 1 {
+		panic(fmt.Sprintf("collective: message size %d must be positive", m))
+	}
+	if p.Phantom() {
+		return
+	}
+	r := p.Rank()
+	if len(sbuf) != g.OutDegree(r)*m {
+		panic(fmt.Sprintf("collective: rank %d sbuf length %d != outdegree·m %d", r, len(sbuf), g.OutDegree(r)*m))
+	}
+	if len(rbuf) != g.InDegree(r)*m {
+		panic(fmt.Sprintf("collective: rank %d rbuf length %d != indegree·m %d", r, len(rbuf), g.InDegree(r)*m))
+	}
+}
+
+// NaiveAlltoall is the direct point-to-point neighborhood alltoall
+// (the mainstream MPI implementations' behaviour).
+type NaiveAlltoall struct {
+	g *vgraph.Graph
+}
+
+// NewNaiveAlltoall binds the naive alltoall to a graph.
+func NewNaiveAlltoall(g *vgraph.Graph) *NaiveAlltoall { return &NaiveAlltoall{g: g} }
+
+// Name implements AOp.
+func (*NaiveAlltoall) Name() string { return "naive-alltoall" }
+
+// Graph implements AOp.
+func (a *NaiveAlltoall) Graph() *vgraph.Graph { return a.g }
+
+// RunA implements AOp; the general per-edge-size data movement lives
+// in RunAV (alltoallv.go).
+func (a *NaiveAlltoall) RunA(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte) {
+	checkUniform(m)
+	a.RunAV(p, sbuf, UniformCount(m), rbuf)
+}
+
+// edge identifies one alltoall segment: Src's payload addressed to Dst.
+type edge struct{ Src, Dst int }
+
+// DistanceHalvingAlltoall routes alltoall segments through the Distance
+// Halving pattern's agents.
+type DistanceHalvingAlltoall struct {
+	g   *vgraph.Graph
+	pat *pattern.Pattern
+}
+
+// NewDistanceHalvingAlltoall builds the pattern centrally (stop
+// threshold l) and binds the alltoall to it.
+func NewDistanceHalvingAlltoall(g *vgraph.Graph, l int) (*DistanceHalvingAlltoall, error) {
+	pat, err := pattern.Build(g, l)
+	if err != nil {
+		return nil, err
+	}
+	return &DistanceHalvingAlltoall{g: g, pat: pat}, nil
+}
+
+// NewDistanceHalvingAlltoallFromPattern binds the alltoall to an
+// existing pattern.
+func NewDistanceHalvingAlltoallFromPattern(pat *pattern.Pattern) *DistanceHalvingAlltoall {
+	return &DistanceHalvingAlltoall{g: pat.Graph, pat: pat}
+}
+
+// Name implements AOp.
+func (*DistanceHalvingAlltoall) Name() string { return "distance-halving-alltoall" }
+
+// Graph implements AOp.
+func (a *DistanceHalvingAlltoall) Graph() *vgraph.Graph { return a.g }
+
+// Pattern returns the bound communication pattern.
+func (a *DistanceHalvingAlltoall) Pattern() *pattern.Pattern { return a.pat }
+
+// RunA implements AOp: replay the pattern's responsibility movement
+// with per-edge payloads; the general per-edge-size data movement
+// lives in RunAV (alltoallv.go). held maps each edge this rank is
+// currently responsible for to its payload; each step the edges
+// destined into h2 travel to the agent, and the remainder phase
+// delivers what is left — exactly the sets recorded in FinalSends.
+func (a *DistanceHalvingAlltoall) RunA(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte) {
+	checkUniform(m)
+	a.RunAV(p, sbuf, UniformCount(m), rbuf)
+}

@@ -1,0 +1,215 @@
+package collective
+
+import (
+	"fmt"
+	"sort"
+
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/vgraph"
+)
+
+// CNPlan is one rank's plan under the Common Neighbor algorithm.
+type CNPlan struct {
+	// Group lists the rank's group members (including itself),
+	// ascending.
+	Group []int
+	// Sends are the combined deliveries this rank is the delegate for,
+	// sorted by destination; Sources are the group members whose
+	// payload the message carries.
+	Sends []pattern.FinalSend
+	// RecvFrom lists the distinct ranks this rank receives combined
+	// messages from, ascending.
+	RecvFrom []int
+}
+
+// CNPattern is the full Common Neighbor plan for one (graph, K) pair.
+type CNPattern struct {
+	Graph *vgraph.Graph
+	K     int
+	Plans []CNPlan
+	// NegRounds records, for affinity-built patterns, the candidate
+	// representatives each rank negotiated with in each pairing round
+	// (indexed [round][rank]; nil for non-representatives). The build
+	// cost model replays it; nil for consecutive grouping.
+	NegRounds [][][]int
+}
+
+// BuildCN constructs the Common Neighbor pattern: ranks form
+// consecutive groups of K (consecutive ranks share sockets under dense
+// placement, so group sharing is cheap), each group's members exchange
+// payloads, and every common outgoing neighbor of the group receives
+// one combined message from a delegate chosen round-robin among the
+// members that list it as their own neighbor.
+func BuildCN(g *vgraph.Graph, k int) (*CNPattern, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("collective: common-neighbor group size %d must be positive", k)
+	}
+	n := g.N()
+	p := &CNPattern{Graph: g, K: k, Plans: make([]CNPlan, n)}
+	senders := make([]map[int]bool, n)
+	for v := range senders {
+		senders[v] = map[int]bool{}
+	}
+	for lo := 0; lo < n; lo += k {
+		hi := lo + k
+		if hi > n {
+			hi = n
+		}
+		group := make([]int, 0, hi-lo)
+		for r := lo; r < hi; r++ {
+			group = append(group, r)
+		}
+		// contributors[v] = group members with v as an outgoing
+		// neighbor.
+		contributors := map[int][]int{}
+		for _, r := range group {
+			for _, v := range g.Out(r) {
+				contributors[v] = append(contributors[v], r)
+			}
+		}
+		dests := make([]int, 0, len(contributors))
+		for v := range contributors {
+			dests = append(dests, v)
+		}
+		sort.Ints(dests)
+		for i, v := range dests {
+			cs := contributors[v]
+			sort.Ints(cs)
+			// Delegate rotates over the contributors so delivery load
+			// spreads across the group.
+			delegate := cs[i%len(cs)]
+			dp := &p.Plans[delegate]
+			dp.Sends = append(dp.Sends, pattern.FinalSend{Dst: v, Sources: cs})
+			senders[v][delegate] = true
+		}
+		for _, r := range group {
+			p.Plans[r].Group = group
+			sort.Slice(p.Plans[r].Sends, func(a, b int) bool {
+				return p.Plans[r].Sends[a].Dst < p.Plans[r].Sends[b].Dst
+			})
+		}
+	}
+	for v := 0; v < n; v++ {
+		for s := range senders[v] {
+			p.Plans[v].RecvFrom = append(p.Plans[v].RecvFrom, s)
+		}
+		sort.Ints(p.Plans[v].RecvFrom)
+	}
+	return p, nil
+}
+
+// Validate checks that the CN pattern covers every graph edge exactly
+// once and that delegates only ship payloads their group shares.
+func (p *CNPattern) Validate() error {
+	g := p.Graph
+	n := g.N()
+	covered := make([]map[int]bool, n)
+	for v := range covered {
+		covered[v] = map[int]bool{}
+	}
+	for r := 0; r < n; r++ {
+		plan := &p.Plans[r]
+		inGroup := map[int]bool{}
+		for _, m := range plan.Group {
+			inGroup[m] = true
+		}
+		if !inGroup[r] {
+			return fmt.Errorf("collective: rank %d not in its own CN group", r)
+		}
+		for _, fs := range plan.Sends {
+			for _, src := range fs.Sources {
+				if !inGroup[src] {
+					return fmt.Errorf("collective: rank %d delivers payload of %d outside its group", r, src)
+				}
+				if !g.HasEdge(src, fs.Dst) {
+					return fmt.Errorf("collective: CN delivers %d→%d which is not an edge", src, fs.Dst)
+				}
+				if covered[fs.Dst][src] {
+					return fmt.Errorf("collective: CN edge %d→%d delivered twice", src, fs.Dst)
+				}
+				covered[fs.Dst][src] = true
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.In(v) {
+			if !covered[v][u] {
+				return fmt.Errorf("collective: CN edge %d→%d never delivered", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// CommonNeighbor is the message-combining baseline bound to a prebuilt
+// CN pattern.
+type CommonNeighbor struct {
+	g   *vgraph.Graph
+	pat *CNPattern
+}
+
+// NewCommonNeighbor builds the CN pattern for group size k and binds
+// the collective to it.
+func NewCommonNeighbor(g *vgraph.Graph, k int) (*CommonNeighbor, error) {
+	pat, err := BuildCN(g, k)
+	if err != nil {
+		return nil, err
+	}
+	return &CommonNeighbor{g: g, pat: pat}, nil
+}
+
+// Name implements Op.
+func (a *CommonNeighbor) Name() string {
+	return fmt.Sprintf("common-neighbor(K=%d)", a.pat.K)
+}
+
+// Graph implements Op.
+func (a *CommonNeighbor) Graph() *vgraph.Graph { return a.g }
+
+// Pattern returns the bound CN pattern.
+func (a *CommonNeighbor) Pattern() *CNPattern { return a.pat }
+
+// Run implements Op: an intra-group payload exchange, then delegated
+// combined deliveries. The general variable-size data movement lives in
+// RunV (allgatherv.go).
+func (a *CommonNeighbor) Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte) {
+	checkUniform(m)
+	a.RunV(p, sbuf, uniformCounts(a.g.N(), m), rbuf)
+}
+
+// BuildCNRank models one rank's share of the Common Neighbor pattern
+// construction cost (the Fig. 8 comparator): the calculate_A
+// neighbor-list allgather, an intra-group list exchange, and delegate
+// announcements to receivers. It must be called from within an mpirt
+// rank body by every rank, with a prebuilt CN pattern for the plan
+// content.
+func BuildCNRank(p *mpirt.Proc, pat *CNPattern) {
+	const (
+		tagCNGroup = 70000
+		tagCNNote  = 70001
+	)
+	g := pat.Graph
+	r := p.Rank()
+	pattern.ChargeNeighborListExchange(p, g)
+	plan := &pat.Plans[r]
+	listBytes := 8 * (g.OutDegree(r) + 1)
+	for _, mbr := range plan.Group {
+		if mbr != r {
+			p.Send(mbr, tagCNGroup, listBytes, nil, nil)
+		}
+	}
+	for _, mbr := range plan.Group {
+		if mbr != r {
+			p.Recv(mbr, tagCNGroup)
+		}
+	}
+	for _, fs := range plan.Sends {
+		p.Send(fs.Dst, tagCNNote, 8, nil, len(fs.Sources))
+	}
+	expect := g.InDegree(r)
+	for expect > 0 {
+		msg := p.Recv(mpirt.AnySource, tagCNNote)
+		expect -= msg.Meta.(int)
+	}
+}

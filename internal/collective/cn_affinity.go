@@ -1,0 +1,217 @@
+package collective
+
+import (
+	"fmt"
+	"sort"
+
+	"nbrallgather/internal/bitset"
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/vgraph"
+)
+
+// Affinity grouping, faithful to the collaborative mechanism of
+// Ghazimirsaeed et al. [IPDPS'19]: instead of cutting the rank space
+// into consecutive blocks, ranks pair with the partner sharing the most
+// outgoing neighbors, then pairs pair with pairs, for log2(K) rounds —
+// a hierarchical stable matching under the shared-neighbor weight, the
+// same preference structure the Distance Halving agent selection uses.
+// Groups built this way maximise combinable traffic, at the price of a
+// group-formation negotiation whose cost Fig. 8 compares against the
+// Distance Halving pattern creation.
+
+// cnCluster is one in-progress affinity group.
+type cnCluster struct {
+	members []int
+	out     *bitset.Set // union of members' outgoing neighbor sets
+}
+
+// BuildCNAffinity constructs a Common Neighbor pattern whose groups are
+// formed by hierarchical shared-neighbor matching. K must be a power of
+// two (the sweep uses 2, 4, 8). The returned pattern also records the
+// per-round negotiation candidates used by the build cost model.
+func BuildCNAffinity(g *vgraph.Graph, k int) (*CNPattern, error) {
+	if k < 1 || k&(k-1) != 0 {
+		return nil, fmt.Errorf("collective: affinity group size %d must be a power of two", k)
+	}
+	n := g.N()
+	clusters := make([]*cnCluster, n)
+	for r := 0; r < n; r++ {
+		clusters[r] = &cnCluster{members: []int{r}, out: g.OutSet(r).Clone()}
+	}
+	rounds := 0
+	for s := 1; s < k; s *= 2 {
+		rounds++
+	}
+	// negCands[round][rank] lists the candidate representatives rank
+	// negotiated with in that round (nil if rank was not a
+	// representative).
+	negCands := make([][][]int, rounds)
+
+	for round := 0; round < rounds; round++ {
+		reps := make([]int, len(clusters)) // representative rank per cluster
+		for i, c := range clusters {
+			reps[i] = c.members[0]
+		}
+		type cand struct{ w, a, b int }
+		var cands []cand
+		perRep := make(map[int][]int, len(clusters))
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if w := clusters[i].out.AndCount(clusters[j].out); w > 0 {
+					cands = append(cands, cand{w, i, j})
+					perRep[reps[i]] = append(perRep[reps[i]], reps[j])
+					perRep[reps[j]] = append(perRep[reps[j]], reps[i])
+				}
+			}
+		}
+		negCands[round] = make([][]int, n)
+		for r, l := range perRep {
+			sort.Ints(l)
+			negCands[round][r] = l
+		}
+		sort.Slice(cands, func(x, y int) bool {
+			if cands[x].w != cands[y].w {
+				return cands[x].w > cands[y].w
+			}
+			if cands[x].a != cands[y].a {
+				return cands[x].a < cands[y].a
+			}
+			return cands[x].b < cands[y].b
+		})
+		taken := make([]bool, len(clusters))
+		var next []*cnCluster
+		for _, c := range cands {
+			if taken[c.a] || taken[c.b] {
+				continue
+			}
+			taken[c.a], taken[c.b] = true, true
+			a, b := clusters[c.a], clusters[c.b]
+			merged := &cnCluster{members: append(append([]int(nil), a.members...), b.members...)}
+			sort.Ints(merged.members)
+			merged.out = a.out.Clone()
+			for _, m := range b.out.Elems(nil) {
+				merged.out.Add(m)
+			}
+			next = append(next, merged)
+		}
+		for i, c := range clusters {
+			if !taken[i] {
+				next = append(next, c)
+			}
+		}
+		clusters = next
+	}
+
+	p := &CNPattern{Graph: g, K: k, Plans: make([]CNPlan, n), NegRounds: negCands}
+	senders := make([]map[int]bool, n)
+	for v := range senders {
+		senders[v] = map[int]bool{}
+	}
+	for _, c := range clusters {
+		assignDelegates(g, p, c.members, senders)
+	}
+	for v := 0; v < n; v++ {
+		for s := range senders[v] {
+			p.Plans[v].RecvFrom = append(p.Plans[v].RecvFrom, s)
+		}
+		sort.Ints(p.Plans[v].RecvFrom)
+	}
+	return p, nil
+}
+
+// assignDelegates fills the group's plans: every common outgoing
+// neighbor of the group gets one combined message from a delegate
+// rotating over its contributors.
+func assignDelegates(g *vgraph.Graph, p *CNPattern, group []int, senders []map[int]bool) {
+	contributors := map[int][]int{}
+	for _, r := range group {
+		for _, v := range g.Out(r) {
+			contributors[v] = append(contributors[v], r)
+		}
+	}
+	dests := make([]int, 0, len(contributors))
+	for v := range contributors {
+		dests = append(dests, v)
+	}
+	sort.Ints(dests)
+	for i, v := range dests {
+		cs := contributors[v]
+		sort.Ints(cs)
+		delegate := cs[i%len(cs)]
+		dp := &p.Plans[delegate]
+		dp.Sends = append(dp.Sends, pattern.FinalSend{Dst: v, Sources: cs})
+		senders[v][delegate] = true
+	}
+	for _, r := range group {
+		p.Plans[r].Group = group
+		sort.Slice(p.Plans[r].Sends, func(a, b int) bool {
+			return p.Plans[r].Sends[a].Dst < p.Plans[r].Sends[b].Dst
+		})
+	}
+}
+
+// NewCommonNeighborAffinity builds the affinity-grouped Common Neighbor
+// collective (the [IPDPS'19]-faithful baseline the harness sweeps).
+func NewCommonNeighborAffinity(g *vgraph.Graph, k int) (*CommonNeighbor, error) {
+	pat, err := BuildCNAffinity(g, k)
+	if err != nil {
+		return nil, err
+	}
+	return &CommonNeighbor{g: g, pat: pat}, nil
+}
+
+// BuildCNAffinityRank models one rank's share of the affinity
+// pattern-construction cost (the Fig. 8 comparator): the shared
+// calculate_A neighbor-list allgather, one pairing negotiation round
+// per group-doubling (REQ-or-EXIT out, ACCEPT-or-DROP back, mirroring
+// the Distance Halving agent selection's message balance), an
+// intra-group list merge per round, and delegate announcements to
+// receivers. Must be called from within an mpirt rank body by every
+// rank, with a pattern from BuildCNAffinity.
+func BuildCNAffinityRank(p *mpirt.Proc, pat *CNPattern) {
+	const (
+		tagCNPair  = 71000 // + round
+		tagCNMerge = 72000 // + round
+		tagCNNote  = 73000
+	)
+	g := pat.Graph
+	r := p.Rank()
+	pattern.ChargeNeighborListExchange(p, g)
+
+	plan := &pat.Plans[r]
+	for round, cands := range pat.NegRounds {
+		mine := cands[r]
+		// Pairing negotiation: one signal out and one back per
+		// candidate representative (symmetric candidate lists).
+		for _, c := range mine {
+			p.Send(c, tagCNPair+round, 8, nil, nil)
+		}
+		for range mine {
+			p.Recv(mpirt.AnySource, tagCNPair+round)
+		}
+	}
+	// Intra-group merge: members ship their (grown) neighbor lists to
+	// the rest of the final group, log2(K) wavefronts approximated as
+	// one exchange with each other member.
+	listBytes := 8 * (g.OutDegree(r) + 1)
+	for _, mbr := range plan.Group {
+		if mbr != r {
+			p.Send(mbr, tagCNMerge, listBytes, nil, nil)
+		}
+	}
+	for _, mbr := range plan.Group {
+		if mbr != r {
+			p.Recv(mbr, tagCNMerge)
+		}
+	}
+	// Delegate announcements (receivers learn their senders).
+	for _, fs := range plan.Sends {
+		p.Send(fs.Dst, tagCNNote, 8, nil, len(fs.Sources))
+	}
+	expect := g.InDegree(r)
+	for expect > 0 {
+		msg := p.Recv(mpirt.AnySource, tagCNNote)
+		expect -= msg.Meta.(int)
+	}
+}

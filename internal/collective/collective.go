@@ -1,0 +1,120 @@
+// Package collective implements the neighborhood allgather algorithms
+// the paper evaluates:
+//
+//   - Naive — the default Open MPI behaviour: direct point-to-point
+//     sends to every outgoing neighbor and receives from every incoming
+//     neighbor, blind to topology;
+//   - CommonNeighbor — the message-combining baseline of Ghazimirsaeed
+//     et al. [IPDPS'19]: K-rank groups share their payloads and one
+//     delegated member delivers a combined message per common outgoing
+//     neighbor;
+//   - DistanceHalving — the paper's contribution (Algorithm 4): the
+//     halving phase relays growing buffers through negotiated agents,
+//     then a remainder phase delivers the rest, mostly within sockets.
+//
+// All three run against the mpirt runtime with real payload bytes
+// (verified against each other in tests) or phantom payloads for
+// paper-scale timing.
+package collective
+
+import (
+	"fmt"
+
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/vgraph"
+)
+
+// Message tags. Each algorithm owns a disjoint tag space so mixed runs
+// (e.g. verification back-to-back) cannot cross-match.
+const (
+	tagNaive   = 1
+	tagDHStep  = 100 // + step index
+	tagDHFinal = 99
+	tagCNShare = 200
+	tagCNDeliv = 201
+)
+
+// Op is one neighborhood allgather implementation, bound to a virtual
+// topology at construction. Run performs the collective for the
+// calling rank: it sends m bytes of sbuf to every outgoing neighbor and
+// fills rbuf with indegree·m bytes, ordered by ascending incoming
+// neighbor rank (MPI's buffer layout). In phantom mode sbuf and rbuf
+// are ignored and may be nil.
+type Op interface {
+	Name() string
+	Graph() *vgraph.Graph
+	Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+}
+
+// checkUniform validates the uniform Run contract before delegating to
+// the general RunV path.
+func checkUniform(m int) {
+	if m < 1 {
+		panic(fmt.Sprintf("collective: message size %d must be positive", m))
+	}
+}
+
+// Naive is the direct point-to-point algorithm (default Open MPI).
+type Naive struct {
+	g *vgraph.Graph
+}
+
+// NewNaive binds the naive algorithm to a graph.
+func NewNaive(g *vgraph.Graph) *Naive { return &Naive{g: g} }
+
+// Name implements Op.
+func (*Naive) Name() string { return "naive" }
+
+// Graph implements Op.
+func (a *Naive) Graph() *vgraph.Graph { return a.g }
+
+// Run implements Op: isend to every outgoing neighbor, irecv from every
+// incoming neighbor, wait all.
+func (a *Naive) Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte) {
+	checkUniform(m)
+	a.RunV(p, sbuf, uniformCounts(a.g.N(), m), rbuf)
+}
+
+// DistanceHalving is the paper's algorithm bound to a prebuilt
+// communication pattern.
+type DistanceHalving struct {
+	g   *vgraph.Graph
+	pat *pattern.Pattern
+}
+
+// NewDistanceHalving builds the communication pattern centrally for
+// stop threshold l and binds the collective to it.
+func NewDistanceHalving(g *vgraph.Graph, l int) (*DistanceHalving, error) {
+	pat, err := pattern.Build(g, l)
+	if err != nil {
+		return nil, err
+	}
+	return &DistanceHalving{g: g, pat: pat}, nil
+}
+
+// NewDistanceHalvingFromPattern binds the collective to an existing
+// pattern (e.g. one produced by the distributed builder).
+func NewDistanceHalvingFromPattern(pat *pattern.Pattern) *DistanceHalving {
+	return &DistanceHalving{g: pat.Graph, pat: pat}
+}
+
+// Name implements Op.
+func (*DistanceHalving) Name() string { return "distance-halving" }
+
+// Graph implements Op.
+func (a *DistanceHalving) Graph() *vgraph.Graph { return a.g }
+
+// Pattern returns the bound communication pattern.
+func (a *DistanceHalving) Pattern() *pattern.Pattern { return a.pat }
+
+// Run implements Op as the paper's Algorithm 4: the halving phase ships
+// the growing main buffer to each step's agent while merging the
+// origin's buffer, then the remainder phase packs per-destination
+// temporary buffers and delivers them (mostly within the socket). The
+// general variable-size data movement lives in RunV (allgatherv.go);
+// the uniform allgather is its counts[i] = m special case.
+func (a *DistanceHalving) Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte) {
+	checkUniform(m)
+	a.RunV(p, sbuf, uniformCounts(a.g.N(), m), rbuf)
+}

@@ -1,0 +1,115 @@
+package collective
+
+import (
+	"fmt"
+	"testing"
+
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/trace"
+)
+
+// TestDHFromDistributedPattern runs the collective over a pattern
+// produced by the distributed negotiation protocol — the full paper
+// pipeline: MPI_Dist_graph_create_adjacent-time negotiation, then
+// MPI_Neighbor_allgather-time data movement.
+func TestDHFromDistributedPattern(t *testing.T) {
+	c := topology.Cluster{Nodes: 3, SocketsPerNode: 2, RanksPerSocket: 4, NodesPerGroup: 2}
+	for _, delta := range []float64{0.2, 0.6} {
+		g := erGraph(t, c.Ranks(), delta, 23)
+		pat, _, err := pattern.BuildDistributed(mpirt.Config{Cluster: c, Phantom: true}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := NewDistanceHalvingFromPattern(pat)
+		t.Run(fmt.Sprintf("d=%v", delta), func(t *testing.T) {
+			runAndCheck(t, c, g, op, 24)
+		})
+	}
+}
+
+// TestBuildRankInsideCollectiveRun exercises the end-to-end flow where
+// pattern construction and the collective share one runtime execution,
+// as a real MPI program would.
+func TestBuildRankInsideCollectiveRun(t *testing.T) {
+	c := topology.Cluster{Nodes: 2, SocketsPerNode: 2, RanksPerSocket: 3, NodesPerGroup: 2}
+	g := erGraph(t, c.Ranks(), 0.5, 41)
+	plans := make([]pattern.RankPlan, g.N())
+	_, err := mpirt.Run(mpirt.Config{Cluster: c}, func(p *mpirt.Proc) {
+		plan, _, _ := pattern.BuildRank(p, g, c.L())
+		plans[p.Rank()] = *plan
+		p.Barrier() // all plans in place before any rank proceeds
+
+		pat := &pattern.Pattern{Graph: g, L: c.L(), Plans: plans}
+		op := NewDistanceHalvingFromPattern(pat)
+		const m = 16
+		sbuf := make([]byte, m)
+		fillPattern(sbuf, p.Rank())
+		rbuf := make([]byte, g.InDegree(p.Rank())*m)
+		op.Run(p, sbuf, m, rbuf)
+		want := expectedRbuf(g, p.Rank(), m)
+		for i := range want {
+			if rbuf[i] != want[i] {
+				panic(fmt.Sprintf("rank %d rbuf mismatch at %d", p.Rank(), i))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlltoallFromDistributedPattern: the alltoall variant over a
+// negotiated pattern.
+func TestAlltoallFromDistributedPattern(t *testing.T) {
+	c := topology.Cluster{Nodes: 2, SocketsPerNode: 2, RanksPerSocket: 4, NodesPerGroup: 2}
+	g := erGraph(t, c.Ranks(), 0.5, 29)
+	pat, _, err := pattern.BuildDistributed(mpirt.Config{Cluster: c, Phantom: true}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAndCheckA(t, c, g, NewDistanceHalvingAlltoallFromPattern(pat), 12)
+}
+
+// TestDHPhaseBreakdown runs a traced Distance Halving collective and
+// checks the paper's phase story: the remainder phase carries the bulk
+// of the messages but stays predominantly on cheap local links, while
+// the halving phase owns the distant traffic.
+func TestDHPhaseBreakdown(t *testing.T) {
+	// Socket-aligned configuration: n/L is a power of two, so final
+	// halving blocks coincide with sockets exactly.
+	c := topology.Cluster{Nodes: 4, SocketsPerNode: 2, RanksPerSocket: 8, NodesPerGroup: 2}
+	g := erGraph(t, c.Ranks(), 0.5, 3)
+	dh, err := NewDistanceHalving(g, c.L())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	rep, err := mpirt.Run(mpirt.Config{Cluster: c, Phantom: true, Trace: tr}, func(p *mpirt.Proc) {
+		dh.Run(p, nil, 256, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := tr.PhaseBreakdown(DHPhases())
+	halving, remainder := phases[0].Summary, phases[1].Summary
+	if int64(halving.Msgs+remainder.Msgs) != rep.Msgs() {
+		t.Fatalf("phases cover %d msgs, runtime counted %d",
+			halving.Msgs+remainder.Msgs, rep.Msgs())
+	}
+	if remainder.Msgs <= halving.Msgs {
+		t.Fatalf("remainder (%d msgs) not message-heavier than halving (%d)",
+			remainder.Msgs, halving.Msgs)
+	}
+	local := remainder.ByDist[topology.DistSocket]
+	if 2*local < remainder.Msgs {
+		t.Fatalf("remainder phase only %d/%d messages socket-local", local, remainder.Msgs)
+	}
+	offHalving := halving.ByDist[topology.DistNode] + halving.ByDist[topology.DistGroup] + halving.ByDist[topology.DistGlobal]
+	if 2*offHalving < halving.Msgs {
+		t.Fatalf("halving phase only %d/%d messages off-socket", offHalving, halving.Msgs)
+	}
+	t.Logf("halving: %d msgs (%d off-socket); remainder: %d msgs (%d socket-local)",
+		halving.Msgs, offHalving, remainder.Msgs, local)
+}

@@ -1,0 +1,389 @@
+package collective
+
+import (
+	"fmt"
+	"sort"
+
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/vgraph"
+)
+
+// LeaderBased is the hierarchical neighborhood allgather in the style
+// of the paper's related work on large-message designs (Ghazimirsaeed
+// et al., SC'20): per-node leaders gather their members' payloads,
+// exchange combined per-node-pair messages, and distribute the
+// incoming remote payloads. Intra-node edges bypass the hierarchy and
+// go direct. With one leader per node this is the basic hierarchy;
+// with several, node-pair traffic is spread across leaders by a
+// longest-processing-time assignment (the published design's
+// load-aware multi-leader mechanism), relieving the single leader's
+// port bottleneck for bandwidth-bound messages.
+type LeaderBased struct {
+	g       *vgraph.Graph
+	c       topology.Cluster
+	leaders int
+	plan    []lbPlan
+}
+
+// lbPlan is one rank's precomputed role.
+type lbPlan struct {
+	// directSends / directRecvs are same-node edges (dst / src ranks).
+	directSends []int
+	directRecvs []int
+	// gatherTo: leaders on this rank's node that need its payload.
+	gatherTo []int
+	// Leader-only fields.
+	gatherFrom []int               // members whose payload this leader collects
+	nodeSends  []pattern.FinalSend // Dst = remote leader; Sources = node members shipped
+	nodeRecvs  []int               // remote leaders sending combined node payloads
+	distribute []pattern.FinalSend // Dst = local member; Sources = its remote in-neighbors held here
+	// selfDeliver: sources this leader received via the hierarchy that
+	// are destined to itself.
+	selfDeliver []int
+	// fromLeaders: local leaders this member expects a distribution
+	// message from.
+	fromLeaders []int
+}
+
+// Leader-based tag space.
+const (
+	tagLBDirect = 500
+	tagLBGather = 501
+	tagLBNode   = 502
+	tagLBDist   = 503
+)
+
+// NewLeaderBased builds the single-leader hierarchy.
+func NewLeaderBased(g *vgraph.Graph, c topology.Cluster) (*LeaderBased, error) {
+	return NewLeaderBasedK(g, c, 1)
+}
+
+// NewLeaderBasedK builds the hierarchy with up to k leaders per node
+// (the node's first k ranks); node-pair traffic is spread across them
+// by descending segment count onto the least-loaded leader.
+func NewLeaderBasedK(g *vgraph.Graph, c topology.Cluster, k int) (*LeaderBased, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if g.N() > c.Ranks() {
+		return nil, fmt.Errorf("collective: graph has %d ranks, cluster %d", g.N(), c.Ranks())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("collective: leaders per node %d must be positive", k)
+	}
+	if k > c.RanksPerNode() {
+		k = c.RanksPerNode()
+	}
+	n := g.N()
+	plans := make([]lbPlan, n)
+
+	// pairSources[(x,y)] = distinct sources on node x with an edge
+	// into node y (x != y); remoteIn[v] = v's inter-node in-neighbors.
+	type pair struct{ x, y int }
+	pairSources := map[pair][]int{}
+	remoteIn := make([][]int, n)
+	for u := 0; u < n; u++ {
+		seenPair := map[pair]bool{}
+		for _, v := range g.Out(u) {
+			if c.SameNode(u, v) {
+				plans[u].directSends = append(plans[u].directSends, v)
+				plans[v].directRecvs = append(plans[v].directRecvs, u)
+				continue
+			}
+			kp := pair{c.NodeOf(u), c.NodeOf(v)}
+			if !seenPair[kp] {
+				seenPair[kp] = true
+				pairSources[kp] = append(pairSources[kp], u)
+			}
+			remoteIn[v] = append(remoteIn[v], u)
+		}
+	}
+	keys := make([]pair, 0, len(pairSources))
+	for kp := range pairSources {
+		keys = append(keys, kp)
+	}
+	// Assign pairs to leaders on both sides with a longest-first
+	// greedy: heaviest pairs (most sources) first, each onto the
+	// currently least-loaded leader of its node.
+	sort.Slice(keys, func(i, j int) bool {
+		si, sj := len(pairSources[keys[i]]), len(pairSources[keys[j]])
+		if si != sj {
+			return si > sj
+		}
+		if keys[i].x != keys[j].x {
+			return keys[i].x < keys[j].x
+		}
+		return keys[i].y < keys[j].y
+	})
+	// leaderRanks lists node ny's leader ranks that exist in the
+	// communicator.
+	leaderRanks := func(ny int) []int {
+		base := ny * c.RanksPerNode()
+		var ls []int
+		for i := 0; i < k && base+i < n; i++ {
+			ls = append(ls, base+i)
+		}
+		return ls
+	}
+	sendLoad := map[int]int{} // leader rank -> assigned segment count
+	recvLoad := map[int]int{}
+	pickLeader := func(node int, load map[int]int) int {
+		best, bestLoad := -1, 0
+		for _, l := range leaderRanks(node) {
+			if best == -1 || load[l] < bestLoad {
+				best, bestLoad = l, load[l]
+			}
+		}
+		return best
+	}
+	type route struct{ srcLeader, dstLeader int }
+	routes := map[pair]route{}
+	for _, kp := range keys {
+		w := len(pairSources[kp])
+		sl := pickLeader(kp.x, sendLoad)
+		dl := pickLeader(kp.y, recvLoad)
+		sendLoad[sl] += w
+		recvLoad[dl] += w
+		routes[kp] = route{sl, dl}
+	}
+
+	// Gather: a member ships its payload once to each distinct source
+	// leader that forwards it.
+	gatherPairs := map[[2]int]bool{} // {member, leader}
+	for kp, srcs := range pairSources {
+		sl := routes[kp].srcLeader
+		for _, u := range srcs {
+			if u == sl {
+				continue
+			}
+			key := [2]int{u, sl}
+			if gatherPairs[key] {
+				continue
+			}
+			gatherPairs[key] = true
+			plans[u].gatherTo = append(plans[u].gatherTo, sl)
+			plans[sl].gatherFrom = append(plans[sl].gatherFrom, u)
+		}
+	}
+	for r := range plans {
+		sort.Ints(plans[r].gatherTo)
+		sort.Ints(plans[r].gatherFrom)
+	}
+
+	// Node-pair exchange between the routed leaders. Deterministic
+	// order: by (x, y).
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].x != keys[j].x {
+			return keys[i].x < keys[j].x
+		}
+		return keys[i].y < keys[j].y
+	})
+	for _, kp := range keys {
+		srcs := append([]int(nil), pairSources[kp]...)
+		sort.Ints(srcs)
+		rt := routes[kp]
+		plans[rt.srcLeader].nodeSends = append(plans[rt.srcLeader].nodeSends,
+			pattern.FinalSend{Dst: rt.dstLeader, Sources: srcs})
+		plans[rt.dstLeader].nodeRecvs = append(plans[rt.dstLeader].nodeRecvs, rt.srcLeader)
+	}
+	for r := range plans {
+		sort.Slice(plans[r].nodeSends, func(i, j int) bool {
+			return plans[r].nodeSends[i].Dst < plans[r].nodeSends[j].Dst
+		})
+		sort.Ints(plans[r].nodeRecvs)
+	}
+
+	// Distribution: each destination-side leader forwards the remote
+	// payloads it holds to the members needing them.
+	for v := 0; v < n; v++ {
+		if len(remoteIn[v]) == 0 {
+			continue
+		}
+		sort.Ints(remoteIn[v])
+		byLeader := map[int][]int{}
+		for _, u := range remoteIn[v] {
+			kp := pair{c.NodeOf(u), c.NodeOf(v)}
+			dl := routes[kp].dstLeader
+			byLeader[dl] = append(byLeader[dl], u)
+		}
+		dls := make([]int, 0, len(byLeader))
+		for dl := range byLeader {
+			dls = append(dls, dl)
+		}
+		sort.Ints(dls)
+		for _, dl := range dls {
+			srcs := byLeader[dl]
+			sort.Ints(srcs)
+			if dl == v {
+				plans[v].selfDeliver = append(plans[v].selfDeliver, srcs...)
+				continue
+			}
+			plans[dl].distribute = append(plans[dl].distribute, pattern.FinalSend{Dst: v, Sources: srcs})
+			plans[v].fromLeaders = append(plans[v].fromLeaders, dl)
+		}
+		sort.Ints(plans[v].selfDeliver)
+		sort.Ints(plans[v].fromLeaders)
+	}
+	for r := range plans {
+		sort.Slice(plans[r].distribute, func(i, j int) bool {
+			if plans[r].distribute[i].Dst != plans[r].distribute[j].Dst {
+				return plans[r].distribute[i].Dst < plans[r].distribute[j].Dst
+			}
+			return plans[r].distribute[i].Sources[0] < plans[r].distribute[j].Sources[0]
+		})
+	}
+	return &LeaderBased{g: g, c: c, leaders: k, plan: plans}, nil
+}
+
+// Name implements Op.
+func (a *LeaderBased) Name() string {
+	if a.leaders > 1 {
+		return fmt.Sprintf("leader-based(%d)", a.leaders)
+	}
+	return "leader-based"
+}
+
+// Graph implements Op.
+func (a *LeaderBased) Graph() *vgraph.Graph { return a.g }
+
+// Run implements Op; the general path is RunV.
+func (a *LeaderBased) Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte) {
+	checkUniform(m)
+	a.RunV(p, sbuf, uniformCounts(a.g.N(), m), rbuf)
+}
+
+// RunV implements VOp: direct intra-node edges, gather to the routed
+// leaders, leader exchange, distribution.
+func (a *LeaderBased) RunV(p *mpirt.Proc, sbuf []byte, counts []int, rbuf []byte) {
+	checkArgsV(p, a.g, sbuf, counts, rbuf)
+	r := p.Rank()
+	plan := &a.plan[r]
+	phantom := p.Phantom()
+	rOff := rbufOffsets(a.g, r, counts)
+
+	put := func(src int, data []byte) {
+		off, ok := rOff[src]
+		if !ok {
+			panic(fmt.Sprintf("collective: rank %d received payload of non-in-neighbor %d", r, src))
+		}
+		if !phantom {
+			copy(rbuf[off:off+counts[src]], data)
+		}
+	}
+
+	// Post all receives first; tags resolve phase ordering.
+	directReqs := make([]*mpirt.Request, 0, len(plan.directRecvs))
+	for _, u := range plan.directRecvs {
+		directReqs = append(directReqs, p.Irecv(u, tagLBDirect))
+	}
+	gatherReqs := make([]*mpirt.Request, 0, len(plan.gatherFrom))
+	for _, u := range plan.gatherFrom {
+		gatherReqs = append(gatherReqs, p.Irecv(u, tagLBGather))
+	}
+	nodeReqs := make([]*mpirt.Request, 0, len(plan.nodeRecvs))
+	for _, l := range plan.nodeRecvs {
+		nodeReqs = append(nodeReqs, p.Irecv(l, tagLBNode))
+	}
+	distReqs := make([]*mpirt.Request, 0, len(plan.fromLeaders))
+	for _, l := range plan.fromLeaders {
+		distReqs = append(distReqs, p.Irecv(l, tagLBDist))
+	}
+
+	// Phase 0: direct intra-node edges.
+	for _, v := range plan.directSends {
+		p.Isend(v, tagLBDirect, counts[r], sbuf, nil)
+	}
+	// Phase 1: gather to each routed leader.
+	for _, l := range plan.gatherTo {
+		p.Isend(l, tagLBGather, counts[r], sbuf, nil)
+	}
+	nodeData := map[int][]byte{r: sbuf}
+	for i, req := range gatherReqs {
+		msg := req.Wait()
+		u := plan.gatherFrom[i]
+		if msg.Size != counts[u] {
+			panic(fmt.Sprintf("collective: leader %d gathered %d bytes from %d, want %d", r, msg.Size, u, counts[u]))
+		}
+		if !phantom {
+			nodeData[u] = msg.Data
+		}
+	}
+	// Phase 2: leader exchange.
+	for _, ns := range plan.nodeSends {
+		size := 0
+		var payload []byte
+		for _, src := range ns.Sources {
+			if !phantom {
+				payload = append(payload, nodeData[src][:counts[src]]...)
+			}
+			size += counts[src]
+		}
+		p.ChargeCopy(size)
+		p.Isend(ns.Dst, tagLBNode, size, payload, ns.Sources)
+	}
+	// remote[src] holds payloads received from other nodes' leaders.
+	remote := map[int][]byte{}
+	for _, req := range nodeReqs {
+		msg := req.Wait()
+		sources := msg.Meta.([]int)
+		pos := 0
+		for _, src := range sources {
+			if !phantom {
+				remote[src] = msg.Data[pos : pos+counts[src]]
+			}
+			pos += counts[src]
+		}
+		if msg.Size != pos {
+			panic(fmt.Sprintf("collective: leader %d node message size %d != %d", r, msg.Size, pos))
+		}
+	}
+	// Phase 3: distribution to members (and to the leader itself).
+	for _, d := range plan.distribute {
+		size := 0
+		var payload []byte
+		for _, src := range d.Sources {
+			if !phantom {
+				payload = append(payload, remote[src][:counts[src]]...)
+			}
+			size += counts[src]
+		}
+		p.ChargeCopy(size)
+		p.Isend(d.Dst, tagLBDist, size, payload, d.Sources)
+	}
+	for _, src := range plan.selfDeliver {
+		var data []byte
+		if !phantom {
+			data = remote[src]
+		}
+		put(src, data)
+		p.ChargeCopy(counts[src])
+	}
+	for _, req := range distReqs {
+		msg := req.Wait()
+		sources := msg.Meta.([]int)
+		pos := 0
+		for _, src := range sources {
+			var data []byte
+			if !phantom {
+				data = msg.Data[pos : pos+counts[src]]
+			}
+			pos += counts[src]
+			put(src, data)
+			p.ChargeCopy(counts[src])
+		}
+	}
+	for i, req := range directReqs {
+		msg := req.Wait()
+		u := plan.directRecvs[i]
+		if msg.Size != counts[u] {
+			panic(fmt.Sprintf("collective: rank %d direct recv from %d size %d != %d", r, u, msg.Size, counts[u]))
+		}
+		var data []byte
+		if !phantom {
+			data = msg.Data
+		}
+		put(u, data)
+	}
+}

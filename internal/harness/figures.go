@@ -1,0 +1,253 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"nbrallgather/internal/collective"
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/sparse"
+	"nbrallgather/internal/spmm"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/vgraph"
+)
+
+// sparseTableII is indirected for tests that substitute smaller
+// matrices.
+var sparseTableII = sparse.TableII
+
+// PaperDensities are the Erdős–Rényi densities of Figs. 4 and 5.
+var PaperDensities = []float64{0.05, 0.1, 0.3, 0.5, 0.7}
+
+// MsgSizes returns the power-of-four message ladder from lo to hi bytes
+// inclusive (the paper sweeps 8 B – 4 MB).
+func MsgSizes(lo, hi int) []int {
+	var out []int
+	for m := lo; m <= hi; m *= 4 {
+		out = append(out, m)
+	}
+	return out
+}
+
+// RandomSparseSweep runs the Fig. 4/5 experiment: for every density and
+// message size, compare the three algorithms on an Erdős–Rényi graph
+// over the given cluster. One graph per density (fixed seed), as in the
+// paper's per-job topology.
+func RandomSparseSweep(c topology.Cluster, deltas []float64, sizes []int, trials int, seed int64, wall time.Duration) ([]Comparison, error) {
+	var rows []Comparison
+	for _, d := range deltas {
+		g, err := vgraph.ErdosRenyi(c.Ranks(), d, seed+int64(d*1000))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range sizes {
+			cfg := Config{Cluster: c, MsgSize: m, Trials: trials, Phantom: true, WallLimit: wall}
+			row, err := Compare(cfg, g, fmt.Sprintf("δ=%.2f", d))
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// MooreShape is one Moore-neighborhood configuration of Fig. 6.
+type MooreShape struct {
+	R, D int
+}
+
+func (s MooreShape) String() string { return fmt.Sprintf("r=%d,d=%d", s.R, s.D) }
+
+// Neighbors returns (2r+1)^d − 1.
+func (s MooreShape) Neighbors() int {
+	n := 1
+	for i := 0; i < s.D; i++ {
+		n *= 2*s.R + 1
+	}
+	return n - 1
+}
+
+// PaperMooreShapes are the Fig. 6 neighborhood configurations.
+var PaperMooreShapes = []MooreShape{{1, 2}, {2, 2}, {3, 2}, {1, 3}, {2, 3}}
+
+// PaperMooreSizes are Fig. 6's small/medium/large message sizes.
+var PaperMooreSizes = []int{4 << 10, 256 << 10, 4 << 20}
+
+// MooreSweep runs the Fig. 6 experiment over the given shapes and
+// message sizes.
+func MooreSweep(c topology.Cluster, shapes []MooreShape, sizes []int, trials int, wall time.Duration) ([]Comparison, error) {
+	var rows []Comparison
+	for _, s := range shapes {
+		dims, err := vgraph.MooreDims(c.Ranks(), s.D)
+		if err != nil {
+			return rows, err
+		}
+		g, err := vgraph.Moore(dims, s.R)
+		if err != nil {
+			return rows, err
+		}
+		for _, m := range sizes {
+			cfg := Config{Cluster: c, MsgSize: m, Trials: trials, Phantom: true, WallLimit: wall}
+			row, err := Compare(cfg, g, s.String())
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// SpMMResult is one Fig. 7 cell: kernel time (communication + local
+// multiply) per algorithm for one matrix.
+type SpMMResult struct {
+	Matrix    string
+	Structure string
+	Rows, NNZ int
+	GraphDeg  float64
+	MsgBytes  int
+	Naive     Result
+	DH        Result
+	CN        Result
+	CNK       int
+}
+
+// SpeedupDH returns naive/DH mean kernel time.
+func (r SpMMResult) SpeedupDH() float64 { return r.Naive.Mean / r.DH.Mean }
+
+// SpeedupCN returns naive/CN mean kernel time.
+func (r SpMMResult) SpeedupCN() float64 { return r.Naive.Mean / r.CN.Mean }
+
+// measureSpMM times one algorithm over the kernel (phantom payloads;
+// numeric correctness is covered by the spmm tests).
+func measureSpMM(c topology.Cluster, k *spmm.Kernel, op collective.Op, trials int, wall time.Duration) (Result, error) {
+	times := make([]float64, trials)
+	rep, err := mpirt.Run(mpirt.Config{Cluster: c, Phantom: true, WallLimit: wall}, func(p *mpirt.Proc) {
+		for tr := 0; tr < trials; tr++ {
+			p.SyncResetTime()
+			k.RunRank(p, op)
+			t := p.CollectiveTime()
+			if p.Rank() == 0 {
+				times[tr] = t
+			}
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := stats(times)
+	res.Trials = trials
+	res.MsgsPerTrial = rep.Msgs() / int64(trials)
+	res.BytesPerTrial = rep.Bytes() / int64(trials)
+	res.OffSocketMsgs = rep.OffSocketMsgs() / int64(trials)
+	res.Wall = rep.Wall
+	return res, nil
+}
+
+// SpMMSweep runs the Fig. 7 experiment: the Table II matrices, dense
+// width k, on the given cluster.
+func SpMMSweep(c topology.Cluster, denseWidth, trials int, seed int64, wall time.Duration) ([]SpMMResult, error) {
+	return SpMMSweepMatrices(c, sparseTableII(seed), denseWidth, trials, wall)
+}
+
+// SpMMSweepMatrices runs the Fig. 7 experiment over an explicit matrix
+// set (e.g. real MatrixMarket files).
+func SpMMSweepMatrices(c topology.Cluster, mats []sparse.NamedMatrix, denseWidth, trials int, wall time.Duration) ([]SpMMResult, error) {
+	var rows []SpMMResult
+	for _, nm := range mats {
+		kr, err := spmm.New(nm.M, denseWidth, c.Ranks())
+		if err != nil {
+			return rows, err
+		}
+		g := kr.Graph()
+		row := SpMMResult{
+			Matrix: nm.Name, Structure: nm.Structure,
+			Rows: nm.M.Rows, NNZ: nm.M.NNZ(),
+			GraphDeg: g.AvgOutDegree(), MsgBytes: kr.MsgBytes(),
+		}
+		naive := collective.NewNaive(g)
+		if row.Naive, err = measureSpMM(c, kr, naive, trials, wall); err != nil {
+			return rows, fmt.Errorf("spmm %s naive: %w", nm.Name, err)
+		}
+		dh, err := collective.NewDistanceHalving(g, c.L())
+		if err != nil {
+			return rows, err
+		}
+		if row.DH, err = measureSpMM(c, kr, dh, trials, wall); err != nil {
+			return rows, fmt.Errorf("spmm %s dh: %w", nm.Name, err)
+		}
+		best := Result{Mean: 1e300}
+		for _, k := range CNGroupSizes {
+			if k > g.N() {
+				continue
+			}
+			cn, err := collective.NewCommonNeighborAffinity(g, k)
+			if err != nil {
+				return rows, err
+			}
+			res, err := measureSpMM(c, kr, cn, trials, wall)
+			if err != nil {
+				return rows, fmt.Errorf("spmm %s cn(K=%d): %w", nm.Name, k, err)
+			}
+			if res.Mean < best.Mean {
+				best = res
+				row.CNK = k
+			}
+		}
+		row.CN = best
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// OverheadRow is one Fig. 8 cell: pattern-creation cost at one density.
+type OverheadRow struct {
+	Delta float64
+	// DHTime and CNTime are virtual build times in seconds.
+	DHTime, CNTime float64
+	// DHMsgs and CNMsgs are total build messages.
+	DHMsgs, CNMsgs int64
+	// SuccessRate is the DH agent-negotiation success rate.
+	SuccessRate float64
+}
+
+// Ratio returns DHTime/CNTime (the paper reports 1.2–1.5×).
+func (r OverheadRow) Ratio() float64 { return r.DHTime / r.CNTime }
+
+// OverheadSweep runs the Fig. 8 experiment: distributed
+// pattern-creation cost of Distance Halving versus the Common Neighbor
+// algorithm (K = 4, representative) across densities.
+func OverheadSweep(c topology.Cluster, deltas []float64, seed int64, wall time.Duration) ([]OverheadRow, error) {
+	var rows []OverheadRow
+	for _, d := range deltas {
+		g, err := vgraph.ErdosRenyi(c.Ranks(), d, seed+int64(d*1000))
+		if err != nil {
+			return rows, err
+		}
+		dhPat, dhRep, err := pattern.BuildDistributed(mpirt.Config{Cluster: c, Phantom: true, WallLimit: wall}, g)
+		if err != nil {
+			return rows, fmt.Errorf("overhead δ=%v dh: %w", d, err)
+		}
+		cnPat, err := collective.BuildCNAffinity(g, 4)
+		if err != nil {
+			return rows, err
+		}
+		cnRep, err := mpirt.Run(mpirt.Config{Cluster: c, Phantom: true, WallLimit: wall}, func(p *mpirt.Proc) {
+			collective.BuildCNAffinityRank(p, cnPat)
+		})
+		if err != nil {
+			return rows, fmt.Errorf("overhead δ=%v cn: %w", d, err)
+		}
+		rows = append(rows, OverheadRow{
+			Delta:       d,
+			DHTime:      dhRep.Time,
+			CNTime:      cnRep.Time,
+			DHMsgs:      dhRep.Msgs(),
+			CNMsgs:      cnRep.Msgs(),
+			SuccessRate: dhPat.Stats.SuccessRate(),
+		})
+	}
+	return rows, nil
+}

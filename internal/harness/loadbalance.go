@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"nbrallgather/internal/collective"
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/vgraph"
+)
+
+// LoadBalanceRow quantifies the paper's Section IV claim that the
+// Distance Halving approach "decreases the load imbalance among the
+// ranks": for one workload it reports, per algorithm, the heaviest
+// rank's message and byte counts relative to the mean.
+type LoadBalanceRow struct {
+	Label string
+	// NaiveMsgImb, DHMsgImb: max/mean per-rank sent messages.
+	NaiveMsgImb, DHMsgImb float64
+	// NaiveByteImb, DHByteImb: max/mean per-rank sent bytes.
+	NaiveByteImb, DHByteImb float64
+	// NaiveTime, DHTime: collective completion (the imbalance's
+	// latency consequence).
+	NaiveTime, DHTime float64
+}
+
+// MeasureLoadBalance runs one collective per algorithm and extracts the
+// imbalance indicators.
+func MeasureLoadBalance(c topology.Cluster, g *vgraph.Graph, msgSize int, wall time.Duration) (LoadBalanceRow, error) {
+	row := LoadBalanceRow{}
+	dh, err := collective.NewDistanceHalving(g, c.L())
+	if err != nil {
+		return row, err
+	}
+	runOnce := func(op collective.Op) (*mpirt.Report, error) {
+		return mpirt.Run(mpirt.Config{Cluster: c, Ranks: g.N(), Phantom: true, WallLimit: wall},
+			func(p *mpirt.Proc) {
+				p.SyncResetTime()
+				op.Run(p, nil, msgSize, nil)
+			})
+	}
+	nrep, err := runOnce(collective.NewNaive(g))
+	if err != nil {
+		return row, fmt.Errorf("load balance naive: %w", err)
+	}
+	drep, err := runOnce(dh)
+	if err != nil {
+		return row, fmt.Errorf("load balance dh: %w", err)
+	}
+	row.NaiveMsgImb, row.NaiveByteImb, row.NaiveTime = nrep.MsgImbalance(), nrep.ByteImbalance(), nrep.Time
+	row.DHMsgImb, row.DHByteImb, row.DHTime = drep.MsgImbalance(), drep.ByteImbalance(), drep.Time
+	return row, nil
+}
+
+// HubGraph builds an intentionally imbalanced workload: hubs ranks
+// broadcast to everyone (and everyone reports back), the rest only talk
+// to their grid neighbors — the kind of skewed pattern the paper's
+// load-aware agent selection targets.
+func HubGraph(n, hubs int) (*vgraph.Graph, error) {
+	if hubs < 1 || hubs >= n {
+		return nil, fmt.Errorf("harness: hub count %d outside 1..%d", hubs, n-1)
+	}
+	out := make([][]int, n)
+	for h := 0; h < hubs; h++ {
+		for v := 0; v < n; v++ {
+			if v != h {
+				out[h] = append(out[h], v)
+				out[v] = append(out[v], h)
+			}
+		}
+	}
+	for v := hubs; v < n; v++ {
+		out[v] = append(out[v], hubs+(v-hubs+1)%(n-hubs))
+	}
+	return vgraph.FromOutLists(n, out)
+}
+
+// LoadBalanceSweep measures imbalance for hub workloads with growing
+// hub counts.
+func LoadBalanceSweep(c topology.Cluster, hubCounts []int, msgSize int, wall time.Duration) ([]LoadBalanceRow, error) {
+	var rows []LoadBalanceRow
+	for _, h := range hubCounts {
+		g, err := HubGraph(c.Ranks(), h)
+		if err != nil {
+			return rows, err
+		}
+		row, err := MeasureLoadBalance(c, g, msgSize, wall)
+		if err != nil {
+			return rows, err
+		}
+		row.Label = fmt.Sprintf("%d hubs", h)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintLoadBalance renders imbalance rows.
+func PrintLoadBalance(w io.Writer, rows []LoadBalanceRow) {
+	fmt.Fprintf(w, "\n== Load imbalance (max/mean per-rank load; 1.0 = balanced) ==\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tnaive msg imb\tDH msg imb\tnaive byte imb\tDH byte imb\tnaive time\tDH time")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%s\t%s\n",
+			r.Label, r.NaiveMsgImb, r.DHMsgImb, r.NaiveByteImb, r.DHByteImb,
+			FmtTime(r.NaiveTime), FmtTime(r.DHTime))
+	}
+	tw.Flush()
+}

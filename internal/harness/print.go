@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// FmtBytes renders a byte count the way the paper's axes do (8B … 4MB).
+func FmtBytes(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// FmtTime renders a second count with engineering units.
+func FmtTime(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.3gs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3gms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3gµs", s*1e6)
+	}
+}
+
+// PrintComparisons renders Fig. 4/5/6-style rows as an aligned table.
+func PrintComparisons(w io.Writer, title string, rows []Comparison) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tmsg\tnaive\tDH\tCN(best K)\tDH speedup\tCN speedup\tnaive msgs\tDH msgs")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s (K=%d)\t%.2fx\t%.2fx\t%d\t%d\n",
+			r.Label, FmtBytes(r.MsgSize),
+			FmtTime(r.Naive.Mean), FmtTime(r.DH.Mean), FmtTime(r.CN.Mean), r.CNK,
+			r.SpeedupDH(), r.SpeedupCN(),
+			r.Naive.MsgsPerTrial, r.DH.MsgsPerTrial)
+	}
+	tw.Flush()
+}
+
+// CSVComparisons renders the same rows as CSV for plotting.
+func CSVComparisons(w io.Writer, rows []Comparison) {
+	fmt.Fprintln(w, "workload,msg_bytes,naive_s,dh_s,cn_s,cn_k,dh_speedup,cn_speedup,naive_msgs,dh_msgs,cn_msgs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%d,%g,%g,%g,%d,%g,%g,%d,%d,%d\n",
+			strings.ReplaceAll(r.Label, ",", ";"), r.MsgSize,
+			r.Naive.Mean, r.DH.Mean, r.CN.Mean, r.CNK,
+			r.SpeedupDH(), r.SpeedupCN(),
+			r.Naive.MsgsPerTrial, r.DH.MsgsPerTrial, r.CN.MsgsPerTrial)
+	}
+}
+
+// PrintSpMM renders Fig. 7-style rows.
+func PrintSpMM(w io.Writer, rows []SpMMResult) {
+	fmt.Fprintf(w, "\n== Fig. 7 — SpMM kernel speedup over naive ==\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "matrix\torder\tnnz\tavg deg\tmsg\tnaive\tDH\tCN(best K)\tDH speedup\tCN speedup")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%s\t%s\t%s\t%s (K=%d)\t%.2fx\t%.2fx\n",
+			r.Matrix, r.Rows, r.NNZ, r.GraphDeg, FmtBytes(r.MsgBytes),
+			FmtTime(r.Naive.Mean), FmtTime(r.DH.Mean), FmtTime(r.CN.Mean), r.CNK,
+			r.SpeedupDH(), r.SpeedupCN())
+	}
+	tw.Flush()
+}
+
+// CSVSpMM renders Fig. 7 rows as CSV.
+func CSVSpMM(w io.Writer, rows []SpMMResult) {
+	fmt.Fprintln(w, "matrix,order,nnz,avg_deg,msg_bytes,naive_s,dh_s,cn_s,cn_k,dh_speedup,cn_speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%d,%d,%g,%d,%g,%g,%g,%d,%g,%g\n",
+			r.Matrix, r.Rows, r.NNZ, r.GraphDeg, r.MsgBytes,
+			r.Naive.Mean, r.DH.Mean, r.CN.Mean, r.CNK, r.SpeedupDH(), r.SpeedupCN())
+	}
+}
+
+// PrintOverhead renders Fig. 8-style rows.
+func PrintOverhead(w io.Writer, rows []OverheadRow) {
+	fmt.Fprintf(w, "\n== Fig. 8 — pattern creation overhead (DH vs Common Neighbor) ==\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "density\tDH build\tCN build\tDH/CN\tDH msgs\tCN msgs\tagent success")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "δ=%.2f\t%s\t%s\t%.2fx\t%d\t%d\t%.0f%%\n",
+			r.Delta, FmtTime(r.DHTime), FmtTime(r.CNTime), r.Ratio(),
+			r.DHMsgs, r.CNMsgs, 100*r.SuccessRate)
+	}
+	tw.Flush()
+}
+
+// CSVOverhead renders Fig. 8 rows as CSV.
+func CSVOverhead(w io.Writer, rows []OverheadRow) {
+	fmt.Fprintln(w, "density,dh_build_s,cn_build_s,ratio,dh_msgs,cn_msgs,agent_success")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%g,%g,%g,%g,%d,%d,%g\n",
+			r.Delta, r.DHTime, r.CNTime, r.Ratio(), r.DHMsgs, r.CNMsgs, r.SuccessRate)
+	}
+}

@@ -1,0 +1,631 @@
+// Package mpirt is a goroutine-based MPI-like runtime: the execution
+// substrate that stands in for Open MPI in this reproduction.
+//
+// Each rank is a goroutine with a *Proc handle offering MPI-shaped
+// point-to-point primitives — tagged sends and receives with
+// (source, tag) matching including AnySource/AnyTag wildcards,
+// nonblocking operations with requests and WaitAll, and barriers.
+// Messages carry real byte payloads (so algorithm correctness is
+// validated on data, not on a model) unless the runtime is in phantom
+// mode, where payloads are size-only and only the cost model sees them —
+// that is how paper-scale message sizes are simulated without
+// paper-scale memory.
+//
+// Every rank also carries a virtual clock. Sends and receives advance
+// clocks through the netmodel cost model, so the completion time of a
+// collective — the quantity every figure in the paper plots — is the
+// maximum virtual time over ranks, independent of host scheduling.
+//
+// The runtime detects deadlocks (all live ranks blocked in receives with
+// no progress) and converts rank panics into errors returned from Run.
+package mpirt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbrallgather/internal/netmodel"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/trace"
+)
+
+// Wildcards for Recv matching, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// ErrDeadlock is wrapped into the Run error when the watchdog finds all
+// live ranks blocked with no deliverable messages.
+var ErrDeadlock = errors.New("mpirt: deadlock detected")
+
+// errAborted unwinds rank goroutines once the runtime has failed.
+var errAborted = errors.New("mpirt: runtime aborted")
+
+// Msg is one received message.
+type Msg struct {
+	// Src is the sending rank.
+	Src int
+	// Tag is the message tag.
+	Tag int
+	// Size is the payload size in bytes as charged to the cost model.
+	Size int
+	// Data is the payload; nil in phantom mode even when Size > 0.
+	Data []byte
+	// Meta carries structured side data (segment maps, protocol
+	// signals). It is not charged to the cost model; real
+	// implementations would encode it into a small header.
+	Meta any
+
+	arrival float64
+}
+
+// Config describes one runtime execution.
+type Config struct {
+	// Cluster is the machine shape ranks are placed on.
+	Cluster topology.Cluster
+	// Ranks is the communicator size; 0 means every rank the cluster
+	// hosts. Must not exceed Cluster.Ranks().
+	Ranks int
+	// Params are the cost-model constants; the zero value selects
+	// netmodel.NiagaraParams.
+	Params netmodel.Params
+	// Phantom selects size-only payloads.
+	Phantom bool
+	// WallLimit aborts the run if host wall-clock exceeds it
+	// (default 120 s). This is a harness safety net, distinct from
+	// virtual time.
+	WallLimit time.Duration
+	// Trace, when non-nil, records every sent message for post-hoc
+	// analysis (phase breakdowns, distance histograms).
+	Trace *trace.Trace
+}
+
+// Report summarises one runtime execution.
+type Report struct {
+	// Time is the final collective completion estimate: the maximum
+	// over ranks of their virtual clock and send-port drain.
+	Time float64
+	// MsgsByDist and BytesByDist count sent messages by distance class.
+	MsgsByDist  [5]int64
+	BytesByDist [5]int64
+	// MaxRankMsgs and MaxRankBytes are the largest per-rank send
+	// counts (load-imbalance indicators); Ranks is the communicator
+	// size they are relative to.
+	MaxRankMsgs  int64
+	MaxRankBytes int64
+	Ranks        int
+	// Wall is the host wall-clock the run took.
+	Wall time.Duration
+}
+
+// MsgImbalance returns MaxRankMsgs divided by the mean per-rank
+// message count (1 = perfectly balanced).
+func (r *Report) MsgImbalance() float64 {
+	if r.Msgs() == 0 {
+		return 1
+	}
+	return float64(r.MaxRankMsgs) * float64(r.Ranks) / float64(r.Msgs())
+}
+
+// ByteImbalance returns MaxRankBytes divided by the mean per-rank
+// byte count (1 = perfectly balanced).
+func (r *Report) ByteImbalance() float64 {
+	if r.Bytes() == 0 {
+		return 1
+	}
+	return float64(r.MaxRankBytes) * float64(r.Ranks) / float64(r.Bytes())
+}
+
+// Msgs returns the total number of messages sent.
+func (r *Report) Msgs() int64 {
+	var t int64
+	for _, v := range r.MsgsByDist {
+		t += v
+	}
+	return t
+}
+
+// Bytes returns the total payload bytes sent.
+func (r *Report) Bytes() int64 {
+	var t int64
+	for _, v := range r.BytesByDist {
+		t += v
+	}
+	return t
+}
+
+// OffSocketMsgs returns messages that crossed a socket boundary.
+func (r *Report) OffSocketMsgs() int64 {
+	return r.MsgsByDist[topology.DistNode] +
+		r.MsgsByDist[topology.DistGroup] +
+		r.MsgsByDist[topology.DistGlobal]
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Msg
+	seq    uint64 // delivery counter, for the watchdog
+	waiter bool
+}
+
+// Runtime is the shared state of one execution.
+type Runtime struct {
+	cfg      Config
+	n        int
+	model    *netmodel.Model
+	boxes    []*mailbox
+	procs    []*Proc
+	aborted  atomic.Bool
+	failErr  atomic.Pointer[error]
+	failedCh chan struct{}
+
+	// barrier state
+	bmu   sync.Mutex
+	bcond *sync.Cond
+	bgen  int
+	bcnt  int
+
+	// collective-time reduction scratch
+	reduceVals []float64
+	reduceRes  float64
+
+	// watchdog state
+	blocked  atomic.Int64
+	finished atomic.Int64
+	progress atomic.Uint64
+
+	msgsByDist  [5]atomic.Int64
+	bytesByDist [5]atomic.Int64
+}
+
+// Proc is the per-rank handle passed to the rank body. All methods must
+// be called only from that rank's goroutine.
+type Proc struct {
+	rt        *Runtime
+	rank      int
+	vt        float64
+	sent      int64
+	sentBytes int64
+}
+
+// Run executes body on cfg.Ranks goroutine ranks and returns the
+// aggregate report. It returns an error if any rank panicked or the
+// watchdog detected a deadlock.
+func Run(cfg Config, body func(*Proc)) (*Report, error) {
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Ranks
+	if n == 0 {
+		n = cfg.Cluster.Ranks()
+	}
+	if n < 1 || n > cfg.Cluster.Ranks() {
+		return nil, fmt.Errorf("mpirt: Ranks %d out of range 1..%d", n, cfg.Cluster.Ranks())
+	}
+	params := cfg.Params
+	if params == (netmodel.Params{}) {
+		params = netmodel.NiagaraParams()
+	}
+	model, err := netmodel.New(cfg.Cluster, params)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WallLimit == 0 {
+		cfg.WallLimit = 120 * time.Second
+	}
+
+	rt := &Runtime{
+		cfg:        cfg,
+		n:          n,
+		model:      model,
+		boxes:      make([]*mailbox, n),
+		procs:      make([]*Proc, n),
+		reduceVals: make([]float64, n),
+		failedCh:   make(chan struct{}),
+	}
+	rt.bcond = sync.NewCond(&rt.bmu)
+	for i := range rt.boxes {
+		b := &mailbox{}
+		b.cond = sync.NewCond(&b.mu)
+		rt.boxes[i] = b
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		p := &Proc{rt: rt, rank: r}
+		rt.procs[r] = p
+		go func() {
+			defer wg.Done()
+			defer func() {
+				rt.finished.Add(1)
+				if rec := recover(); rec != nil && !errors.Is(asErr(rec), errAborted) {
+					buf := make([]byte, 16<<10)
+					buf = buf[:runtime.Stack(buf, false)]
+					rt.fail(fmt.Errorf("mpirt: rank %d panicked: %v\n%s", p.rank, rec, buf))
+				}
+				// A finished rank may leave peers blocked on it; kick
+				// the watchdog's progress view so it re-evaluates.
+				rt.progress.Add(1)
+			}()
+			body(p)
+		}()
+	}
+
+	watchdogDone := make(chan struct{})
+	go rt.watchdog(start, watchdogDone)
+	allDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(allDone)
+	}()
+	select {
+	case <-allDone:
+	case <-rt.failedCh:
+		// Give unwinding ranks a moment, then abandon any that are
+		// stuck in host-level blocking (they exit at their next
+		// runtime call; the shared state stays valid).
+		select {
+		case <-allDone:
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	close(watchdogDone)
+
+	if errp := rt.failErr.Load(); errp != nil {
+		return nil, *errp
+	}
+
+	rep := &Report{Wall: time.Since(start), Ranks: n}
+	for d := range rep.MsgsByDist {
+		rep.MsgsByDist[d] = rt.msgsByDist[d].Load()
+		rep.BytesByDist[d] = rt.bytesByDist[d].Load()
+	}
+	for _, p := range rt.procs {
+		t := math.Max(p.vt, model.PortDrain(p.rank))
+		if t > rep.Time {
+			rep.Time = t
+		}
+		if p.sent > rep.MaxRankMsgs {
+			rep.MaxRankMsgs = p.sent
+		}
+		if p.sentBytes > rep.MaxRankBytes {
+			rep.MaxRankBytes = p.sentBytes
+		}
+	}
+	return rep, nil
+}
+
+func asErr(rec any) error {
+	if e, ok := rec.(error); ok {
+		return e
+	}
+	return fmt.Errorf("%v", rec)
+}
+
+func (rt *Runtime) fail(err error) {
+	if rt.aborted.CompareAndSwap(false, true) {
+		rt.failErr.Store(&err)
+		close(rt.failedCh)
+	}
+	// Wake everything so blocked ranks observe the abort.
+	for _, b := range rt.boxes {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+	rt.bmu.Lock()
+	rt.bcond.Broadcast()
+	rt.bmu.Unlock()
+}
+
+func (rt *Runtime) checkAborted() {
+	if rt.aborted.Load() {
+		panic(errAborted)
+	}
+}
+
+// watchdog aborts the run on wall-clock overrun or distributed deadlock
+// (all live ranks blocked in receives/barriers across two samples with
+// no delivery progress).
+func (rt *Runtime) watchdog(start time.Time, done <-chan struct{}) {
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	var lastProgress uint64
+	stale := 0
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+		}
+		if time.Since(start) > rt.cfg.WallLimit {
+			rt.fail(fmt.Errorf("mpirt: wall-clock limit %v exceeded", rt.cfg.WallLimit))
+			return
+		}
+		live := int64(rt.n) - rt.finished.Load()
+		blocked := rt.blocked.Load()
+		prog := rt.progress.Load()
+		if live > 0 && blocked >= live && prog == lastProgress {
+			stale++
+			if stale >= 4 {
+				rt.fail(fmt.Errorf("%w: %d live ranks all blocked (%s)",
+					ErrDeadlock, live, rt.blockedSummary()))
+				return
+			}
+		} else {
+			stale = 0
+		}
+		lastProgress = prog
+	}
+}
+
+func (rt *Runtime) blockedSummary() string {
+	var waiting []int
+	for r, b := range rt.boxes {
+		b.mu.Lock()
+		if b.waiter {
+			waiting = append(waiting, r)
+		}
+		b.mu.Unlock()
+	}
+	sort.Ints(waiting)
+	if len(waiting) > 8 {
+		return fmt.Sprintf("ranks %v… waiting in recv", waiting[:8])
+	}
+	return fmt.Sprintf("ranks %v waiting in recv", waiting)
+}
+
+// Rank returns this rank's id in [0, Size).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the communicator size.
+func (p *Proc) Size() int { return p.rt.n }
+
+// Cluster returns the machine shape.
+func (p *Proc) Cluster() topology.Cluster { return p.rt.cfg.Cluster }
+
+// Model returns the shared cost model.
+func (p *Proc) Model() *netmodel.Model { return p.rt.model }
+
+// Phantom reports whether payloads are size-only.
+func (p *Proc) Phantom() bool { return p.rt.cfg.Phantom }
+
+// VT returns this rank's current virtual time in seconds.
+func (p *Proc) VT() float64 { return p.vt }
+
+// AdvanceVT adds d seconds of local work (compute, packing) to the
+// rank's virtual clock.
+func (p *Proc) AdvanceVT(d float64) {
+	if d > 0 {
+		p.vt += d
+	}
+}
+
+// ChargeCopy advances the clock by the modelled local-copy time for n
+// bytes.
+func (p *Proc) ChargeCopy(n int) { p.AdvanceVT(p.rt.model.CopyTime(n)) }
+
+// Alloc returns a payload buffer of n bytes, or nil in phantom mode.
+func (p *Proc) Alloc(n int) []byte {
+	if p.rt.cfg.Phantom {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// Send delivers a message of the given size to dst. data may be nil
+// (phantom mode or metadata-only protocol signals). Sends are eager:
+// the call returns once the message is enqueued at the destination;
+// the cost model decides when it becomes receivable.
+func (p *Proc) Send(dst, tag, size int, data []byte, meta any) {
+	p.rt.checkAborted()
+	if dst < 0 || dst >= p.rt.n {
+		panic(fmt.Sprintf("mpirt: rank %d send to invalid rank %d", p.rank, dst))
+	}
+	if size < 0 {
+		panic(fmt.Sprintf("mpirt: rank %d send with negative size %d", p.rank, size))
+	}
+	if data != nil && len(data) != size {
+		panic(fmt.Sprintf("mpirt: rank %d send size %d != len(data) %d", p.rank, size, len(data)))
+	}
+	if p.rt.cfg.Phantom {
+		data = nil
+	} else if data != nil {
+		// Eager protocol: snapshot the payload so the sender may reuse
+		// its buffer immediately, as MPI guarantees after send returns.
+		cp := make([]byte, size)
+		copy(cp, data)
+		data = cp
+	}
+
+	p.vt += p.rt.model.SendOverhead()
+	arrival := p.rt.model.Transfer(p.rank, dst, size, p.vt)
+
+	d := p.rt.cfg.Cluster.Dist(p.rank, dst)
+	p.rt.msgsByDist[d].Add(1)
+	p.rt.bytesByDist[d].Add(int64(size))
+	p.sent++
+	p.sentBytes += int64(size)
+	if p.rt.cfg.Trace != nil {
+		p.rt.cfg.Trace.Record(trace.Event{
+			Src: p.rank, Dst: dst, Tag: tag, Size: size,
+			Depart: p.vt, Arrive: arrival, Dist: d,
+		})
+	}
+
+	m := &Msg{Src: p.rank, Tag: tag, Size: size, Data: data, Meta: meta, arrival: arrival}
+	box := p.rt.boxes[dst]
+	box.mu.Lock()
+	box.queue = append(box.queue, m)
+	box.seq++
+	box.cond.Broadcast()
+	box.mu.Unlock()
+	p.rt.progress.Add(1)
+}
+
+// Request represents a pending nonblocking operation.
+type Request struct {
+	p    *Proc
+	send bool
+	src  int
+	tag  int
+	msg  *Msg
+	done bool
+}
+
+// Isend starts a nonblocking send. In this eager runtime the transfer
+// is initiated immediately; the request completes trivially.
+func (p *Proc) Isend(dst, tag, size int, data []byte, meta any) *Request {
+	p.Send(dst, tag, size, data, meta)
+	return &Request{p: p, send: true, done: true}
+}
+
+// Irecv posts a nonblocking receive for a message matching (src, tag);
+// wildcards allowed. Matching happens when the request is waited on.
+func (p *Proc) Irecv(src, tag int) *Request {
+	return &Request{p: p, src: src, tag: tag}
+}
+
+// Wait blocks until the request completes and returns the received
+// message (zero Msg for sends).
+func (r *Request) Wait() Msg {
+	if r.done {
+		if r.msg != nil {
+			return *r.msg
+		}
+		return Msg{}
+	}
+	m := r.p.Recv(r.src, r.tag)
+	r.msg = &m
+	r.done = true
+	return m
+}
+
+// WaitAll completes every request.
+func (p *Proc) WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}
+
+// Recv blocks until a message matching (src, tag) is available, charges
+// the receive to the virtual clock, and returns it. Matching is FIFO
+// with respect to each sender.
+func (p *Proc) Recv(src, tag int) Msg {
+	p.rt.checkAborted()
+	box := p.rt.boxes[p.rank]
+	box.mu.Lock()
+	for {
+		for i, m := range box.queue {
+			if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
+				box.queue = append(box.queue[:i], box.queue[i+1:]...)
+				box.mu.Unlock()
+				p.rt.progress.Add(1)
+				p.vt = math.Max(p.vt, m.arrival) + p.rt.model.RecvOverhead()
+				return *m
+			}
+		}
+		if p.rt.aborted.Load() {
+			box.mu.Unlock()
+			panic(errAborted)
+		}
+		box.waiter = true
+		p.rt.blocked.Add(1)
+		box.cond.Wait()
+		p.rt.blocked.Add(-1)
+		box.waiter = false
+	}
+}
+
+// Probe reports whether a message matching (src, tag) is currently
+// queued, without receiving it and without advancing the clock.
+func (p *Proc) Probe(src, tag int) bool {
+	box := p.rt.boxes[p.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for _, m := range box.queue {
+		if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// Barrier synchronises all ranks. On release every rank's virtual clock
+// advances to the global maximum plus a small synchronisation cost.
+func (p *Proc) Barrier() {
+	p.reduceMax(p.vt) // side effect: fills reduceVals and syncs
+}
+
+// SyncResetTime barriers, then zeroes every rank's virtual clock and
+// the cost model's shared resources. Call before a timed section so
+// measurements start from an idle network.
+func (p *Proc) SyncResetTime() {
+	p.barrierSync()
+	p.vt = 0
+	if p.rank == 0 {
+		p.rt.model.Reset()
+	}
+	p.barrierSync()
+}
+
+// CollectiveTime barriers and returns, identically on every rank, the
+// completion time of the preceding section: the global maximum of
+// virtual clocks and send-port drains.
+func (p *Proc) CollectiveTime() float64 {
+	return p.reduceMax(math.Max(p.vt, p.rt.model.PortDrain(p.rank)))
+}
+
+// reduceMax performs an allreduce(max) over one float64 per rank using
+// the central barrier state. It also acts as a barrier. The rank's
+// clock is advanced to the returned maximum (a barrier synchronises).
+func (p *Proc) reduceMax(v float64) float64 {
+	rt := p.rt
+	rt.bmu.Lock()
+	rt.reduceVals[p.rank] = v
+	rt.bcnt++
+	gen := rt.bgen
+	if rt.bcnt == rt.n {
+		rt.bcnt = 0
+		rt.bgen++
+		max := math.Inf(-1)
+		for _, x := range rt.reduceVals {
+			if x > max {
+				max = x
+			}
+		}
+		// reduceRes cannot be clobbered by the next generation before
+		// every rank of this one has read it: completing generation
+		// g+1 requires all n ranks to have left generation g.
+		rt.reduceRes = max
+		rt.bcond.Broadcast()
+	} else {
+		for gen == rt.bgen && !rt.aborted.Load() {
+			rt.blocked.Add(1)
+			rt.bcond.Wait()
+			rt.blocked.Add(-1)
+		}
+	}
+	res := rt.reduceRes
+	rt.bmu.Unlock()
+	if rt.aborted.Load() {
+		panic(errAborted)
+	}
+	if p.vt < res {
+		p.vt = res
+	}
+	rt.progress.Add(1)
+	return res
+}
+
+func (p *Proc) barrierSync() { p.reduceMax(0) }

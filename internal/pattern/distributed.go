@@ -1,0 +1,450 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"nbrallgather/internal/bitset"
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/vgraph"
+)
+
+// The distributed builder runs the paper's Algorithms 1–3 as a real
+// message protocol over the mpirt runtime. Its outcome is the
+// proposer-optimal stable matching under the globally consistent order
+// (weight desc, proposer asc, acceptor asc) — the same matching the
+// central builder computes — but it pays the real negotiation cost:
+// one REQ or EXIT from every proposer to every positive-weight
+// candidate and one ACCEPT or DROP back, plus the per-step agent
+// notifications of Algorithm 1 line 30 and the descriptor D transfer.
+// This is the cost Fig. 8 measures.
+
+// Signal kinds of Algorithms 2 and 3.
+const (
+	sigREQ = iota
+	sigACCEPT
+	sigDROP
+	sigEXIT
+)
+
+// signalBytes is the modelled wire size of one negotiation signal.
+const signalBytes = 8
+
+// noteBytes is the modelled wire size of one agent notification.
+const noteBytes = 8
+
+// Tag layout for the build protocol. Each halving step uses its own tag
+// group so asynchronously progressing ranks never mismatch messages.
+const (
+	tagPropBase  = 10000 // + step*4 + phase*2 : proposer → acceptor
+	tagReplyBase = 10001 // + step*4 + phase*2 : acceptor → proposer
+	tagDescBase  = 30000 // + step : descriptor D + buffer source list
+	tagNoteBase  = 40000 // + step : agent notification to out-neighbors
+	tagFinalNote = 50000 // final-phase sender announcements
+	tagExchange  = 60000 // calculate_A neighbor-list allgather
+)
+
+// descMsg is the meta payload of the descriptor transfer: the origin's
+// buffer source order plus the delivery entries it offloads.
+type descMsg struct {
+	sources []int
+	entries map[int][]int
+}
+
+// descMsgBytes models the wire size of a descriptor transfer.
+func descMsgBytes(d *descMsg) int {
+	n := len(d.sources) + 2
+	for _, v := range d.entries {
+		n += len(v) + 1
+	}
+	return 8 * n
+}
+
+// finalNote announces count remainder-phase edges from its sender.
+type finalNote struct{ count int }
+
+// BuildDistributed constructs the pattern by running the negotiation
+// protocol on the given runtime configuration and returns the pattern
+// together with the runtime report (virtual build time and message
+// counts — the Fig. 8 overhead measurement). The stop threshold L is
+// taken from the cluster.
+func BuildDistributed(cfg mpirt.Config, g *vgraph.Graph) (*Pattern, *mpirt.Report, error) {
+	if cfg.Ranks == 0 {
+		cfg.Ranks = g.N()
+	}
+	if cfg.Ranks != g.N() {
+		return nil, nil, fmt.Errorf("pattern: graph has %d ranks but config runs %d", g.N(), cfg.Ranks)
+	}
+	l := cfg.Cluster.L()
+	plans := make([]RankPlan, g.N())
+	var attempts, successes, maxBuf atomic.Int64
+	rep, err := mpirt.Run(cfg, func(p *mpirt.Proc) {
+		plan, a, s := BuildRank(p, g, l)
+		plans[p.Rank()] = *plan
+		attempts.Add(int64(a))
+		successes.Add(int64(s))
+		for {
+			cur := maxBuf.Load()
+			if int64(len(plan.BufSources)) <= cur ||
+				maxBuf.CompareAndSwap(cur, int64(len(plan.BufSources))) {
+				break
+			}
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	pat := &Pattern{Graph: g, L: l, Plans: plans}
+	pat.Stats.AgentAttempts = int(attempts.Load())
+	pat.Stats.AgentSuccesses = int(successes.Load())
+	pat.Stats.MaxBufSources = int(maxBuf.Load())
+	return pat, rep, nil
+}
+
+// BuildRank plays one rank's side of the build protocol. It must be
+// called from within an mpirt rank body by every rank of the runtime.
+// It returns the rank's plan and its agent attempt/success counts.
+func BuildRank(p *mpirt.Proc, g *vgraph.Graph, l int) (plan *RankPlan, attempts, successes int) {
+	if l < 1 {
+		panic("pattern: stop threshold must be positive")
+	}
+	r := p.Rank()
+	n := g.N()
+
+	// calculate_A: every rank learns every other rank's outgoing
+	// neighbor list. We model the exchange as a Bruck-style allgather
+	// (⌈log2 n⌉ rounds with accumulating payloads); the lists
+	// themselves are globally visible in-process, so only the cost is
+	// exchanged.
+	ChargeNeighborListExchange(p, g)
+
+	st := &rankState{
+		rank:   r,
+		lo:     0,
+		hi:     n,
+		buf:    []int{r},
+		hasSrc: bitset.New(n),
+		del:    deliv{},
+	}
+	st.hasSrc.Add(r)
+	if g.OutDegree(r) > 0 {
+		st.del[r] = g.OutSet(r).Clone()
+	}
+	selfCopied := bitset.New(n)
+
+	for t := 0; st.hi-st.lo > l; t++ {
+		mid := Halves(st.lo, st.hi)
+		lower := r < mid
+		var s Step
+		if lower {
+			s = Step{H1Lo: st.lo, H1Hi: mid, H2Lo: mid, H2Hi: st.hi}
+		} else {
+			s = Step{H1Lo: mid, H1Hi: st.hi, H2Lo: st.lo, H2Hi: mid}
+		}
+		s.Agent, s.Origin = NoRank, NoRank
+
+		// Two negotiation phases: the lower half proposes first
+		// (Algorithm 1 lines 14–24).
+		for phase := 0; phase < 2; phase++ {
+			proposing := (phase == 0) == lower
+			if proposing {
+				wants := wantsAgentLocal(st, s.H2Lo, s.H2Hi)
+				if wants {
+					attempts++
+				}
+				agent := findAgent(p, g, t, phase, r, s.H2Lo, s.H2Hi)
+				if agent != NoRank {
+					successes++
+					s.Agent = agent
+				}
+			} else {
+				s.Origin = findOrigin(p, g, t, phase, r, s.H1Lo, s.H1Hi, s.H2Lo, s.H2Hi)
+			}
+		}
+
+		// Algorithm 1 line 30: notify outgoing neighbors in h2 of the
+		// selected agent; symmetrically absorb notifications from
+		// incoming neighbors in h2. Content is advisory; the cost is
+		// what matters here.
+		for _, v := range g.OutSet(r).ElemsRange(nil, s.H2Lo, s.H2Hi) {
+			p.Send(v, tagNoteBase+t, noteBytes, nil, nil)
+		}
+		for range inRange(g, r, s.H2Lo, s.H2Hi) {
+			p.Recv(mpirt.AnySource, tagNoteBase+t)
+		}
+
+		// Descriptor exchange (Algorithm 1 lines 31–49).
+		if s.Agent != NoRank {
+			d := &descMsg{sources: append([]int(nil), st.buf...), entries: map[int][]int{}}
+			s.SendCount = len(st.buf)
+			for src, dests := range st.del {
+				moved := dests.ElemsRange(nil, s.H2Lo, s.H2Hi)
+				if len(moved) == 0 {
+					continue
+				}
+				d.entries[src] = moved
+				dests.RemoveRange(s.H2Lo, s.H2Hi)
+				if dests.Count() == 0 {
+					delete(st.del, src)
+				}
+			}
+			p.Send(s.Agent, tagDescBase+t, descMsgBytes(d), nil, d)
+		}
+		if s.Origin != NoRank {
+			msg := p.Recv(s.Origin, tagDescBase+t)
+			d := msg.Meta.(*descMsg)
+			s.RecvSources = append([]int(nil), d.sources...)
+			for _, src := range d.sources {
+				if !st.hasSrc.Has(src) {
+					st.hasSrc.Add(src)
+					st.buf = append(st.buf, src)
+				}
+			}
+			for src, dests := range d.entries {
+				set := st.del[src]
+				for _, dst := range dests {
+					if dst == r {
+						s.SelfCopies = append(s.SelfCopies, src)
+						selfCopied.Add(src)
+						continue
+					}
+					if set == nil {
+						set = bitset.New(n)
+						st.del[src] = set
+					}
+					set.Add(dst)
+				}
+				if set != nil && set.Count() == 0 {
+					delete(st.del, src)
+				}
+			}
+			sort.Ints(s.SelfCopies)
+		}
+
+		if lower {
+			st.hi = mid
+		} else {
+			st.lo = mid
+		}
+		st.steps = append(st.steps, s)
+	}
+
+	// Final phase derivation, with sender announcements so each rank
+	// learns its remainder-phase senders (the paper's I_on tracking).
+	plan = &RankPlan{Rank: r, Steps: st.steps, BufSources: st.buf}
+	bySrcDst := map[int][]int{}
+	for src, dests := range st.del {
+		for _, dst := range dests.Elems(nil) {
+			if dst == r {
+				plan.FinalSelfCopies = append(plan.FinalSelfCopies, src)
+				selfCopied.Add(src)
+				continue
+			}
+			bySrcDst[dst] = append(bySrcDst[dst], src)
+		}
+	}
+	dsts := make([]int, 0, len(bySrcDst))
+	for d := range bySrcDst {
+		dsts = append(dsts, d)
+	}
+	sort.Ints(dsts)
+	for _, d := range dsts {
+		srcs := bySrcDst[d]
+		sort.Ints(srcs)
+		plan.FinalSends = append(plan.FinalSends, FinalSend{Dst: d, Sources: srcs})
+		p.Send(d, tagFinalNote, noteBytes, nil, finalNote{count: len(srcs)})
+	}
+	sort.Ints(plan.FinalSelfCopies)
+
+	expect := g.InDegree(r) - selfCopied.Count()
+	senders := map[int]bool{}
+	for expect > 0 {
+		msg := p.Recv(mpirt.AnySource, tagFinalNote)
+		expect -= msg.Meta.(finalNote).count
+		senders[msg.Src] = true
+	}
+	if expect < 0 {
+		panic(fmt.Sprintf("pattern: rank %d over-announced final edges by %d", r, -expect))
+	}
+	for s := range senders {
+		plan.FinalRecvs = append(plan.FinalRecvs, s)
+	}
+	sort.Ints(plan.FinalRecvs)
+	return plan, attempts, successes
+}
+
+// wantsAgentLocal mirrors builder.wantsAgent for the protocol's local
+// state.
+func wantsAgentLocal(st *rankState, lo, hi int) bool {
+	for _, dests := range st.del {
+		if dests.AnyInRange(lo, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// inRange returns the incoming neighbors of r inside [lo, hi).
+func inRange(g *vgraph.Graph, r, lo, hi int) []int {
+	var out []int
+	for _, u := range g.In(r) {
+		if u >= lo && u < hi {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// candidatesOf returns, in preference order (weight desc, rank asc),
+// the ranks in [clo, chi) sharing at least one outgoing neighbor with r
+// inside the weight range [wlo, whi) — the active rows of matrix A. For
+// an agent search both ranges are the opposite half; for an origin
+// search candidates live in the opposite half while shared neighbors
+// are counted in this rank's own half.
+func candidatesOf(g *vgraph.Graph, r, clo, chi, wlo, whi int) []int {
+	type cand struct{ w, rank int }
+	var cs []cand
+	ro := g.OutSet(r)
+	for c := clo; c < chi; c++ {
+		if c == r {
+			continue
+		}
+		if w := ro.AndCountRange(g.OutSet(c), wlo, whi); w > 0 {
+			cs = append(cs, cand{w, c})
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].w != cs[j].w {
+			return cs[i].w > cs[j].w
+		}
+		return cs[i].rank < cs[j].rank
+	})
+	ranks := make([]int, len(cs))
+	for i, c := range cs {
+		ranks[i] = c.rank
+	}
+	return ranks
+}
+
+// findAgent is Algorithm 2: propose to candidates in preference order,
+// move on when dropped, and notify untried candidates once matched.
+// h2 = [h2lo, h2hi) is the opposite half agents live in.
+func findAgent(p *mpirt.Proc, g *vgraph.Graph, step, phase, r, h2lo, h2hi int) int {
+	cands := candidatesOf(g, r, h2lo, h2hi, h2lo, h2hi)
+	propTag := tagPropBase + step*4 + phase*2
+	replyTag := tagReplyBase + step*4 + phase*2
+	for i, c := range cands {
+		p.Send(c, propTag, signalBytes, nil, sigREQ)
+		reply := p.Recv(c, replyTag)
+		if reply.Meta.(int) == sigACCEPT {
+			for _, rest := range cands[i+1:] {
+				p.Send(rest, propTag, signalBytes, nil, sigEXIT)
+			}
+			return c
+		}
+	}
+	return NoRank
+}
+
+// findOrigin is Algorithm 3: wait until every positive-weight candidate
+// origin has spoken (REQ or EXIT), deferring requests until the best
+// remaining candidate's message arrives, then accept it and drop the
+// rest. h1 = [h1lo, h1hi) is this rank's own half (where shared
+// outgoing neighbors are counted); h2 = [h2lo, h2hi) is the half
+// origins live in.
+func findOrigin(p *mpirt.Proc, g *vgraph.Graph, step, phase, r, h1lo, h1hi, h2lo, h2hi int) int {
+	// Candidate origins live in h2 and are ranked by shared outgoing
+	// neighbors inside this rank's own half — symmetric to the
+	// proposers' weight, so both sides follow one global preference
+	// order.
+	cands := candidatesOf(g, r, h2lo, h2hi, h1lo, h1hi)
+
+	propTag := tagPropBase + step*4 + phase*2
+	replyTag := tagReplyBase + step*4 + phase*2
+
+	remaining := map[int]bool{}
+	for _, c := range cands {
+		remaining[c] = true
+	}
+	waiting := map[int]bool{}
+	selected := NoRank
+	pending := len(cands)
+
+	decide := func() {
+		if selected != NoRank {
+			return
+		}
+		// The best remaining candidate is the earliest in preference
+		// order still present.
+		for _, c := range cands {
+			if !remaining[c] {
+				continue
+			}
+			if waiting[c] {
+				selected = c
+				p.Send(c, replyTag, signalBytes, nil, sigACCEPT)
+				delete(waiting, c)
+				for w := range waiting {
+					p.Send(w, replyTag, signalBytes, nil, sigDROP)
+					delete(waiting, w)
+					delete(remaining, w)
+				}
+			}
+			return // best remaining has not spoken yet: defer
+		}
+	}
+
+	for pending > 0 {
+		msg := p.Recv(mpirt.AnySource, propTag)
+		pending--
+		o := msg.Src
+		switch msg.Meta.(int) {
+		case sigREQ:
+			if selected != NoRank {
+				p.Send(o, replyTag, signalBytes, nil, sigDROP)
+				delete(remaining, o)
+				continue
+			}
+			waiting[o] = true
+			decide()
+		case sigEXIT:
+			delete(remaining, o)
+			decide()
+		default:
+			panic(fmt.Sprintf("pattern: rank %d got unexpected signal %v from %d", r, msg.Meta, o))
+		}
+	}
+	return selected
+}
+
+// ChargeNeighborListExchange models the calculate_A cost shared by the
+// Distance Halving and Common Neighbor pattern builders: a Bruck
+// allgather of per-rank outgoing-neighbor lists in ⌈log2 n⌉ rounds with
+// accumulating payload sizes. Payload content is not shipped — the
+// graph is globally visible in-process — only the cost is real.
+func ChargeNeighborListExchange(p *mpirt.Proc, g *vgraph.Graph) {
+	n := p.Size()
+	r := p.Rank()
+	// acc[i] tracks whether rank i's list has been accumulated; we
+	// only need the byte count, maintained incrementally.
+	have := bitset.New(n)
+	have.Add(r)
+	bytesOf := func(rank int) int { return 8 * (g.OutDegree(rank) + 1) }
+	accBytes := bytesOf(r)
+	for dist := 1; dist < n; dist *= 2 {
+		dst := (r - dist%n + n) % n
+		src := (r + dist) % n
+		p.Send(dst, tagExchange+dist, accBytes, nil, nil)
+		p.Recv(src, tagExchange+dist)
+		// In Bruck's algorithm the received block is the source's
+		// accumulated prefix: ranks src, src+1, … up to dist entries.
+		for k := 0; k < dist && k < n-1; k++ {
+			o := (src + k) % n
+			if !have.Has(o) {
+				have.Add(o)
+				accBytes += bytesOf(o)
+			}
+		}
+	}
+}

@@ -1,0 +1,474 @@
+// Package pattern builds the Distance Halving communication pattern of
+// Section VI: for every rank, a sequence of halving steps — each with an
+// optional agent (the rank in the opposite half that takes over its
+// deliveries there) and an optional origin (the rank it serves as agent
+// for) — followed by a remainder phase of direct deliveries, mostly
+// confined to the local socket.
+//
+// Two builders produce the same pattern type:
+//
+//   - Build (this file) is a deterministic, centralized builder. Each
+//     halving step's agent/origin assignment is the stable matching
+//     under the paper's symmetric preference weight — the number of
+//     shared outgoing neighbors inside the opposite half (matrix A
+//     restricted to h2) — computed greedily in descending weight order.
+//   - BuildDistributed (distributed.go) runs the paper's actual
+//     REQ/ACCEPT/DROP/EXIT negotiation (Algorithms 2 and 3) over the
+//     mpirt runtime, and is what the Fig. 8 overhead experiment
+//     measures.
+//
+// Pattern invariants (checked by Validate): delivery responsibility for
+// every edge u→v rests with exactly one rank at every step; a rank only
+// holds responsibility for sources whose payload its buffer contains;
+// every edge is eventually satisfied by a step self-copy, a final-phase
+// message, or a final self-copy.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+
+	"nbrallgather/internal/bitset"
+	"nbrallgather/internal/vgraph"
+)
+
+// NoRank marks an absent agent or origin in a Step.
+const NoRank = -1
+
+// Step is one halving step of one rank's plan. Halves are half-open
+// rank intervals; H1 contains the rank itself.
+type Step struct {
+	// H1Lo, H1Hi bound the half containing the rank after this step's
+	// split.
+	H1Lo, H1Hi int
+	// H2Lo, H2Hi bound the opposite half.
+	H2Lo, H2Hi int
+	// Agent is the rank in H2 this rank offloads its H2 deliveries to,
+	// or NoRank if negotiation failed (the deliveries then fall through
+	// to the final phase as direct sends).
+	Agent int
+	// Origin is the rank in H2 this rank agreed to act as agent for,
+	// or NoRank.
+	Origin int
+	// RecvSources lists, in buffer order, the source ranks whose
+	// payloads arrive with the origin's buffer at this step (the
+	// origin itself plus its previously accumulated sources). Empty
+	// when Origin == NoRank.
+	RecvSources []int
+	// SendCount is the number of m-byte payload segments in the buffer
+	// this rank ships to its agent at this step (the paper's d_old).
+	// Zero when Agent == NoRank.
+	SendCount int
+	// SelfCopies lists sources among RecvSources that are incoming
+	// neighbors of this rank whose delivery responsibility arrived
+	// here (the paper's "origins ∩ I" copy, generalised): their
+	// payload is copied straight to the receive buffer.
+	SelfCopies []int
+}
+
+// FinalSend is one remainder-phase message: the listed sources'
+// payloads, concatenated, to Dst.
+type FinalSend struct {
+	Dst     int
+	Sources []int
+}
+
+// RankPlan is the complete plan for one rank.
+type RankPlan struct {
+	Rank  int
+	Steps []Step
+	// FinalSends are the remainder-phase deliveries this rank makes,
+	// sorted by destination.
+	FinalSends []FinalSend
+	// FinalRecvs are the ranks this rank receives a remainder-phase
+	// message from, ascending.
+	FinalRecvs []int
+	// FinalSelfCopies are sources whose payload this rank holds and is
+	// itself the destination of, still pending at the final phase.
+	FinalSelfCopies []int
+	// BufSources is the rank's final main-buffer content, in order:
+	// itself first, then each step's RecvSources.
+	BufSources []int
+}
+
+// Stats aggregates pattern-quality measures reported in the paper.
+type Stats struct {
+	// AgentAttempts counts steps in which a rank had offloadable
+	// deliveries in h2 (and so wanted an agent).
+	AgentAttempts int
+	// AgentSuccesses counts attempts that found an agent.
+	AgentSuccesses int
+	// MaxBufSources is the largest final buffer length in segments
+	// (the worst-case message growth of Section V-B).
+	MaxBufSources int
+}
+
+// SuccessRate returns AgentSuccesses/AgentAttempts, or 1 when no rank
+// ever needed an agent.
+func (s Stats) SuccessRate() float64 {
+	if s.AgentAttempts == 0 {
+		return 1
+	}
+	return float64(s.AgentSuccesses) / float64(s.AgentAttempts)
+}
+
+// Pattern is the full communication pattern for one (graph, L) pair.
+type Pattern struct {
+	Graph *vgraph.Graph
+	// L is the halving stop threshold (ranks per socket).
+	L     int
+	Plans []RankPlan
+	Stats Stats
+}
+
+// Halves returns the interval split the paper's Algorithm 1 performs:
+// [lo, hi) splits into a lower half [lo, mid) holding ceil(size/2)
+// ranks and an upper half [mid, hi).
+func Halves(lo, hi int) (mid int) {
+	return lo + (hi-lo+1)/2
+}
+
+// Policy selects how agents are chosen among candidates.
+type Policy int
+
+const (
+	// PolicyLoadAware is the paper's mechanism: agents maximise shared
+	// outgoing neighbors in the opposite half.
+	PolicyLoadAware Policy = iota
+	// PolicyFirstFit ignores weights and pairs each proposer with its
+	// lowest-ranked available candidate — the ablation baseline
+	// showing what the load-aware selection buys.
+	PolicyFirstFit
+)
+
+// Build constructs the pattern centrally and deterministically with
+// the paper's load-aware agent selection.
+func Build(g *vgraph.Graph, l int) (*Pattern, error) {
+	return BuildWithPolicy(g, l, PolicyLoadAware)
+}
+
+// BuildWithPolicy constructs the pattern with an explicit agent
+// selection policy.
+func BuildWithPolicy(g *vgraph.Graph, l int, policy Policy) (*Pattern, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("pattern: stop threshold L=%d must be positive", l)
+	}
+	n := g.N()
+	b := &builder{g: g, n: n, l: l, policy: policy}
+	b.init()
+	for len(b.active) > 0 {
+		b.step()
+	}
+	return b.finish()
+}
+
+// deliv tracks one rank's outstanding delivery responsibilities:
+// source → destination set. Destinations are ranks the source's payload
+// must still be delivered to by this rank.
+type deliv map[int]*bitset.Set
+
+type rankState struct {
+	rank   int
+	lo, hi int // current h1 before the next split
+	steps  []Step
+	// buf is the ordered source list of the rank's main buffer.
+	buf []int
+	// hasSrc marks membership in buf.
+	hasSrc *bitset.Set
+	// del is the outstanding delivery map.
+	del deliv
+}
+
+type builder struct {
+	g      *vgraph.Graph
+	n, l   int
+	policy Policy
+	states []*rankState
+	// active lists ranks whose current half still exceeds L.
+	active []int
+	stats  Stats
+}
+
+func (b *builder) init() {
+	b.states = make([]*rankState, b.n)
+	for r := 0; r < b.n; r++ {
+		st := &rankState{
+			rank:   r,
+			lo:     0,
+			hi:     b.n,
+			buf:    []int{r},
+			hasSrc: bitset.New(b.n),
+			del:    deliv{},
+		}
+		st.hasSrc.Add(r)
+		if b.g.OutDegree(r) > 0 {
+			st.del[r] = b.g.OutSet(r).Clone()
+		}
+		b.states[r] = st
+	}
+	for r := 0; r < b.n; r++ {
+		if b.n > b.l {
+			b.active = append(b.active, r)
+		}
+	}
+}
+
+// pairKey identifies a sibling block pair by its parent interval.
+type pairKey struct{ lo, hi int }
+
+// step performs one global halving level: splits every active rank's
+// half, matches agents within each sibling block pair (both
+// directions), and applies the offload/onload bookkeeping.
+func (b *builder) step() {
+	// Group active ranks by parent block.
+	groups := map[pairKey][]int{}
+	var keys []pairKey
+	for _, r := range b.active {
+		st := b.states[r]
+		k := pairKey{st.lo, st.hi}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].lo < keys[j].lo })
+
+	var nextActive []int
+	for _, k := range keys {
+		mid := Halves(k.lo, k.hi)
+		// Two independent matchings: lower-half proposers with
+		// upper-half acceptors, then the reverse (the paper's two
+		// find_agent/find_origin phases).
+		agentOfLow := b.match(k.lo, mid, mid, k.hi)
+		agentOfHigh := b.match(mid, k.hi, k.lo, mid)
+
+		for _, r := range groups[k] {
+			st := b.states[r]
+			var s Step
+			var agent, origin int
+			if r < mid {
+				st.lo, st.hi = k.lo, mid
+				s.H1Lo, s.H1Hi, s.H2Lo, s.H2Hi = k.lo, mid, mid, k.hi
+				agent = agentOfLow[r-k.lo]
+				origin = NoRank
+				if m := b.originOf(agentOfHigh, mid, r); m != NoRank {
+					origin = m
+				}
+			} else {
+				st.lo, st.hi = mid, k.hi
+				s.H1Lo, s.H1Hi, s.H2Lo, s.H2Hi = mid, k.hi, k.lo, mid
+				agent = agentOfHigh[r-mid]
+				origin = NoRank
+				if m := b.originOf(agentOfLow, k.lo, r); m != NoRank {
+					origin = m
+				}
+			}
+			s.Agent, s.Origin = agent, origin
+			st.steps = append(st.steps, s)
+		}
+
+		// Apply the step's data/delivery movement. Offloads must read
+		// the pre-step state of every participant, so: first collect
+		// all transfers, then apply.
+		b.applyTransfers(groups[k])
+	}
+
+	for _, r := range b.active {
+		st := b.states[r]
+		if st.hi-st.lo > b.l {
+			nextActive = append(nextActive, r)
+		}
+	}
+	b.active = nextActive
+}
+
+// originOf inverts an agent assignment: returns the proposer (if any)
+// whose agent is rank r, given the proposers' assignment slice starting
+// at base.
+func (b *builder) originOf(agents []int, base, r int) int {
+	for i, a := range agents {
+		if a == r {
+			return base + i
+		}
+	}
+	return NoRank
+}
+
+// match computes the stable matching between proposers [plo, phi) and
+// acceptors [alo, ahi) under the symmetric weight
+// w(p, a) = |O(p) ∩ O(a) ∩ [alo, ahi)| (shared outgoing neighbors in
+// the proposers' opposite half). Pairs with zero weight never match. A
+// proposer only participates if it currently wants an agent: it must
+// have outstanding deliveries in the opposite half. The result maps
+// proposer offset → agent rank or NoRank.
+func (b *builder) match(plo, phi, alo, ahi int) []int {
+	res := make([]int, phi-plo)
+	for i := range res {
+		res[i] = NoRank
+	}
+	type cand struct {
+		w    int
+		p, a int
+	}
+	var cands []cand
+	for p := plo; p < phi; p++ {
+		st := b.states[p]
+		if !b.wantsAgent(st, alo, ahi) {
+			continue
+		}
+		po := b.g.OutSet(p)
+		for a := alo; a < ahi; a++ {
+			w := po.AndCountRange(b.g.OutSet(a), alo, ahi)
+			if w > 0 {
+				cands = append(cands, cand{w, p, a})
+			}
+		}
+		b.stats.AgentAttempts++
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if b.policy == PolicyLoadAware && cands[i].w != cands[j].w {
+			return cands[i].w > cands[j].w
+		}
+		if cands[i].p != cands[j].p {
+			return cands[i].p < cands[j].p
+		}
+		return cands[i].a < cands[j].a
+	})
+	pTaken := map[int]bool{}
+	aTaken := map[int]bool{}
+	for _, c := range cands {
+		if pTaken[c.p] || aTaken[c.a] {
+			continue
+		}
+		pTaken[c.p] = true
+		aTaken[c.a] = true
+		res[c.p-plo] = c.a
+		b.stats.AgentSuccesses++
+	}
+	return res
+}
+
+// wantsAgent reports whether st has any outstanding delivery into
+// [lo, hi) — its own remaining out-neighbors there or inherited origin
+// deliveries.
+func (b *builder) wantsAgent(st *rankState, lo, hi int) bool {
+	for _, dests := range st.del {
+		if dests.AnyInRange(lo, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// applyTransfers realises this step's agreed agent/origin relations for
+// every rank in the two sibling blocks: buffers travel to agents along
+// with the descriptor D (the h2 slice of each delivery entry).
+func (b *builder) applyTransfers(ranks []int) {
+	type xfer struct {
+		from, to int
+		sources  []int         // buffer content shipped (pre-step order)
+		entries  map[int][]int // descriptor D: source → destinations
+	}
+	var xfers []xfer
+	for _, r := range ranks {
+		st := b.states[r]
+		s := &st.steps[len(st.steps)-1]
+		if s.Agent == NoRank {
+			continue
+		}
+		x := xfer{from: r, to: s.Agent, entries: map[int][]int{}}
+		x.sources = append([]int(nil), st.buf...)
+		s.SendCount = len(st.buf)
+		for src, dests := range st.del {
+			moved := dests.ElemsRange(nil, s.H2Lo, s.H2Hi)
+			if len(moved) == 0 {
+				continue
+			}
+			x.entries[src] = moved
+			dests.RemoveRange(s.H2Lo, s.H2Hi)
+			if dests.Count() == 0 {
+				delete(st.del, src)
+			}
+		}
+		xfers = append(xfers, x)
+	}
+	for _, x := range xfers {
+		st := b.states[x.to]
+		s := &st.steps[len(st.steps)-1]
+		s.RecvSources = append([]int(nil), x.sources...)
+		for _, src := range x.sources {
+			if !st.hasSrc.Has(src) {
+				st.hasSrc.Add(src)
+				st.buf = append(st.buf, src)
+			}
+		}
+		for src, dests := range x.entries {
+			set := st.del[src]
+			if set == nil {
+				set = bitset.New(b.n)
+				st.del[src] = set
+			}
+			for _, d := range dests {
+				if d == x.to {
+					// Delivery to self: satisfied by a local copy the
+					// moment the payload arrives.
+					s.SelfCopies = append(s.SelfCopies, src)
+					continue
+				}
+				set.Add(d)
+			}
+		}
+		for src, dests := range st.del {
+			if dests.Count() == 0 {
+				delete(st.del, src)
+			}
+		}
+		sort.Ints(s.SelfCopies)
+	}
+}
+
+// finish derives final-phase sends/recvs from residual deliveries and
+// assembles the Pattern.
+func (b *builder) finish() (*Pattern, error) {
+	p := &Pattern{Graph: b.g, L: b.l, Plans: make([]RankPlan, b.n)}
+	// destSenders[v] accumulates ranks that send v a final message.
+	destSenders := make([][]int, b.n)
+	for r := 0; r < b.n; r++ {
+		st := b.states[r]
+		plan := RankPlan{Rank: r, Steps: st.steps, BufSources: st.buf}
+		bySrcDst := map[int][]int{} // dst → sources
+		for src, dests := range st.del {
+			for _, d := range dests.Elems(nil) {
+				if d == r {
+					plan.FinalSelfCopies = append(plan.FinalSelfCopies, src)
+					continue
+				}
+				bySrcDst[d] = append(bySrcDst[d], src)
+			}
+		}
+		dsts := make([]int, 0, len(bySrcDst))
+		for d := range bySrcDst {
+			dsts = append(dsts, d)
+		}
+		sort.Ints(dsts)
+		for _, d := range dsts {
+			srcs := bySrcDst[d]
+			sort.Ints(srcs)
+			plan.FinalSends = append(plan.FinalSends, FinalSend{Dst: d, Sources: srcs})
+			destSenders[d] = append(destSenders[d], r)
+		}
+		sort.Ints(plan.FinalSelfCopies)
+		if len(st.buf) > p.Stats.MaxBufSources {
+			p.Stats.MaxBufSources = len(st.buf)
+		}
+		p.Plans[r] = plan
+	}
+	for r := 0; r < b.n; r++ {
+		senders := destSenders[r]
+		sort.Ints(senders)
+		p.Plans[r].FinalRecvs = senders
+	}
+	p.Stats.AgentAttempts = b.stats.AgentAttempts
+	p.Stats.AgentSuccesses = b.stats.AgentSuccesses
+	return p, nil
+}

@@ -1,0 +1,203 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nbrallgather/internal/netmodel"
+	"nbrallgather/internal/topology"
+)
+
+func TestValidate(t *testing.T) {
+	good := NiagaraModel(2160, 18)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{N: 0, S: 1, L: 1, Beta: 1},
+		{N: 1, S: 0, L: 1, Beta: 1},
+		{N: 1, S: 1, L: 0, Beta: 1},
+		{N: 1, S: 1, L: 1, Beta: 0},
+		{N: 1, S: 1, L: 1, Alpha: -1, Beta: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+// TestSectionVWorkedExample reproduces the paper's Section V-A example:
+// "consider a cluster with 2000 processor cores, distributed among 50
+// nodes, each with 40 cores over two sockets. [...] with δ = 0.3, each
+// rank in the Distance Halving algorithm sends on average 23
+// (7 off-socket + 16 intra-socket) messages. In comparison, the naive
+// algorithm sends 600 messages on average. By increasing δ, the average
+// number of messages sent in the Distance Halving algorithm will not
+// exceed 27 messages."
+// Note: evaluating the paper's printed formulas Eq. (1)–(2) at the
+// example point yields 8 off-socket (⌈log2(100)⌉+1) and 19.2
+// intra-socket messages versus the prose's "7 + 16 = 23"; the paper's
+// arithmetic appears to round differently. We implement the formulas as
+// printed and assert the prose's claims as bands (see EXPERIMENTS.md).
+func TestSectionVWorkedExample(t *testing.T) {
+	p := Params{N: 2000, S: 2, L: 20, Alpha: 1.4e-6, Beta: 5e9}
+	dhOff, dhIn, naive := p.MessageCounts(0.3)
+	if dhOff < 6 || dhOff > 9 {
+		t.Errorf("off-socket messages %.2f, paper's example says ≈7", dhOff)
+	}
+	if dhIn < 14 || dhIn > 20 {
+		t.Errorf("intra-socket messages %.2f, paper's example says ≈16", dhIn)
+	}
+	if naive != 600 {
+		t.Errorf("naive messages %v, paper says 600", naive)
+	}
+	if total := dhOff + dhIn; total < 20 || total > 30 {
+		t.Errorf("DH total %.1f, paper's example says ≈23", total)
+	}
+	// Ceiling claim: the DH message count stays bounded (≈27 in the
+	// paper) for every δ while naive grows to n.
+	for d := 0.0; d <= 1.0; d += 0.01 {
+		off, in, _ := p.MessageCounts(d)
+		if off+in > 28.5 {
+			t.Fatalf("δ=%.2f: DH sends %.1f messages, far above the paper's ≈27 ceiling", d, off+in)
+		}
+	}
+}
+
+func TestNOffClamping(t *testing.T) {
+	p := NiagaraModel(2160, 18)
+	// Very sparse: bounded by δ(n−L), not by the step count.
+	sparse := p.NOff(0.001)
+	if want := 0.001 * float64(2160-18); math.Abs(sparse-want) > 1e-9 {
+		t.Fatalf("NOff(0.001) = %v, want %v", sparse, want)
+	}
+	// Dense: bounded by the step count.
+	if p.NOff(0.9) != p.HalvingSteps() {
+		t.Fatalf("NOff(0.9) = %v, want %v", p.NOff(0.9), p.HalvingSteps())
+	}
+}
+
+func TestHalvingStepsEdge(t *testing.T) {
+	p := Params{N: 16, S: 2, L: 16, Alpha: 1e-6, Beta: 1e9}
+	if p.HalvingSteps() != 0 {
+		t.Fatalf("no halving needed when n ≤ L, got %v", p.HalvingSteps())
+	}
+	p.N = 2160
+	p.L = 18
+	if got := p.HalvingSteps(); got != 8 {
+		t.Fatalf("HalvingSteps(2160/18) = %v, want ⌈log2(120)⌉+1 = 8", got)
+	}
+}
+
+func TestNInBounds(t *testing.T) {
+	p := NiagaraModel(2160, 18)
+	f := func(dRaw uint16) bool {
+		d := float64(dRaw%1001) / 1000
+		nin := p.NIn(d)
+		return nin >= 0 && nin <= float64(p.L)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.NIn(1) < float64(p.L)*0.999 {
+		t.Fatalf("NIn(1) = %v, want ≈ L", p.NIn(1))
+	}
+	if p.NIn(0) != 0 {
+		t.Fatalf("NIn(0) = %v", p.NIn(0))
+	}
+}
+
+func TestModelMonotoneInSize(t *testing.T) {
+	p := NiagaraModel(2160, 18)
+	for _, d := range []float64{0.05, 0.3, 0.7} {
+		prevN, prevD := 0.0, 0.0
+		for m := 8; m <= 4<<20; m *= 4 {
+			tn, td := p.TNaive(d, m), p.TDH(d, m)
+			if tn <= prevN || td <= prevD {
+				t.Fatalf("δ=%v m=%d: times not increasing", d, m)
+			}
+			prevN, prevD = tn, td
+		}
+	}
+}
+
+// TestFig2Crossover reproduces Fig. 2's qualitative story: for dense
+// graphs and small messages DH is predicted far faster; the advantage
+// shrinks as messages grow (the doubling bandwidth term), and the
+// small-message speedup grows with density.
+func TestFig2Crossover(t *testing.T) {
+	p := NiagaraModel(2160, 18)
+	sSmallSparse := p.Speedup(0.05, 32)
+	sSmallDense := p.Speedup(0.7, 32)
+	sBigDense := p.Speedup(0.7, 4<<20)
+	if sSmallDense < 10 {
+		t.Errorf("dense small-message speedup %v, expected ≫ 1", sSmallDense)
+	}
+	if sSmallDense <= sSmallSparse {
+		t.Errorf("speedup not increasing with density: δ=0.05→%v δ=0.7→%v", sSmallSparse, sSmallDense)
+	}
+	if sBigDense >= sSmallDense {
+		t.Errorf("speedup should shrink with message size: 32B→%v 4MB→%v", sSmallDense, sBigDense)
+	}
+}
+
+func TestFig2Series(t *testing.T) {
+	p := NiagaraModel(2160, 18)
+	deltas := []float64{0.05, 0.3}
+	sizes := []int{8, 1024}
+	pts := Fig2Series(p, deltas, sizes)
+	if len(pts) != 4 {
+		t.Fatalf("series has %d points", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.TNaive <= 0 || pt.TDH <= 0 {
+			t.Fatalf("non-positive prediction: %+v", pt)
+		}
+		if math.Abs(pt.Speedup-pt.TNaive/pt.TDH) > 1e-12 {
+			t.Fatalf("speedup inconsistent: %+v", pt)
+		}
+	}
+}
+
+func TestMInScalesLinearly(t *testing.T) {
+	p := NiagaraModel(2160, 18)
+	if r := p.MIn(0.3, 2048) / p.MIn(0.3, 1024); math.Abs(r-2) > 1e-9 {
+		t.Fatalf("MIn not linear in m: ratio %v", r)
+	}
+}
+
+// TestCalibrateRecoversConstants: the fitted α/β must resemble the
+// cost model's inter-node constants (within the distortion the NIC
+// per-message cost and overheads introduce).
+func TestCalibrateRecoversConstants(t *testing.T) {
+	c := topology.Niagara(2, 4)
+	np := netmodel.NiagaraParams()
+	fitted, err := Calibrate(c, np, CalibrationSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fitted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantAlpha := np.Alpha[topology.DistGroup]
+	if fitted.Alpha < wantAlpha || fitted.Alpha > 6*wantAlpha {
+		t.Fatalf("fitted α %.3g implausible vs model %.3g", fitted.Alpha, wantAlpha)
+	}
+	wantBeta := np.Beta[topology.DistGroup]
+	if fitted.Beta < wantBeta/6 || fitted.Beta > wantBeta*1.5 {
+		t.Fatalf("fitted β %.3g implausible vs model %.3g", fitted.Beta, wantBeta)
+	}
+	t.Logf("calibrated α=%.3gµs β=%.3gGB/s (model link: α=%.3gµs β=%.3gGB/s)",
+		fitted.Alpha*1e6, fitted.Beta/1e9, wantAlpha*1e6, wantBeta/1e9)
+}
+
+func TestCalibrateRejects(t *testing.T) {
+	if _, err := Calibrate(topology.Niagara(1, 4), netmodel.NiagaraParams(), CalibrationSizes); err == nil {
+		t.Error("accepted single-node cluster")
+	}
+	if _, err := Calibrate(topology.Niagara(2, 4), netmodel.NiagaraParams(), []int{8}); err == nil {
+		t.Error("accepted single-size ladder")
+	}
+}

@@ -1,0 +1,226 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromTripletsBasics(t *testing.T) {
+	m, err := FromTriplets(3, 4, []Triplet{
+		{0, 1, 2}, {2, 3, -1}, {0, 0, 1}, {1, 2, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 4 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+	if m.At(0, 1) != 2 || m.At(2, 3) != -1 || m.At(1, 1) != 0 {
+		t.Fatal("At wrong")
+	}
+	cols, vals := m.Row(0)
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 1 || vals[0] != 1 {
+		t.Fatalf("Row(0) = %v %v", cols, vals)
+	}
+}
+
+func TestFromTripletsSumsDuplicates(t *testing.T) {
+	m, err := FromTriplets(2, 2, []Triplet{{0, 0, 1}, {0, 0, 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 1 || m.At(0, 0) != 3.5 {
+		t.Fatalf("duplicate sum wrong: nnz=%d val=%v", m.NNZ(), m.At(0, 0))
+	}
+}
+
+func TestFromTripletsRejects(t *testing.T) {
+	if _, err := FromTriplets(2, 2, []Triplet{{2, 0, 1}}); err == nil {
+		t.Error("accepted out-of-range row")
+	}
+	if _, err := FromTriplets(2, 2, []Triplet{{0, -1, 1}}); err == nil {
+		t.Error("accepted negative column")
+	}
+	if _, err := FromTriplets(-1, 2, nil); err == nil {
+		t.Error("accepted negative dimension")
+	}
+}
+
+func TestMulDenseAgainstNaive(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		k := 1 + int(kRaw)%4
+		var ts []Triplet
+		dense := make([][]float64, n)
+		for i := range dense {
+			dense[i] = make([]float64, n)
+		}
+		for e := 0; e < n*2; e++ {
+			i, j, v := rng.Intn(n), rng.Intn(n), rng.NormFloat64()
+			ts = append(ts, Triplet{i, j, v})
+			dense[i][j] += v
+		}
+		m, err := FromTriplets(n, n, ts)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n*k)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := m.MulDense(x, k, make([]float64, n*k))
+		for i := 0; i < n; i++ {
+			for c := 0; c < k; c++ {
+				want := 0.0
+				for j := 0; j < n; j++ {
+					want += dense[i][j] * x[j*k+c]
+				}
+				if math.Abs(got[i*k+c]-want) > 1e-9*(1+math.Abs(want)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowBlock(t *testing.T) {
+	m, _ := FromTriplets(4, 4, []Triplet{{0, 0, 1}, {1, 2, 2}, {2, 1, 3}, {3, 3, 4}})
+	b := m.RowBlock(1, 3)
+	if b.Rows != 2 || b.Cols != 4 || b.NNZ() != 2 {
+		t.Fatalf("block shape wrong: %d×%d nnz %d", b.Rows, b.Cols, b.NNZ())
+	}
+	if b.At(0, 2) != 2 || b.At(1, 1) != 3 {
+		t.Fatal("block content wrong")
+	}
+}
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% comment
+3 3 4
+1 1 1.5
+2 3 -2
+3 1 4
+3 3 1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.NNZ() != 4 || m.At(1, 2) != -2 || m.At(2, 0) != 4 {
+		t.Fatal("parse wrong")
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 5
+2 1 3
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 || m.At(0, 1) != 3 || m.At(1, 0) != 3 {
+		t.Fatal("symmetric mirror missing")
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 2 1
+2 2
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 1) != 1 {
+		t.Fatal("pattern entry not defaulted to 1")
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate real general\nx y z\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+	}
+	for i, s := range bad {
+		if _, err := ReadMatrixMarket(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTableIIShapes(t *testing.T) {
+	mats := TableII(1)
+	if len(mats) != 7 {
+		t.Fatalf("TableII returned %d matrices", len(mats))
+	}
+	for _, nm := range mats {
+		if nm.M.Rows != nm.PaperRows || nm.M.Cols != nm.PaperRows {
+			t.Errorf("%s: %d×%d, want order %d", nm.Name, nm.M.Rows, nm.M.Cols, nm.PaperRows)
+		}
+		ratio := float64(nm.M.NNZ()) / float64(nm.PaperNNZ)
+		if ratio < 0.85 || ratio > 1.05 {
+			t.Errorf("%s: nnz %d vs paper %d (ratio %.2f)", nm.Name, nm.M.NNZ(), nm.PaperNNZ, ratio)
+		}
+		// Every diagonal present (generators ensure it, and SpMM
+		// partitioning relies on no empty rows).
+		for i := 0; i < nm.M.Rows; i++ {
+			if nm.M.At(i, i) == 0 {
+				t.Errorf("%s: zero diagonal at %d", nm.Name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestBandedIsBanded(t *testing.T) {
+	m := Banded(200, 2000, 3)
+	hbw := 0
+	for i := 0; i < m.Rows; i++ {
+		cols, _ := m.Row(i)
+		for _, j := range cols {
+			if d := j - i; d > hbw {
+				hbw = d
+			}
+			if d := i - j; d > hbw {
+				hbw = d
+			}
+		}
+	}
+	if hbw > 30 {
+		t.Fatalf("banded generator produced half bandwidth %d", hbw)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, b := Uniform(100, 900, 5), Uniform(100, 900, 5)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed, different matrices")
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] || a.Val[i] != b.Val[i] {
+			t.Fatal("same seed, different matrices")
+		}
+	}
+}
+
+func TestDensity(t *testing.T) {
+	m, _ := FromTriplets(10, 10, []Triplet{{0, 0, 1}})
+	if m.Density() != 0.01 {
+		t.Fatalf("Density = %v", m.Density())
+	}
+}

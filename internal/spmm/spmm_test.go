@@ -1,0 +1,197 @@
+package spmm
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"nbrallgather/internal/collective"
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/sparse"
+	"nbrallgather/internal/topology"
+)
+
+func testMatrix(t *testing.T, n, nnz int) *sparse.CSR {
+	t.Helper()
+	return sparse.Banded(n, nnz, 17)
+}
+
+func TestKernelGraphDerivation(t *testing.T) {
+	// 4×4 with a single off-diagonal-block entry: row 0 (rank 0) needs
+	// column 3 (rank 1) when split across 2 ranks of 2 rows.
+	m, err := sparse.FromTriplets(4, 4, []sparse.Triplet{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1}, {Row: 2, Col: 2, Val: 1},
+		{Row: 3, Col: 3, Val: 1}, {Row: 0, Col: 3, Val: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := New(m, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := k.Graph()
+	if !g.HasEdge(1, 0) {
+		t.Fatal("missing edge 1→0 (rank 0 needs rank 1's Y block)")
+	}
+	if g.HasEdge(0, 1) {
+		t.Fatal("spurious edge 0→1")
+	}
+	if k.MsgBytes() != 2*2*8 {
+		t.Fatalf("MsgBytes = %d", k.MsgBytes())
+	}
+}
+
+func TestOwnerAndBlocks(t *testing.T) {
+	m := testMatrix(t, 10, 40)
+	k, err := New(m, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for p := 0; p < 3; p++ {
+		lo, hi := k.BlockRange(p)
+		for j := lo; j < hi; j++ {
+			if k.OwnerOf(j) != p {
+				t.Fatalf("row %d owned by %d, in block of %d", j, k.OwnerOf(j), p)
+			}
+			seen++
+		}
+	}
+	if seen != 10 {
+		t.Fatalf("blocks cover %d rows", seen)
+	}
+}
+
+func TestNewRejects(t *testing.T) {
+	m := testMatrix(t, 10, 30)
+	if _, err := New(m, 0, 2); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := New(m, 2, 0); err == nil {
+		t.Error("accepted 0 ranks")
+	}
+	if _, err := New(m, 2, 11); err == nil {
+		t.Error("accepted more ranks than rows")
+	}
+	rect, _ := sparse.FromTriplets(3, 4, nil)
+	if _, err := New(rect, 1, 2); err == nil {
+		t.Error("accepted rectangular matrix")
+	}
+}
+
+// runKernel executes the kernel distributed and compares against the
+// serial reference.
+func runKernel(t *testing.T, x *sparse.CSR, width int, c topology.Cluster, mkOp func(k *Kernel) interface {
+	Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+}) {
+	t.Helper()
+	k, err := New(x, width, c.Ranks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := mkOp(k)
+	ref := k.Reference()
+	_, err = mpirt.Run(mpirt.Config{Cluster: c, WallLimit: 60 * time.Second}, func(p *mpirt.Proc) {
+		z := k.RunRank(p, op)
+		lo, hi := k.BlockRange(p.Rank())
+		want := ref[lo*width : hi*width]
+		if len(z) != len(want) {
+			panic("Z block size wrong")
+		}
+		for i := range z {
+			if math.Abs(z[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				panic("Z mismatch vs serial reference")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelCorrectAllAlgorithms(t *testing.T) {
+	c := topology.Cluster{Nodes: 2, SocketsPerNode: 2, RanksPerSocket: 4, NodesPerGroup: 2}
+	x := testMatrix(t, 100, 800)
+	runKernel(t, x, 3, c, func(k *Kernel) interface {
+		Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+	} {
+		return collective.NewNaive(k.Graph())
+	})
+	runKernel(t, x, 3, c, func(k *Kernel) interface {
+		Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+	} {
+		dh, err := collective.NewDistanceHalving(k.Graph(), c.L())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dh
+	})
+	runKernel(t, x, 3, c, func(k *Kernel) interface {
+		Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+	} {
+		cn, err := collective.NewCommonNeighbor(k.Graph(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cn
+	})
+}
+
+func TestKernelCorrectUniformMatrix(t *testing.T) {
+	c := topology.Cluster{Nodes: 3, SocketsPerNode: 2, RanksPerSocket: 2, NodesPerGroup: 2}
+	x := sparse.Uniform(60, 700, 23)
+	runKernel(t, x, 2, c, func(k *Kernel) interface {
+		Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+	} {
+		dh, err := collective.NewDistanceHalving(k.Graph(), c.L())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dh
+	})
+}
+
+func TestKernelRaggedLastBlock(t *testing.T) {
+	// 10 rows over 4 ranks: blocks of 3,3,3,1.
+	c := topology.Cluster{Nodes: 1, SocketsPerNode: 2, RanksPerSocket: 2}
+	x := testMatrix(t, 10, 40)
+	runKernel(t, x, 2, c, func(k *Kernel) interface {
+		Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+	} {
+		return collective.NewNaive(k.Graph())
+	})
+}
+
+func TestPhantomChargesCompute(t *testing.T) {
+	c := topology.Cluster{Nodes: 1, SocketsPerNode: 2, RanksPerSocket: 2}
+	x := testMatrix(t, 40, 300)
+	k, err := New(x, 4, c.Ranks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := collective.NewNaive(k.Graph())
+	rep, err := mpirt.Run(mpirt.Config{Cluster: c, Phantom: true}, func(p *mpirt.Proc) {
+		if z := k.RunRank(p, op); z != nil {
+			panic("phantom run returned data")
+		}
+		if p.VT() <= 0 {
+			panic("no time charged")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Time <= 0 {
+		t.Fatal("report has no virtual time")
+	}
+}
+
+func TestYValueDeterministic(t *testing.T) {
+	if YValue(3, 2) != YValue(3, 2) {
+		t.Fatal("YValue not deterministic")
+	}
+	if YValue(0, 0) == YValue(1, 0) {
+		t.Fatal("YValue constant across rows")
+	}
+}

@@ -1,0 +1,166 @@
+// Package trace records per-message events from the mpirt runtime for
+// post-hoc analysis: phase breakdowns (how much of a Distance Halving
+// collective is the halving phase versus the remainder phase), distance
+// histograms, and time-line summaries. Tracing is opt-in via
+// mpirt.Config.Trace and costs one mutex-protected append per message.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"text/tabwriter"
+
+	"nbrallgather/internal/topology"
+)
+
+// Event is one recorded message.
+type Event struct {
+	Src, Dst int
+	Tag      int
+	Size     int
+	// Depart is the sender's virtual time at injection; Arrive is the
+	// modelled availability time at the receiver.
+	Depart, Arrive float64
+	// Dist is the distance class the message crossed.
+	Dist topology.Distance
+}
+
+// Trace is a concurrency-safe event recorder.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty trace.
+func New() *Trace { return &Trace{} }
+
+// Record appends one event. Called by the runtime for every send when
+// tracing is enabled.
+func (t *Trace) Record(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Reset discards all recorded events.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.mu.Unlock()
+}
+
+// Events returns a snapshot of the recorded events sorted by departure
+// time.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	out := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Depart < out[j].Depart })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Filter returns the events matching f, in departure order.
+func (t *Trace) Filter(f func(Event) bool) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if f(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TagRange selects events whose tag lies in [lo, hi).
+func TagRange(lo, hi int) func(Event) bool {
+	return func(e Event) bool { return e.Tag >= lo && e.Tag < hi }
+}
+
+// Summary aggregates one event subset.
+type Summary struct {
+	Msgs  int
+	Bytes int64
+	// First and Last bound the subset in virtual time (departure of
+	// the first event, arrival of the last).
+	First, Last float64
+	// ByDist histograms messages per distance class.
+	ByDist [5]int
+}
+
+// Span returns Last − First (zero for empty subsets).
+func (s Summary) Span() float64 {
+	if s.Msgs == 0 {
+		return 0
+	}
+	return s.Last - s.First
+}
+
+// Summarize aggregates the events matching f.
+func (t *Trace) Summarize(f func(Event) bool) Summary {
+	var s Summary
+	first := true
+	for _, e := range t.Events() {
+		if !f(e) {
+			continue
+		}
+		s.Msgs++
+		s.Bytes += int64(e.Size)
+		s.ByDist[e.Dist]++
+		if first || e.Depart < s.First {
+			s.First = e.Depart
+		}
+		if e.Arrive > s.Last {
+			s.Last = e.Arrive
+		}
+		first = false
+	}
+	return s
+}
+
+// Phase pairs a label with an event selector.
+type Phase struct {
+	Label  string
+	Select func(Event) bool
+}
+
+// PhaseBreakdown summarises the trace under each phase selector.
+func (t *Trace) PhaseBreakdown(phases []Phase) []struct {
+	Label string
+	Summary
+} {
+	out := make([]struct {
+		Label string
+		Summary
+	}, 0, len(phases))
+	for _, p := range phases {
+		out = append(out, struct {
+			Label string
+			Summary
+		}{p.Label, t.Summarize(p.Select)})
+	}
+	return out
+}
+
+// Print renders a phase breakdown.
+func Print(w io.Writer, rows []struct {
+	Label string
+	Summary
+}) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tmsgs\tbytes\tends at\tsocket\tnode\tgroup\tglobal")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3gms\t%d\t%d\t%d\t%d\n",
+			r.Label, r.Msgs, r.Bytes, r.Last*1e3,
+			r.ByDist[topology.DistSocket], r.ByDist[topology.DistNode],
+			r.ByDist[topology.DistGroup], r.ByDist[topology.DistGlobal])
+	}
+	tw.Flush()
+}

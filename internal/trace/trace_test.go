@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nbrallgather/internal/topology"
+)
+
+func sample() *Trace {
+	t := New()
+	t.Record(Event{Src: 0, Dst: 1, Tag: 100, Size: 64, Depart: 1e-6, Arrive: 2e-6, Dist: topology.DistSocket})
+	t.Record(Event{Src: 1, Dst: 8, Tag: 101, Size: 128, Depart: 3e-6, Arrive: 9e-6, Dist: topology.DistGlobal})
+	t.Record(Event{Src: 2, Dst: 3, Tag: 99, Size: 32, Depart: 2e-6, Arrive: 4e-6, Dist: topology.DistNode})
+	return t
+}
+
+func TestEventsSorted(t *testing.T) {
+	tr := sample()
+	ev := tr.Events()
+	if len(ev) != 3 || tr.Len() != 3 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i-1].Depart > ev[i].Depart {
+			t.Fatal("events not sorted by departure")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := sample()
+	s := tr.Summarize(TagRange(100, 102))
+	if s.Msgs != 2 || s.Bytes != 192 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.First != 1e-6 || s.Last != 9e-6 {
+		t.Fatalf("bounds %v..%v", s.First, s.Last)
+	}
+	if s.Span() != 8e-6 {
+		t.Fatalf("span %v", s.Span())
+	}
+	if s.ByDist[topology.DistSocket] != 1 || s.ByDist[topology.DistGlobal] != 1 {
+		t.Fatalf("dist histogram %v", s.ByDist)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	tr := New()
+	s := tr.Summarize(func(Event) bool { return true })
+	if s.Msgs != 0 || s.Span() != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestFilterAndReset(t *testing.T) {
+	tr := sample()
+	got := tr.Filter(func(e Event) bool { return e.Dist == topology.DistNode })
+	if len(got) != 1 || got[0].Tag != 99 {
+		t.Fatalf("filter got %+v", got)
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("reset left events")
+	}
+}
+
+func TestPhaseBreakdownAndPrint(t *testing.T) {
+	tr := sample()
+	rows := tr.PhaseBreakdown([]Phase{
+		{Label: "steps", Select: TagRange(100, 102)},
+		{Label: "final", Select: func(e Event) bool { return e.Tag == 99 }},
+	})
+	if len(rows) != 2 || rows[0].Msgs != 2 || rows[1].Msgs != 1 {
+		t.Fatalf("breakdown %+v", rows)
+	}
+	var buf bytes.Buffer
+	Print(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "steps") || !strings.Contains(out, "final") {
+		t.Fatalf("print output missing phases:\n%s", out)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := New()
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := 0; i < 200; i++ {
+				tr.Record(Event{Src: w, Depart: float64(i)})
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if tr.Len() != 1600 {
+		t.Fatalf("lost events: %d", tr.Len())
+	}
+}
