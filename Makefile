@@ -3,12 +3,15 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench repro examples clean
+.PHONY: all build vet test race cover bench chaos fuzz repro examples clean
 
 all: build test
 
 build:
 	$(GO) build ./...
+	$(GO) vet ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
@@ -19,6 +22,16 @@ race:
 
 cover:
 	$(GO) test -cover ./...
+
+# Differential conformance sweep: every algorithm × collective under
+# adversarial schedules and injected faults (the acceptance run).
+chaos:
+	$(GO) run ./cmd/nbr-chaos -seeds 50
+
+# Brief fuzz of the MatrixMarket parser (longer runs: go test -fuzz
+# with -fuzztime of your choice).
+fuzz:
+	$(GO) test -fuzz=FuzzReadMatrixMarket -fuzztime=20s ./internal/sparse
 
 # One benchmark per paper table/figure plus ablations (CI scale).
 bench:

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -23,18 +24,29 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to regenerate: 4, 5 or 6 (0 = all)")
-	nodes := flag.Int("nodes", 8, "number of simulated nodes")
-	rps := flag.Int("rps", 6, "ranks per socket (paper: 18 for Figs. 4/5, 16 for Fig. 6)")
-	trials := flag.Int("trials", 3, "timed repetitions per cell")
-	seed := flag.Int64("seed", 1, "workload generator seed")
-	full := flag.Bool("full", false, "paper-scale configuration (slow)")
-	csv := flag.Bool("csv", false, "emit CSV instead of tables")
-	minMsg := flag.Int("min-msg", 32, "smallest message size in bytes")
-	maxMsg := flag.Int("max-msg", 1<<20, "largest message size in bytes")
-	wall := flag.Duration("wall", 10*time.Minute, "wall-clock budget per measurement")
-	scatter := flag.Bool("scatter", false, "scatter nodes across Dragonfly+ groups (the batch-scheduler placement the paper's jobs got); matters for structured topologies")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "nbr-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nbr-bench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	fig := fs.Int("fig", 0, "figure to regenerate: 4, 5 or 6 (0 = all)")
+	nodes := fs.Int("nodes", 8, "number of simulated nodes")
+	rps := fs.Int("rps", 6, "ranks per socket (paper: 18 for Figs. 4/5, 16 for Fig. 6)")
+	trials := fs.Int("trials", 3, "timed repetitions per cell")
+	seed := fs.Int64("seed", 1, "workload generator seed")
+	full := fs.Bool("full", false, "paper-scale configuration (slow)")
+	csv := fs.Bool("csv", false, "emit CSV instead of tables")
+	minMsg := fs.Int("min-msg", 32, "smallest message size in bytes")
+	maxMsg := fs.Int("max-msg", 1<<20, "largest message size in bytes")
+	wall := fs.Duration("wall", 10*time.Minute, "wall-clock budget per measurement")
+	scatter := fs.Bool("scatter", false, "scatter nodes across Dragonfly+ groups (the batch-scheduler placement the paper's jobs got); matters for structured topologies")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *full {
 		*nodes, *rps = 60, 18
@@ -52,10 +64,12 @@ func main() {
 
 	if run4 {
 		c := place(topology.Niagara(*nodes, *rps))
-		fmt.Printf("Fig. 4 cluster: %s\n", c)
+		fmt.Fprintf(out, "Fig. 4 cluster: %s\n", c)
 		rows, err := harness.RandomSparseSweep(c, harness.PaperDensities,
 			harness.MsgSizes(*minMsg, *maxMsg), *trials, *seed, *wall)
-		report(rows, err, *csv, "Fig. 4 — Random Sparse Graph latency")
+		if err := report(out, rows, err, *csv, "Fig. 4 — Random Sparse Graph latency"); err != nil {
+			return err
+		}
 	}
 	if run5 {
 		scales := []int{*nodes / 4, *nodes / 2, *nodes}
@@ -67,10 +81,12 @@ func main() {
 				continue
 			}
 			c := place(topology.Niagara(nn, *rps))
-			fmt.Printf("Fig. 5 cluster: %s\n", c)
+			fmt.Fprintf(out, "Fig. 5 cluster: %s\n", c)
 			rows, err := harness.RandomSparseSweep(c, harness.PaperDensities,
 				harness.MsgSizes(*minMsg, *maxMsg), *trials, *seed, *wall)
-			report(rows, err, *csv, fmt.Sprintf("Fig. 5 — speedup scaling, %d ranks", c.Ranks()))
+			if err := report(out, rows, err, *csv, fmt.Sprintf("Fig. 5 — speedup scaling, %d ranks", c.Ranks())); err != nil {
+				return err
+			}
 		}
 	}
 	if run6 {
@@ -79,26 +95,32 @@ func main() {
 			mooreNodes, mooreRPS = 64, 16
 		}
 		c := place(topology.Niagara(mooreNodes, mooreRPS))
-		fmt.Printf("Fig. 6 cluster: %s\n", c)
+		fmt.Fprintf(out, "Fig. 6 cluster: %s\n", c)
 		sizes := []int{4 << 10, 256 << 10, 4 << 20}
 		if !*full {
 			sizes = []int{4 << 10, 256 << 10}
 		}
 		rows, err := harness.MooreSweep(c, harness.PaperMooreShapes, sizes, *trials, *wall)
-		report(rows, err, *csv, "Fig. 6 — Moore neighborhoods")
-	}
-}
-
-func report(rows []harness.Comparison, err error, csv bool, title string) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "nbr-bench: %v\n", err)
-		if len(rows) == 0 {
-			os.Exit(1)
+		if err := report(out, rows, err, *csv, "Fig. 6 — Moore neighborhoods"); err != nil {
+			return err
 		}
 	}
-	if csv {
-		harness.CSVComparisons(os.Stdout, rows)
-		return
+	return nil
+}
+
+// report prints one figure's rows. A sweep error with partial rows is
+// reported but not fatal, so one stalled cell cannot sink the run.
+func report(out io.Writer, rows []harness.Comparison, err error, csv bool, title string) error {
+	if err != nil {
+		if len(rows) == 0 {
+			return err
+		}
+		fmt.Fprintf(out, "nbr-bench: %v (partial results kept)\n", err)
 	}
-	harness.PrintComparisons(os.Stdout, title, rows)
+	if csv {
+		harness.CSVComparisons(out, rows)
+		return nil
+	}
+	harness.PrintComparisons(out, title, rows)
+	return nil
 }

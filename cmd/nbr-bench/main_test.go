@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the full three-figure pipeline at the smallest
+// cluster that exercises every code path (8 ranks, one trial, tiny
+// messages).
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-nodes", "2", "-rps", "2", "-trials", "1", "-max-msg", "1024"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"Fig. 4", "Fig. 5", "Fig. 6"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "partial results kept") {
+		t.Errorf("a sweep failed partway:\n%s", out.String())
+	}
+}
+
+func TestRunSingleFigureCSV(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-fig", "4", "-nodes", "2", "-rps", "2", "-trials", "1", "-max-msg", "512", "-csv"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if s := out.String(); strings.Contains(s, "Fig. 5") || strings.Contains(s, "Fig. 6") {
+		t.Errorf("-fig 4 ran other figures:\n%s", s)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

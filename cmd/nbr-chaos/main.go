@@ -1,0 +1,154 @@
+// Command nbr-chaos drives the deterministic chaos harness from the
+// command line: it sweeps the differential conformance matrix (every
+// collective algorithm × collective kind × cluster/graph shape) over a
+// range of adversarial scheduling seeds, and replays any (case, seed)
+// pair bit-exactly for debugging.
+//
+// Sweep (the acceptance run):
+//
+//	nbr-chaos -seeds 50
+//
+// Replay a failure printed by the sweep or by the conformance tests:
+//
+//	nbr-chaos -case 2n2s3l/er35/dh/allgather -replay 17 -dump
+//
+// Replay runs the seed twice and verifies the recorded schedules are
+// hash-identical, then forces the recorded schedule back through the
+// scheduler (divergence detection on) — the full determinism contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nbrallgather/internal/conformance"
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "nbr-chaos: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nbr-chaos", flag.ContinueOnError)
+	fs.SetOutput(out)
+	seeds := fs.Int("seeds", 50, "number of adversarial seeds to sweep")
+	seedBase := fs.Int64("seed-base", 0, "first seed of the sweep")
+	caseName := fs.String("case", "", "restrict to one matrix case (see -list)")
+	replay := fs.Int64("replay", -1, "replay one seed instead of sweeping: record, re-run, compare, force-replay")
+	scheduleOnly := fs.Bool("schedule-only", false, "adversarial scheduling only, no fault injection")
+	dump := fs.Bool("dump", false, "with -replay, print the recorded decision schedule")
+	list := fs.Bool("list", false, "list the conformance matrix cases and exit")
+	verbose := fs.Bool("v", false, "per-seed progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cases, err := conformance.Matrix()
+	if err != nil {
+		return err
+	}
+	if *list {
+		for _, c := range cases {
+			fmt.Fprintln(out, c.Name)
+		}
+		return nil
+	}
+	if *caseName != "" {
+		c, err := conformance.FindCase(*caseName)
+		if err != nil {
+			return err
+		}
+		cases = []conformance.Case{c}
+	}
+
+	mk := mpirt.DefaultChaos
+	if *scheduleOnly {
+		mk = mpirt.ScheduleOnly
+	}
+
+	if *replay >= 0 {
+		return replaySeed(out, cases, *replay, mk, *dump)
+	}
+	return sweep(out, cases, *seeds, *seedBase, mk, *verbose)
+}
+
+func sweep(out io.Writer, cases []conformance.Case, nseeds int, base int64, mk func(int64) *mpirt.Chaos, verbose bool) error {
+	if nseeds < 1 {
+		return fmt.Errorf("-seeds %d must be positive", nseeds)
+	}
+	seeds := make([]int64, nseeds)
+	for i := range seeds {
+		seeds[i] = base + int64(i)
+	}
+	fmt.Fprintf(out, "sweeping %d cases × %d seeds (seeds %d..%d)\n",
+		len(cases), nseeds, base, base+int64(nseeds)-1)
+	progress := func(done, failures int) {
+		if verbose || done == len(seeds) {
+			fmt.Fprintf(out, "  seed %d/%d done, %d failures\n", done, len(seeds), failures)
+		}
+	}
+	failures := conformance.Sweep(cases, seeds, mk, progress)
+	if len(failures) == 0 {
+		fmt.Fprintf(out, "PASS: %d runs byte-identical under adversarial schedules\n", len(cases)*nseeds)
+		return nil
+	}
+	for _, f := range failures {
+		fmt.Fprintf(out, "FAIL %s\n  reproduce: nbr-chaos -case %s -replay %d\n", f, f.Case.Name, f.Seed)
+	}
+	return fmt.Errorf("%d of %d runs failed", len(failures), len(cases)*nseeds)
+}
+
+func replaySeed(out io.Writer, cases []conformance.Case, seed int64, mk func(int64) *mpirt.Chaos, dump bool) error {
+	for _, c := range cases {
+		record := func(replayFrom *trace.Schedule) (*trace.Schedule, error) {
+			ch := mk(seed)
+			s := trace.NewSchedule()
+			ch.Record = s
+			ch.Replay = replayFrom
+			err := conformance.RunCase(c, ch)
+			return s, err
+		}
+
+		s1, err1 := record(nil)
+		s2, err2 := record(nil)
+		if (err1 == nil) != (err2 == nil) {
+			return fmt.Errorf("%s seed %d: nondeterministic outcome: %v vs %v", c.Name, seed, err1, err2)
+		}
+		if s1.Hash() != s2.Hash() {
+			return fmt.Errorf("%s seed %d: schedules diverge at decision %d — determinism broken",
+				c.Name, seed, s1.Diverge(s2))
+		}
+		s3, err3 := record(s1)
+		if err3 != nil && err1 == nil {
+			return fmt.Errorf("%s seed %d: forced replay failed: %v", c.Name, seed, err3)
+		}
+		if !s1.Equal(s3) {
+			return fmt.Errorf("%s seed %d: forced replay produced a different schedule (diverge at %d)",
+				c.Name, seed, s1.Diverge(s3))
+		}
+
+		resumes, delivers, drops := s1.Counts()
+		status := "PASS"
+		if err1 != nil {
+			status = "FAIL (reproduced)"
+		}
+		fmt.Fprintf(out, "%s %s seed %d: %d decisions (%d resumes, %d deliveries, %d dedups), schedule %016x, replay exact\n",
+			status, c.Name, seed, s1.Len(), resumes, delivers, drops, s1.Hash())
+		if err1 != nil {
+			fmt.Fprintf(out, "  error: %v\n", err1)
+		}
+		if dump {
+			if err := s1.Write(out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunList prints the conformance matrix; the case names double as
+// the -case argument grammar, so pin a representative one.
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2n2s3l/er35/dh/allgather") {
+		t.Errorf("case listing missing expected name:\n%s", out.String())
+	}
+}
+
+// TestRunSweepSmoke sweeps the whole matrix over two seeds — the CI
+// acceptance run at reduced depth.
+func TestRunSweepSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seeds", "2"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS:") {
+		t.Errorf("sweep did not report PASS:\n%s", out.String())
+	}
+}
+
+// TestRunReplay pins the record → re-run → force-replay contract for
+// one case from the command line, including the -dump schedule print.
+func TestRunReplay(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-case", "2n2s3l/er35/dh/allgather", "-replay", "3", "-dump"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replay exact") {
+		t.Errorf("replay did not report exactness:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "deliver") {
+		t.Errorf("-dump printed no decisions:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownCase(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-case", "no/such/case"}, &out); err == nil {
+		t.Fatal("unknown case accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 	"time"
@@ -22,37 +23,47 @@ import (
 )
 
 func main() {
-	n := flag.Int("n", 2160, "communicator size for the analytical model")
-	l := flag.Int("l", 18, "ranks per socket")
-	validate := flag.Bool("validate", false, "also run the simulator and compare (scaled cluster)")
-	valNodes := flag.Int("validate-nodes", 8, "nodes for the validation runs")
-	csv := flag.Bool("csv", false, "emit CSV instead of tables")
-	seed := flag.Int64("seed", 1, "graph seed for validation runs")
-	calibrate := flag.Bool("calibrate", false, "fit the model's α/β from simulated ping-pong tests (the paper's methodology) instead of the built-in constants")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "nbr-model: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nbr-model", flag.ContinueOnError)
+	fs.SetOutput(out)
+	n := fs.Int("n", 2160, "communicator size for the analytical model")
+	l := fs.Int("l", 18, "ranks per socket")
+	validate := fs.Bool("validate", false, "also run the simulator and compare (scaled cluster)")
+	valNodes := fs.Int("validate-nodes", 8, "nodes for the validation runs")
+	csv := fs.Bool("csv", false, "emit CSV instead of tables")
+	seed := fs.Int64("seed", 1, "graph seed for validation runs")
+	calibrate := fs.Bool("calibrate", false, "fit the model's α/β from simulated ping-pong tests (the paper's methodology) instead of the built-in constants")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	model := perfmodel.NiagaraModel(*n, *l)
 	if *calibrate {
 		fitted, err := perfmodel.Calibrate(topology.Niagara(2, *l), netmodel.NiagaraParams(), perfmodel.CalibrationSizes)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "nbr-model: calibration: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("calibration: %w", err)
 		}
 		model.Alpha, model.Beta = fitted.Alpha, fitted.Beta
-		fmt.Printf("calibrated from ping-pong: α=%.3gµs, β=%.3g GB/s\n",
+		fmt.Fprintf(out, "calibrated from ping-pong: α=%.3gµs, β=%.3g GB/s\n",
 			model.Alpha*1e6, model.Beta/1e9)
 	}
 	sizes := harness.MsgSizes(8, 4<<20)
 	pts := perfmodel.Fig2Series(model, harness.PaperDensities, sizes)
 
 	if *csv {
-		fmt.Println("delta,msg_bytes,t_naive_s,t_dh_s,speedup")
+		fmt.Fprintln(out, "delta,msg_bytes,t_naive_s,t_dh_s,speedup")
 		for _, p := range pts {
-			fmt.Printf("%g,%d,%g,%g,%g\n", p.Delta, p.Bytes, p.TNaive, p.TDH, p.Speedup)
+			fmt.Fprintf(out, "%g,%d,%g,%g,%g\n", p.Delta, p.Bytes, p.TNaive, p.TDH, p.Speedup)
 		}
 	} else {
-		fmt.Printf("== Fig. 2 — performance model, n=%d S=2 L=%d ==\n", *n, *l)
-		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(out, "== Fig. 2 — performance model, n=%d S=2 L=%d ==\n", *n, *l)
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "density\tmsg\tT(naive)\tT(DH)\tpredicted speedup")
 		for _, p := range pts {
 			fmt.Fprintf(tw, "δ=%.2f\t%s\t%s\t%s\t%.2fx\n",
@@ -63,39 +74,36 @@ func main() {
 	}
 
 	if !*validate {
-		return
+		return nil
 	}
 	c := topology.Niagara(*valNodes, 6)
 	simModel := perfmodel.NiagaraModel(c.Ranks(), c.L())
-	fmt.Printf("\n== Model vs simulation, %s ==\n", c)
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(out, "\n== Model vs simulation, %s ==\n", c)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "density\tmsg\tmodel speedup\tsimulated speedup")
 	for _, d := range []float64{0.05, 0.3, 0.7} {
 		g, err := vgraph.ErdosRenyi(c.Ranks(), d, *seed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "nbr-model: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		dh, err := collective.NewDistanceHalving(g, c.L())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "nbr-model: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		for _, m := range []int{32, 2048, 65536} {
 			cfg := harness.Config{Cluster: c, MsgSize: m, Trials: 2, Phantom: true, WallLimit: 5 * time.Minute}
 			naive, err := harness.Measure(cfg, collective.NewNaive(g))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "nbr-model: %v\n", err)
-				os.Exit(1)
+				return err
 			}
 			dhr, err := harness.Measure(cfg, dh)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "nbr-model: %v\n", err)
-				os.Exit(1)
+				return err
 			}
 			fmt.Fprintf(tw, "δ=%.2f\t%s\t%.2fx\t%.2fx\n",
 				d, harness.FmtBytes(m), simModel.Speedup(d, m), naive.Mean/dhr.Mean)
 		}
 	}
 	tw.Flush()
+	return nil
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke evaluates the analytical model at reduced parameters —
+// pure arithmetic, no simulation.
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "64", "-l", "4"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "Fig. 2") {
+		t.Errorf("output missing Fig. 2 header:\n%s", out.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "64", "-l", "4", "-csv"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.HasPrefix(out.String(), "delta,msg_bytes,") {
+		t.Errorf("CSV output missing header:\n%s", out.String())
+	}
+}
+
+// TestRunValidate runs the model-vs-simulation comparison on a small
+// cluster (the Section VII-A methodology end to end).
+func TestRunValidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated validation runs skipped in -short")
+	}
+	var out bytes.Buffer
+	err := run([]string{"-n", "64", "-l", "4", "-validate", "-validate-nodes", "2"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "Model vs simulation") {
+		t.Errorf("output missing validation table:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -16,30 +17,42 @@ import (
 )
 
 func main() {
-	nodes := flag.Int("nodes", 8, "number of simulated nodes")
-	rps := flag.Int("rps", 6, "ranks per socket")
-	seed := flag.Int64("seed", 1, "graph generator seed")
-	full := flag.Bool("full", false, "paper-scale 2160 ranks (slow: the negotiation really exchanges O(n²) messages)")
-	csv := flag.Bool("csv", false, "emit CSV instead of tables")
-	wall := flag.Duration("wall", 20*time.Minute, "wall-clock budget per build")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "nbr-overhead: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nbr-overhead", flag.ContinueOnError)
+	fs.SetOutput(out)
+	nodes := fs.Int("nodes", 8, "number of simulated nodes")
+	rps := fs.Int("rps", 6, "ranks per socket")
+	seed := fs.Int64("seed", 1, "graph generator seed")
+	full := fs.Bool("full", false, "paper-scale 2160 ranks (slow: the negotiation really exchanges O(n²) messages)")
+	csv := fs.Bool("csv", false, "emit CSV instead of tables")
+	wall := fs.Duration("wall", 20*time.Minute, "wall-clock budget per build")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *full {
 		*nodes, *rps = 60, 18
 	}
 	c := topology.Niagara(*nodes, *rps)
-	fmt.Printf("overhead cluster: %s\n", c)
+	fmt.Fprintf(out, "overhead cluster: %s\n", c)
 
 	rows, err := harness.OverheadSweep(c, harness.PaperDensities, *seed, *wall)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nbr-overhead: %v\n", err)
 		if len(rows) == 0 {
-			os.Exit(1)
+			return err
 		}
+		fmt.Fprintf(out, "nbr-overhead: %v (partial results kept)\n", err)
 	}
 	if *csv {
-		harness.CSVOverhead(os.Stdout, rows)
-		return
+		harness.CSVOverhead(out, rows)
+		return nil
 	}
-	harness.PrintOverhead(os.Stdout, rows)
+	harness.PrintOverhead(out, rows)
+	return nil
 }

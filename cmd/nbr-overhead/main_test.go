@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the Fig. 8 pattern-creation overhead sweep on an
+// 8-rank cluster — the agent negotiation really exchanges messages, so
+// this covers the distributed builder end to end.
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "2", "-rps", "2"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "overhead cluster:") {
+		t.Errorf("output missing cluster line:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "partial results kept") {
+		t.Errorf("sweep failed partway:\n%s", out.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "2", "-rps", "2", "-csv"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

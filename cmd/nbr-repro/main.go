@@ -6,6 +6,10 @@
 //	nbr-repro                 # laptop scale (~2 minutes)
 //	nbr-repro -scale medium   # 540/512-rank shapes (~15 minutes)
 //	nbr-repro -scale full     # paper-scale 2160/2048 ranks (hours)
+//
+// The additional -scale smoke runs every stage at the smallest shapes
+// that still exercise the full pipeline (seconds; used by the command's
+// own tests).
 package main
 
 import (
@@ -29,44 +33,86 @@ type scaleCfg struct {
 	trials               int
 	maxMsg               int
 	mooreSizes           []int
+	varianceSeeds        int
 }
 
 var scales = map[string]scaleCfg{
+	"smoke": {
+		rsgNodes: 2, rsgRPS: 2, mooreNodes: 2, mooreRPS: 2,
+		spmmNodes: 2, spmmRPS: 2, ovNodes: 2, ovRPS: 2,
+		trials: 1, maxMsg: 4 << 10, mooreSizes: []int{4 << 10},
+		varianceSeeds: 2,
+	},
 	"small": {
 		rsgNodes: 8, rsgRPS: 6, mooreNodes: 8, mooreRPS: 6,
 		spmmNodes: 4, spmmRPS: 6, ovNodes: 8, ovRPS: 6,
 		trials: 2, maxMsg: 256 << 10, mooreSizes: []int{4 << 10, 256 << 10},
+		varianceSeeds: 5,
 	},
 	"medium": {
 		rsgNodes: 15, rsgRPS: 18, mooreNodes: 16, mooreRPS: 16,
 		spmmNodes: 4, spmmRPS: 16, ovNodes: 15, ovRPS: 18,
 		trials: 2, maxMsg: 1 << 20, mooreSizes: harness.PaperMooreSizes,
+		varianceSeeds: 5,
 	},
 	"full": {
 		rsgNodes: 60, rsgRPS: 18, mooreNodes: 64, mooreRPS: 16,
 		spmmNodes: 4, spmmRPS: 16, ovNodes: 60, ovRPS: 18,
 		trials: 3, maxMsg: 4 << 20, mooreSizes: harness.PaperMooreSizes,
+		varianceSeeds: 5,
 	},
 }
 
 func main() {
-	scale := flag.String("scale", "small", "small | medium | full")
-	outDir := flag.String("out", "results", "directory for output files")
-	seed := flag.Int64("seed", 1, "workload seed")
-	wall := flag.Duration("wall", 30*time.Minute, "wall-clock budget per measurement")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "nbr-repro: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nbr-repro", flag.ContinueOnError)
+	fs.SetOutput(out)
+	scale := fs.String("scale", "small", "smoke | small | medium | full")
+	outDir := fs.String("out", "results", "directory for output files")
+	seed := fs.Int64("seed", 1, "workload seed")
+	wall := fs.Duration("wall", 30*time.Minute, "wall-clock budget per measurement")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg, ok := scales[*scale]
 	if !ok {
-		fail(fmt.Errorf("unknown scale %q", *scale))
+		return fmt.Errorf("unknown scale %q", *scale)
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		fail(err)
+		return err
 	}
 	start := time.Now()
 
+	// withFile runs f writing to outDir/name, tolerating partial
+	// failures so one long experiment cannot sink the whole
+	// reproduction. Only file-system errors abort the run.
+	var fatal error
+	withFile := func(name string, f func(io.Writer) error) {
+		if fatal != nil {
+			return
+		}
+		path := filepath.Join(*outDir, name)
+		fmt.Fprintf(out, "→ %s\n", path)
+		file, err := os.Create(path)
+		if err != nil {
+			fatal = err
+			return
+		}
+		defer file.Close()
+		if err := f(file); err != nil {
+			fmt.Fprintf(out, "nbr-repro: %s: %v (partial results kept)\n", name, err)
+		}
+	}
+
 	// Fig. 2 — analytical model (always full paper parameters).
-	withFile(*outDir, "fig2_model.txt", func(w io.Writer) error {
+	withFile("fig2_model.txt", func(w io.Writer) error {
 		model := perfmodel.NiagaraModel(2160, 18)
 		pts := perfmodel.Fig2Series(model, harness.PaperDensities, harness.MsgSizes(8, 4<<20))
 		fmt.Fprintln(w, "delta,msg_bytes,t_naive_s,t_dh_s,speedup")
@@ -84,7 +130,7 @@ func main() {
 		}
 		c := topology.Niagara(nodes, cfg.rsgRPS)
 		name := fmt.Sprintf("fig45_rsg_%dranks.txt", c.Ranks())
-		withFile(*outDir, name, func(w io.Writer) error {
+		withFile(name, func(w io.Writer) error {
 			rows, err := harness.RandomSparseSweep(c, harness.PaperDensities,
 				harness.MsgSizes(32, cfg.maxMsg), cfg.trials, *seed, *wall)
 			if len(rows) > 0 {
@@ -95,7 +141,7 @@ func main() {
 	}
 
 	// Fig. 6 — Moore neighborhoods.
-	withFile(*outDir, "fig6_moore.txt", func(w io.Writer) error {
+	withFile("fig6_moore.txt", func(w io.Writer) error {
 		c := topology.Niagara(cfg.mooreNodes, cfg.mooreRPS)
 		rows, err := harness.MooreSweep(c, harness.PaperMooreShapes, cfg.mooreSizes, cfg.trials, *wall)
 		if len(rows) > 0 {
@@ -105,7 +151,7 @@ func main() {
 	})
 
 	// Table II + Fig. 7 — SpMM.
-	withFile(*outDir, "fig7_spmm.txt", func(w io.Writer) error {
+	withFile("fig7_spmm.txt", func(w io.Writer) error {
 		c := topology.Niagara(cfg.spmmNodes, cfg.spmmRPS)
 		rows, err := harness.SpMMSweep(c, 32, cfg.trials, *seed, *wall)
 		if len(rows) > 0 {
@@ -115,7 +161,7 @@ func main() {
 	})
 
 	// Fig. 8 — pattern creation overhead.
-	withFile(*outDir, "fig8_overhead.txt", func(w io.Writer) error {
+	withFile("fig8_overhead.txt", func(w io.Writer) error {
 		c := topology.Niagara(cfg.ovNodes, cfg.ovRPS)
 		rows, err := harness.OverheadSweep(c, harness.PaperDensities, *seed, *wall)
 		if len(rows) > 0 {
@@ -125,7 +171,7 @@ func main() {
 	})
 
 	// Load-balance study (Section IV claim).
-	withFile(*outDir, "loadbalance.txt", func(w io.Writer) error {
+	withFile("loadbalance.txt", func(w io.Writer) error {
 		c := topology.Niagara(cfg.rsgNodes, cfg.rsgRPS)
 		rows, err := harness.LoadBalanceSweep(c, []int{1, 2, 4}, 1024, *wall)
 		if len(rows) > 0 {
@@ -136,11 +182,11 @@ func main() {
 
 	// Run-to-run variance across seeded topologies (the paper's
 	// repeated-runs methodology).
-	withFile(*outDir, "variance.txt", func(w io.Writer) error {
+	withFile("variance.txt", func(w io.Writer) error {
 		c := topology.Niagara(cfg.rsgNodes, cfg.rsgRPS)
 		var rows []harness.VarianceRow
 		for _, d := range []float64{0.1, 0.5} {
-			row, err := harness.SeedVariance(c, d, 2048, 5, *wall)
+			row, err := harness.SeedVariance(c, d, 2048, cfg.varianceSeeds, *wall)
 			if err != nil {
 				return err
 			}
@@ -150,26 +196,10 @@ func main() {
 		return nil
 	})
 
-	fmt.Printf("reproduction complete in %v; outputs in %s/\n",
+	if fatal != nil {
+		return fatal
+	}
+	fmt.Fprintf(out, "reproduction complete in %v; outputs in %s/\n",
 		time.Since(start).Round(time.Second), *outDir)
-}
-
-// withFile runs f writing to outDir/name, tolerating partial failures
-// so one long experiment cannot sink the whole reproduction.
-func withFile(dir, name string, f func(io.Writer) error) {
-	path := filepath.Join(dir, name)
-	fmt.Printf("→ %s\n", path)
-	file, err := os.Create(path)
-	if err != nil {
-		fail(err)
-	}
-	defer file.Close()
-	if err := f(file); err != nil {
-		fmt.Fprintf(os.Stderr, "nbr-repro: %s: %v (partial results kept)\n", name, err)
-	}
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "nbr-repro: %v\n", err)
-	os.Exit(1)
+	return nil
 }

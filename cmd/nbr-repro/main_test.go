@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmokeScale runs the full reproduction pipeline at the smoke
+// scale into a temp directory and checks every expected output file
+// exists, is non-empty, and that no stage failed partway.
+func TestRunSmokeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline skipped in -short")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "smoke", "-out", dir}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "partial results kept") {
+		t.Errorf("a stage failed partway:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "reproduction complete") {
+		t.Errorf("missing completion line:\n%s", out.String())
+	}
+	want := []string{
+		"fig2_model.txt",
+		"fig45_rsg_8ranks.txt",
+		"fig6_moore.txt",
+		"fig7_spmm.txt",
+		"fig8_overhead.txt",
+		"loadbalance.txt",
+		"variance.txt",
+	}
+	for _, name := range want {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing output %s: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("output %s is empty", name)
+		}
+	}
+}
+
+func TestRunUnknownScale(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "galactic", "-out", t.TempDir()}, &out); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 	"time"
@@ -18,69 +19,80 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "print the Table II stand-in matrices and exit")
-	nodes := flag.Int("nodes", 4, "number of simulated nodes")
-	rps := flag.Int("rps", 6, "ranks per socket")
-	width := flag.Int("k", 32, "dense operand width (columns of Y)")
-	trials := flag.Int("trials", 3, "timed repetitions per cell")
-	seed := flag.Int64("seed", 1, "matrix generator seed")
-	csv := flag.Bool("csv", false, "emit CSV instead of tables")
-	mm := flag.String("mm", "", "MatrixMarket file to run instead of the Table II set")
-	wall := flag.Duration("wall", 10*time.Minute, "wall-clock budget per measurement")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "nbr-spmm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nbr-spmm", flag.ContinueOnError)
+	fs.SetOutput(out)
+	list := fs.Bool("list", false, "print the Table II stand-in matrices and exit")
+	nodes := fs.Int("nodes", 4, "number of simulated nodes")
+	rps := fs.Int("rps", 6, "ranks per socket")
+	width := fs.Int("k", 32, "dense operand width (columns of Y)")
+	trials := fs.Int("trials", 3, "timed repetitions per cell")
+	seed := fs.Int64("seed", 1, "matrix generator seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of tables")
+	mm := fs.String("mm", "", "MatrixMarket file to run instead of the Table II set")
+	wall := fs.Duration("wall", 10*time.Minute, "wall-clock budget per measurement")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		mats := sparse.TableII(*seed)
-		fmt.Println("== Table II — sparse matrices (synthetic stand-ins) ==")
-		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(out, "== Table II — sparse matrices (synthetic stand-ins) ==")
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "matrix\tpaper size\tpaper nnz\tgenerated nnz\tstructure")
 		for _, nm := range mats {
 			fmt.Fprintf(tw, "%s\t%d × %d\t%d\t%d\t%s\n",
 				nm.Name, nm.PaperRows, nm.PaperRows, nm.PaperNNZ, nm.M.NNZ(), nm.Structure)
 		}
 		tw.Flush()
-		return
+		return nil
 	}
 
 	c := topology.Niagara(*nodes, *rps)
-	fmt.Printf("SpMM cluster: %s, dense width k=%d\n", c, *width)
+	fmt.Fprintf(out, "SpMM cluster: %s, dense width k=%d\n", c, *width)
 
 	if *mm != "" {
 		f, err := os.Open(*mm)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "nbr-spmm: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		m, err := sparse.ReadMatrixMarket(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "nbr-spmm: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("loaded %s: %d×%d, %d nonzeros\n", *mm, m.Rows, m.Cols, m.NNZ())
+		fmt.Fprintf(out, "loaded %s: %d×%d, %d nonzeros\n", *mm, m.Rows, m.Cols, m.NNZ())
 		// Run the loaded matrix through the Fig. 7 pipeline by
 		// substituting the table.
 		rows, err := harness.SpMMSweepMatrices(c, []sparse.NamedMatrix{{
 			Name: *mm, PaperRows: m.Rows, PaperNNZ: m.NNZ(), Structure: "file", M: m,
 		}}, *width, *trials, *wall)
-		report(rows, err, *csv)
-		return
+		return report(out, rows, err, *csv)
 	}
 
 	rows, err := harness.SpMMSweep(c, *width, *trials, *seed, *wall)
-	report(rows, err, *csv)
+	return report(out, rows, err, *csv)
 }
 
-func report(rows []harness.SpMMResult, err error, csv bool) {
+// report prints the sweep rows. A sweep error with partial rows is
+// reported but not fatal, matching the other figure commands.
+func report(out io.Writer, rows []harness.SpMMResult, err error, csv bool) error {
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nbr-spmm: %v\n", err)
 		if len(rows) == 0 {
-			os.Exit(1)
+			return err
 		}
+		fmt.Fprintf(out, "nbr-spmm: %v (partial results kept)\n", err)
 	}
 	if csv {
-		harness.CSVSpMM(os.Stdout, rows)
-		return
+		harness.CSVSpMM(out, rows)
+		return nil
 	}
-	harness.PrintSpMM(os.Stdout, rows)
+	harness.PrintSpMM(out, rows)
+	return nil
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, m := range []string{"dwt_193", "Heart1", "comsol"} {
+		if !strings.Contains(out.String(), m) {
+			t.Errorf("Table II listing missing %s:\n%s", m, out.String())
+		}
+	}
+}
+
+// TestRunMatrixMarketFile exercises the -mm path end to end: parse a
+// real MatrixMarket file and push it through the Fig. 7 SpMM pipeline
+// on an 8-rank cluster.
+func TestRunMatrixMarketFile(t *testing.T) {
+	mtx := filepath.Join(t.TempDir(), "tiny.mtx")
+	src := "%%MatrixMarket matrix coordinate real general\n" +
+		"8 8 10\n1 1 2\n2 1 1\n2 3 4\n3 4 1\n4 2 3\n5 6 1\n6 5 2\n7 8 1\n8 7 2\n8 8 1\n"
+	if err := os.WriteFile(mtx, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-mm", mtx, "-nodes", "2", "-rps", "2", "-trials", "1", "-k", "2"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "8×8, 10 nonzeros") {
+		t.Errorf("output missing matrix summary:\n%s", out.String())
+	}
+}
+
+func TestRunSyntheticSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Table II sweep skipped in -short")
+	}
+	var out bytes.Buffer
+	err := run([]string{"-nodes", "2", "-rps", "2", "-trials", "1", "-k", "4", "-csv"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "partial results kept") {
+		t.Errorf("sweep failed partway:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

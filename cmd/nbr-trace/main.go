@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
@@ -22,16 +23,27 @@ import (
 )
 
 func main() {
-	nodes := flag.Int("nodes", 4, "number of simulated nodes")
-	rps := flag.Int("rps", 6, "ranks per socket")
-	delta := flag.Float64("delta", 0.3, "Erdős–Rényi density (ignored with -moore)")
-	moore := flag.Int("moore", 0, "Moore radius r on a 2-D grid (0 = random sparse graph)")
-	seed := flag.Int64("seed", 1, "graph seed")
-	rank := flag.Int("rank", -1, "rank whose plan to print (-1 = summary only)")
-	firstFit := flag.Bool("first-fit", false, "use the first-fit agent policy instead of load-aware")
-	phases := flag.Bool("phases", false, "run one traced collective and print the halving/remainder phase breakdown")
-	msgSize := flag.Int("msg", 1024, "message size for the -phases run")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "nbr-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nbr-trace", flag.ContinueOnError)
+	fs.SetOutput(out)
+	nodes := fs.Int("nodes", 4, "number of simulated nodes")
+	rps := fs.Int("rps", 6, "ranks per socket")
+	delta := fs.Float64("delta", 0.3, "Erdős–Rényi density (ignored with -moore)")
+	moore := fs.Int("moore", 0, "Moore radius r on a 2-D grid (0 = random sparse graph)")
+	seed := fs.Int64("seed", 1, "graph seed")
+	rank := fs.Int("rank", -1, "rank whose plan to print (-1 = summary only)")
+	firstFit := fs.Bool("first-fit", false, "use the first-fit agent policy instead of load-aware")
+	phases := fs.Bool("phases", false, "run one traced collective and print the halving/remainder phase breakdown")
+	msgSize := fs.Int("msg", 1024, "message size for the -phases run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	c := topology.Niagara(*nodes, *rps)
 	var g *vgraph.Graph
@@ -40,7 +52,7 @@ func main() {
 	if *moore > 0 {
 		dims, derr := vgraph.MooreDims(c.Ranks(), 2)
 		if derr != nil {
-			fail(derr)
+			return derr
 		}
 		g, err = vgraph.Moore(dims, *moore)
 		workload = fmt.Sprintf("Moore grid %v r=%d", dims, *moore)
@@ -49,7 +61,7 @@ func main() {
 		workload = fmt.Sprintf("random sparse δ=%.2f seed=%d", *delta, *seed)
 	}
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	policy := pattern.PolicyLoadAware
@@ -58,15 +70,15 @@ func main() {
 	}
 	pat, err := pattern.BuildWithPolicy(g, c.L(), policy)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if err := pat.Validate(); err != nil {
-		fail(fmt.Errorf("pattern failed validation: %w", err))
+		return fmt.Errorf("pattern failed validation: %w", err)
 	}
 
-	fmt.Printf("cluster:  %s\n", c)
-	fmt.Printf("workload: %s (%d edges, avg out-degree %.1f)\n", workload, g.Edges(), g.AvgOutDegree())
-	fmt.Printf("pattern:  valid; agent success %.0f%% (%d/%d attempts); worst buffer %d segments\n",
+	fmt.Fprintf(out, "cluster:  %s\n", c)
+	fmt.Fprintf(out, "workload: %s (%d edges, avg out-degree %.1f)\n", workload, g.Edges(), g.AvgOutDegree())
+	fmt.Fprintf(out, "pattern:  valid; agent success %.0f%% (%d/%d attempts); worst buffer %d segments\n",
 		100*pat.Stats.SuccessRate(), pat.Stats.AgentSuccesses, pat.Stats.AgentAttempts, pat.Stats.MaxBufSources)
 
 	halving, final, selfc := 0, 0, 0
@@ -80,13 +92,13 @@ func main() {
 		}
 		final += len(plan.FinalSends)
 		selfc += len(plan.FinalSelfCopies)
-		for _, fs := range plan.FinalSends {
-			if c.SameSocket(r, fs.Dst) {
+		for _, fsend := range plan.FinalSends {
+			if c.SameSocket(r, fsend.Dst) {
 				intra++
 			}
 		}
 	}
-	fmt.Printf("messages: %d halving + %d final (%d intra-socket) + %d local copies; naive would send %d\n",
+	fmt.Fprintf(out, "messages: %d halving + %d final (%d intra-socket) + %d local copies; naive would send %d\n",
 		halving, final, intra, selfc, g.Edges())
 
 	if *phases {
@@ -95,22 +107,22 @@ func main() {
 		_, err := mpirt.Run(mpirt.Config{Cluster: c, Ranks: g.N(), Phantom: true, Trace: tr},
 			func(p *mpirt.Proc) { op.Run(p, nil, *msgSize, nil) })
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Printf("\n== phase breakdown, m=%s ==\n", harness.FmtBytes(*msgSize))
-		trace.Print(os.Stdout, tr.PhaseBreakdown(collective.DHPhases()))
+		fmt.Fprintf(out, "\n== phase breakdown, m=%s ==\n", harness.FmtBytes(*msgSize))
+		trace.Print(out, tr.PhaseBreakdown(collective.DHPhases()))
 	}
 
 	if *rank < 0 {
-		return
+		return nil
 	}
 	if *rank >= g.N() {
-		fail(fmt.Errorf("rank %d outside communicator of %d", *rank, g.N()))
+		return fmt.Errorf("rank %d outside communicator of %d", *rank, g.N())
 	}
 	plan := pat.Plans[*rank]
-	fmt.Printf("\n== plan for rank %d (out-degree %d, in-degree %d) ==\n",
+	fmt.Fprintf(out, "\n== plan for rank %d (out-degree %d, in-degree %d) ==\n",
 		*rank, g.OutDegree(*rank), g.InDegree(*rank))
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "step\th1\th2\tagent\torigin\tsend segs\trecv segs\tself copies")
 	for t, s := range plan.Steps {
 		fmt.Fprintf(tw, "%d\t[%d,%d)\t[%d,%d)\t%s\t%s\t%d\t%d\t%d\n",
@@ -119,17 +131,18 @@ func main() {
 			s.SendCount, len(s.RecvSources), len(s.SelfCopies))
 	}
 	tw.Flush()
-	fmt.Printf("final buffer sources (%d): %v\n", len(plan.BufSources), clip(plan.BufSources, 16))
-	for _, fs := range plan.FinalSends {
-		fmt.Printf("final send → %-4d (%s): sources %v\n",
-			fs.Dst, c.Dist(*rank, fs.Dst), clip(fs.Sources, 12))
+	fmt.Fprintf(out, "final buffer sources (%d): %v\n", len(plan.BufSources), clip(plan.BufSources, 16))
+	for _, fsend := range plan.FinalSends {
+		fmt.Fprintf(out, "final send → %-4d (%s): sources %v\n",
+			fsend.Dst, c.Dist(*rank, fsend.Dst), clip(fsend.Sources, 12))
 	}
 	if len(plan.FinalRecvs) > 0 {
-		fmt.Printf("final recvs from: %v\n", clip(plan.FinalRecvs, 16))
+		fmt.Fprintf(out, "final recvs from: %v\n", clip(plan.FinalRecvs, 16))
 	}
 	if len(plan.FinalSelfCopies) > 0 {
-		fmt.Printf("final self copies: %v\n", clip(plan.FinalSelfCopies, 16))
+		fmt.Fprintf(out, "final self copies: %v\n", clip(plan.FinalSelfCopies, 16))
 	}
+	return nil
 }
 
 func rankOrDash(r int) string {
@@ -144,9 +157,4 @@ func clip(s []int, n int) []int {
 		return s[:n]
 	}
 	return s
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "nbr-trace: %v\n", err)
-	os.Exit(1)
 }

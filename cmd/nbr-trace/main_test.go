@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke builds a pattern on an 8-rank cluster, runs a traced
+// collective for the phase breakdown, and prints one rank's full plan —
+// all three output modes in one invocation.
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-nodes", "2", "-rps", "2", "-rank", "0", "-phases", "-msg", "64"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"pattern:  valid", "phase breakdown", "plan for rank 0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunMoore(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "2", "-rps", "2", "-moore", "1"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "Moore grid") {
+		t.Errorf("output missing Moore workload line:\n%s", out.String())
+	}
+}
+
+func TestRunRankOutOfRange(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "2", "-rps", "2", "-rank", "99"}, &out); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

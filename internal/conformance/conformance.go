@@ -1,0 +1,491 @@
+// Package conformance is the differential chaos-testing harness for
+// the collective algorithms: it runs every algorithm × collective
+// combination over a deterministic matrix of cluster shapes and
+// virtual graphs under seeded adversarial schedules (internal/mpirt's
+// chaos mode) and demands byte-identical buffers against an
+// analytically computed ground truth, plus intact pattern invariants.
+// Any failing (case, seed) pair is reported with the exact seed;
+// because chaos-mode execution is a pure function of the seed,
+// `nbr-chaos -replay` reproduces the identical schedule.
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+
+	"nbrallgather/internal/collective"
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/vgraph"
+)
+
+// Collective kinds a Case can exercise.
+const (
+	CollAllgather  = "allgather"
+	CollAllgatherv = "allgatherv"
+	CollAlltoall   = "alltoall"
+	CollAlltoallv  = "alltoallv"
+	CollPersistent = "persistent" // persistent allgatherv handle, 3 rounds
+	CollPattern    = "pattern"    // distributed pattern builder vs central
+)
+
+// Algorithm names a Case can exercise. Alltoall collectives support
+// only AlgoNaive and AlgoDH; CollPattern ignores the field.
+const (
+	AlgoNaive  = "naive"
+	AlgoCN     = "cn"
+	AlgoDH     = "dh"
+	AlgoLeader = "leader"
+)
+
+// Case is one cell of the conformance matrix: a machine shape, a
+// virtual neighborhood graph over its ranks, and one algorithm ×
+// collective pair to validate.
+type Case struct {
+	Name    string
+	Cluster topology.Cluster
+	Graph   *vgraph.Graph
+	Algo    string
+	Coll    string
+	// M is the uniform payload size; ragged variants derive per-rank /
+	// per-edge sizes from it deterministically.
+	M int
+}
+
+// Failure is one (case, seed) conformance violation.
+type Failure struct {
+	Case Case
+	Seed int64
+	Err  error
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%s seed=%d: %v", f.Case.Name, f.Seed, f.Err)
+}
+
+// graphSpec names one deterministic graph family instantiation.
+type graphSpec struct {
+	name  string
+	build func(n int) (*vgraph.Graph, error)
+}
+
+// Matrix returns the full deterministic conformance matrix: three
+// cluster shapes (multi-node, uneven groups, single node) × ER and
+// Moore graphs × every algorithm/collective pair that algorithm
+// implements, plus the distributed pattern builder cases. The matrix
+// depends on nothing but the source — every caller sees the same
+// cases in the same order, so a (case name, seed) pair fully
+// identifies a run.
+func Matrix() ([]Case, error) {
+	clusters := []struct {
+		name string
+		c    topology.Cluster
+	}{
+		{"2n2s3l", topology.Cluster{Nodes: 2, SocketsPerNode: 2, RanksPerSocket: 3, NodesPerGroup: 2}},
+		{"3n2s2l", topology.Cluster{Nodes: 3, SocketsPerNode: 2, RanksPerSocket: 2, NodesPerGroup: 2}},
+		{"1n2s4l", topology.Cluster{Nodes: 1, SocketsPerNode: 2, RanksPerSocket: 4}},
+	}
+	graphs := []graphSpec{
+		{"er35", func(n int) (*vgraph.Graph, error) { return vgraph.ErdosRenyi(n, 0.35, 77) }},
+		{"er70", func(n int) (*vgraph.Graph, error) { return vgraph.ErdosRenyi(n, 0.70, 78) }},
+		{"moore", func(n int) (*vgraph.Graph, error) {
+			dims, err := vgraph.MooreDims(n, 2)
+			if err != nil {
+				return nil, err
+			}
+			return vgraph.Moore(dims, 1)
+		}},
+	}
+	combos := []struct{ algo, coll string }{
+		{AlgoNaive, CollAllgather}, {AlgoCN, CollAllgather}, {AlgoDH, CollAllgather}, {AlgoLeader, CollAllgather},
+		{AlgoNaive, CollAllgatherv}, {AlgoCN, CollAllgatherv}, {AlgoDH, CollAllgatherv}, {AlgoLeader, CollAllgatherv},
+		{AlgoNaive, CollAlltoall}, {AlgoDH, CollAlltoall},
+		{AlgoNaive, CollAlltoallv}, {AlgoDH, CollAlltoallv},
+		{AlgoNaive, CollPersistent}, {AlgoDH, CollPersistent},
+		{AlgoDH, CollPattern},
+	}
+	var cases []Case
+	for _, cl := range clusters {
+		n := cl.c.Ranks()
+		for _, gs := range graphs {
+			g, err := gs.build(n)
+			if err != nil {
+				return nil, fmt.Errorf("conformance: graph %s for %s: %w", gs.name, cl.name, err)
+			}
+			if g.N() != n {
+				// A Moore dimensionalisation may not hit n exactly;
+				// such a graph cannot be mapped onto the cluster.
+				continue
+			}
+			for _, co := range combos {
+				cases = append(cases, Case{
+					Name:    fmt.Sprintf("%s/%s/%s/%s", cl.name, gs.name, co.algo, co.coll),
+					Cluster: cl.c,
+					Graph:   g,
+					Algo:    co.algo,
+					Coll:    co.coll,
+					M:       11, // deliberately odd, not a word multiple
+				})
+			}
+		}
+	}
+	return cases, nil
+}
+
+// FindCase returns the matrix case with the given name.
+func FindCase(name string) (Case, error) {
+	cases, err := Matrix()
+	if err != nil {
+		return Case{}, err
+	}
+	for _, c := range cases {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Case{}, fmt.Errorf("conformance: unknown case %q", name)
+}
+
+// RunCase executes one case under the given chaos configuration
+// (nil = plain scheduling) and returns an error describing the first
+// conformance violation, if any.
+func RunCase(c Case, chaos *mpirt.Chaos) error {
+	if c.Coll == CollPattern {
+		return runPatternCase(c, chaos)
+	}
+	body, err := caseBody(c)
+	if err != nil {
+		return err
+	}
+	_, err = mpirt.Run(mpirt.Config{Cluster: c.Cluster, Chaos: chaos}, body)
+	return err
+}
+
+// Sweep runs every case under every seed, building each seed's chaos
+// configuration with mk (e.g. mpirt.DefaultChaos). progress, when
+// non-nil, is called after each completed seed with the running
+// failure count.
+func Sweep(cases []Case, seeds []int64, mk func(int64) *mpirt.Chaos, progress func(done int, failures int)) []Failure {
+	var failures []Failure
+	for i, seed := range seeds {
+		for _, c := range cases {
+			if err := RunCase(c, mk(seed)); err != nil {
+				failures = append(failures, Failure{Case: c, Seed: seed, Err: err})
+			}
+		}
+		if progress != nil {
+			progress(i+1, len(failures))
+		}
+	}
+	return failures
+}
+
+// ragged returns the deterministic per-rank allgatherv counts for a
+// case: sizes cycle through [1, m] so neighbors contribute unequal,
+// never-zero payloads (MPI permits zero recvcounts, but several
+// sub-size cases would then collapse to nothing; zero-length segments
+// are exercised by the alltoallv counts below and the RunAV property
+// test).
+func ragged(n, m int) []int {
+	counts := make([]int, n)
+	for i := range counts {
+		counts[i] = 1 + (i*5)%m
+	}
+	return counts
+}
+
+// raggedEdge returns the deterministic alltoallv CountFunc: per-edge
+// sizes in [0, m], including genuinely empty segments.
+func raggedEdge(m int) collective.CountFunc {
+	return func(src, dst int) int {
+		return (src*3 + dst*5) % (m + 1)
+	}
+}
+
+// fillRank writes rank r's verification pattern (the collective_test
+// idiom: position- and rank-dependent bytes).
+func fillRank(buf []byte, r int) {
+	for i := range buf {
+		buf[i] = byte(r*131 + i*7 + 3)
+	}
+}
+
+// fillEdge writes the verification pattern of alltoall segment
+// src → dst.
+func fillEdge(buf []byte, src, dst int) {
+	for i := range buf {
+		buf[i] = byte(src*251 + dst*17 + i*3 + 1)
+	}
+}
+
+// expectedGatherv is rank r's ground-truth allgatherv receive buffer:
+// incoming neighbors' patterns concatenated in ascending rank order.
+func expectedGatherv(g *vgraph.Graph, r int, counts []int) []byte {
+	var out []byte
+	for _, u := range g.In(r) {
+		seg := make([]byte, counts[u])
+		fillRank(seg, u)
+		out = append(out, seg...)
+	}
+	return out
+}
+
+// expectedScatterv is rank r's ground-truth alltoallv receive buffer.
+func expectedScatterv(g *vgraph.Graph, r int, counts collective.CountFunc) []byte {
+	var out []byte
+	for _, u := range g.In(r) {
+		seg := make([]byte, counts(u, r))
+		fillEdge(seg, u, r)
+		out = append(out, seg...)
+	}
+	return out
+}
+
+// sendBufAV is rank r's alltoallv send buffer: per-destination
+// segments concatenated in ascending neighbor order.
+func sendBufAV(g *vgraph.Graph, r int, counts collective.CountFunc) []byte {
+	var out []byte
+	for _, v := range g.Out(r) {
+		seg := make([]byte, counts(r, v))
+		fillEdge(seg, r, v)
+		out = append(out, seg...)
+	}
+	return out
+}
+
+// checkBuf compares a received buffer against ground truth and panics
+// with a descriptive conformance error on the first mismatch; run
+// inside the rank body, mpirt converts it into a Run error.
+func checkBuf(what string, r int, got, want []byte) {
+	if bytes.Equal(got, want) {
+		return
+	}
+	i := 0
+	for i < len(got) && i < len(want) && got[i] == want[i] {
+		i++
+	}
+	panic(fmt.Sprintf("conformance: rank %d %s mismatch at byte %d/%d (got %d want %d)",
+		r, what, i, len(want), at(got, i), at(want, i)))
+}
+
+func at(b []byte, i int) int {
+	if i < len(b) {
+		return int(b[i])
+	}
+	return -1
+}
+
+// buildVOp constructs the allgather-family operation for a case.
+func buildVOp(c Case) (collective.VOp, *pattern.Pattern, error) {
+	switch c.Algo {
+	case AlgoNaive:
+		return collective.NewNaive(c.Graph), nil, nil
+	case AlgoCN:
+		op, err := collective.NewCommonNeighbor(c.Graph, 3)
+		return op, nil, err
+	case AlgoDH:
+		op, err := collective.NewDistanceHalving(c.Graph, c.Cluster.L())
+		if err != nil {
+			return nil, nil, err
+		}
+		return op, op.Pattern(), nil
+	case AlgoLeader:
+		op, err := collective.NewLeaderBased(c.Graph, c.Cluster)
+		return op, nil, err
+	default:
+		return nil, nil, fmt.Errorf("conformance: algorithm %q has no allgather", c.Algo)
+	}
+}
+
+// buildAVOp constructs the alltoall-family operation for a case.
+func buildAVOp(c Case) (collective.AVOp, *pattern.Pattern, error) {
+	switch c.Algo {
+	case AlgoNaive:
+		return collective.NewNaiveAlltoall(c.Graph), nil, nil
+	case AlgoDH:
+		op, err := collective.NewDistanceHalvingAlltoall(c.Graph, c.Cluster.L())
+		if err != nil {
+			return nil, nil, err
+		}
+		return op, op.Pattern(), nil
+	default:
+		return nil, nil, fmt.Errorf("conformance: algorithm %q has no alltoall", c.Algo)
+	}
+}
+
+// caseBody builds the per-rank body for a collective case, including
+// construction-time and post-hoc pattern invariant checks.
+func caseBody(c Case) (func(*mpirt.Proc), error) {
+	g := c.Graph
+	var pat *pattern.Pattern
+	var runRank func(p *mpirt.Proc)
+
+	switch c.Coll {
+	case CollAllgather:
+		op, pt, err := buildVOp(c)
+		if err != nil {
+			return nil, err
+		}
+		pat = pt
+		runRank = func(p *mpirt.Proc) {
+			r := p.Rank()
+			sbuf := make([]byte, c.M)
+			fillRank(sbuf, r)
+			rbuf := make([]byte, g.InDegree(r)*c.M)
+			op.Run(p, sbuf, c.M, rbuf)
+			checkBuf("allgather rbuf", r, rbuf, expectedGatherv(g, r, uniform(g.N(), c.M)))
+		}
+	case CollAllgatherv:
+		op, pt, err := buildVOp(c)
+		if err != nil {
+			return nil, err
+		}
+		pat = pt
+		counts := ragged(g.N(), c.M)
+		runRank = func(p *mpirt.Proc) {
+			r := p.Rank()
+			sbuf := make([]byte, counts[r])
+			fillRank(sbuf, r)
+			want := expectedGatherv(g, r, counts)
+			rbuf := make([]byte, len(want))
+			op.RunV(p, sbuf, counts, rbuf)
+			checkBuf("allgatherv rbuf", r, rbuf, want)
+		}
+	case CollAlltoall:
+		op, pt, err := buildAVOp(c)
+		if err != nil {
+			return nil, err
+		}
+		pat = pt
+		counts := collective.UniformCount(c.M)
+		runRank = func(p *mpirt.Proc) {
+			r := p.Rank()
+			sbuf := sendBufAV(g, r, counts)
+			want := expectedScatterv(g, r, counts)
+			rbuf := make([]byte, len(want))
+			op.RunA(p, sbuf, c.M, rbuf)
+			checkBuf("alltoall rbuf", r, rbuf, want)
+		}
+	case CollAlltoallv:
+		op, pt, err := buildAVOp(c)
+		if err != nil {
+			return nil, err
+		}
+		pat = pt
+		counts := raggedEdge(c.M)
+		runRank = func(p *mpirt.Proc) {
+			r := p.Rank()
+			sbuf := sendBufAV(g, r, counts)
+			want := expectedScatterv(g, r, counts)
+			rbuf := make([]byte, len(want))
+			op.RunAV(p, sbuf, counts, rbuf)
+			checkBuf("alltoallv rbuf", r, rbuf, want)
+		}
+	case CollPersistent:
+		op, pt, err := buildVOp(c)
+		if err != nil {
+			return nil, err
+		}
+		pat = pt
+		counts := ragged(g.N(), c.M)
+		runRank = func(p *mpirt.Proc) {
+			r := p.Rank()
+			sbuf := make([]byte, counts[r])
+			fillRank(sbuf, r)
+			want := expectedGatherv(g, r, counts)
+			rbuf := make([]byte, len(want))
+			pr, err := collective.AllgathervInit(op, p, sbuf, counts, rbuf)
+			if err != nil {
+				panic(err)
+			}
+			// Three rounds over one handle: Start/Wait twice, then the
+			// blocking convenience; the buffers bind once.
+			for round := 0; round < 3; round++ {
+				for i := range rbuf {
+					rbuf[i] = 0
+				}
+				if round < 2 {
+					pr.Start()
+					pr.Wait()
+				} else {
+					pr.Run()
+				}
+				checkBuf(fmt.Sprintf("persistent round %d rbuf", round), r, rbuf, want)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("conformance: unknown collective %q", c.Coll)
+	}
+
+	if pat != nil {
+		if err := pat.Validate(); err != nil {
+			return nil, fmt.Errorf("conformance: pattern invalid before run: %w", err)
+		}
+	}
+	body := func(p *mpirt.Proc) {
+		runRank(p)
+		if pat != nil && p.Rank() == 0 {
+			// The collective must not corrupt its (shared, read-only)
+			// pattern under any schedule.
+			if err := pat.Validate(); err != nil {
+				panic(fmt.Sprintf("conformance: pattern invariants violated after run: %v", err))
+			}
+		}
+	}
+	return body, nil
+}
+
+// uniform is uniformCounts for expectedGatherv's benefit.
+func uniform(n, m int) []int {
+	counts := make([]int, n)
+	for i := range counts {
+		counts[i] = m
+	}
+	return counts
+}
+
+// runPatternCase runs the distributed pattern builder (Algorithms 1–3,
+// the negotiation protocol with AnySource receives — the highest-risk
+// reordering path) under chaos and demands the proposer-optimal
+// outcome: plan-identical to the central builder, regardless of
+// schedule.
+func runPatternCase(c Case, chaos *mpirt.Chaos) error {
+	central, err := pattern.Build(c.Graph, c.Cluster.L())
+	if err != nil {
+		return err
+	}
+	dist, _, err := pattern.BuildDistributed(mpirt.Config{Cluster: c.Cluster, Phantom: true, Chaos: chaos}, c.Graph)
+	if err != nil {
+		return fmt.Errorf("distributed build: %w", err)
+	}
+	if err := dist.Validate(); err != nil {
+		return fmt.Errorf("distributed pattern invalid: %w", err)
+	}
+	for r := range central.Plans {
+		cp, dp := central.Plans[r], dist.Plans[r]
+		if len(cp.Steps) != len(dp.Steps) {
+			return fmt.Errorf("rank %d: central has %d steps, distributed %d", r, len(cp.Steps), len(dp.Steps))
+		}
+		for i := range cp.Steps {
+			if cp.Steps[i].Agent != dp.Steps[i].Agent || cp.Steps[i].Origin != dp.Steps[i].Origin {
+				return fmt.Errorf("rank %d step %d: central (agent=%d origin=%d) != distributed (agent=%d origin=%d)",
+					r, i, cp.Steps[i].Agent, cp.Steps[i].Origin, dp.Steps[i].Agent, dp.Steps[i].Origin)
+			}
+		}
+		if !reflect.DeepEqual(cp.FinalSends, dp.FinalSends) {
+			return fmt.Errorf("rank %d final sends differ under adversarial schedule", r)
+		}
+		if !reflect.DeepEqual(cp.FinalRecvs, dp.FinalRecvs) {
+			return fmt.Errorf("rank %d final recvs differ under adversarial schedule", r)
+		}
+		if !reflect.DeepEqual(cp.BufSources, dp.BufSources) {
+			return fmt.Errorf("rank %d buffer sources differ under adversarial schedule", r)
+		}
+	}
+	if central.Stats != dist.Stats {
+		return fmt.Errorf("pattern stats differ: central %+v, distributed %+v", central.Stats, dist.Stats)
+	}
+	return nil
+}

@@ -38,6 +38,11 @@ type Config struct {
 	Phantom bool
 	// WallLimit bounds host wall-clock per run (default 120 s).
 	WallLimit time.Duration
+	// Chaos, when non-nil, runs the measurement under the deterministic
+	// chaos scheduler (adversarial ordering, fault injection) — the
+	// knob for robustness studies: how much do latency spikes, retries
+	// and slow ranks cost each algorithm?
+	Chaos *mpirt.Chaos
 }
 
 // Result summarises one measurement.
@@ -84,6 +89,7 @@ func Measure(cfg Config, op collective.Op) (Result, error) {
 		Params:    cfg.Params,
 		Phantom:   cfg.Phantom,
 		WallLimit: cfg.WallLimit,
+		Chaos:     cfg.Chaos,
 	}, func(p *mpirt.Proc) {
 		r := p.Rank()
 		var sbuf, rbuf []byte

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nbrallgather/internal/collective"
+	"nbrallgather/internal/mpirt"
 	"nbrallgather/internal/sparse"
 	"nbrallgather/internal/topology"
 	"nbrallgather/internal/vgraph"
@@ -347,5 +348,38 @@ func TestMeanCV(t *testing.T) {
 	m, cv = meanCV([]float64{5})
 	if m != 5 || cv != 0 {
 		t.Fatalf("single sample: mean %v cv %v", m, cv)
+	}
+}
+
+// TestMeasureUnderChaos: a measurement under fault injection completes
+// deterministically and costs more modelled time than a clean run —
+// the robustness-study use of the harness.
+func TestMeasureUnderChaos(t *testing.T) {
+	c := testCluster()
+	g := testGraph(t, c, 0.4)
+	op := collective.NewNaive(g)
+	clean, err := Measure(Config{Cluster: c, MsgSize: 256, Trials: 2, Phantom: true}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaotic := func() Result {
+		res, err := Measure(Config{
+			Cluster: c, MsgSize: 256, Trials: 2, Phantom: true,
+			Chaos: &mpirt.Chaos{Seed: 3, FailProb: 0.4, MaxRetries: 4, Backoff: 1e-4, SpikeProb: 0.4, Spike: 1e-3},
+		}, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := chaotic(), chaotic()
+	if r1.Mean != r2.Mean {
+		t.Fatalf("chaos measurement not deterministic: %v vs %v", r1.Mean, r2.Mean)
+	}
+	if r1.Mean <= clean.Mean {
+		t.Fatalf("faults did not cost time: clean %v, chaos %v", clean.Mean, r1.Mean)
+	}
+	if r1.MsgsPerTrial != clean.MsgsPerTrial {
+		t.Fatalf("faults changed message count: %d vs %d", r1.MsgsPerTrial, clean.MsgsPerTrial)
 	}
 }

@@ -1,0 +1,516 @@
+package mpirt
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"nbrallgather/internal/trace"
+)
+
+// Chaos configures the deterministic-simulation layer: a seeded
+// cooperative scheduler that takes full control of message-matching
+// order plus a fault-injection model. With a non-nil Chaos the runtime
+// stops relying on the Go scheduler's accidental interleavings:
+// exactly one rank executes at a time, every blocking point yields an
+// execution token, and a single seeded RNG decides which rank runs
+// next and which in-flight message satisfies which posted receive —
+// including AnySource races, arbitrarily delayed and reordered eager
+// sends, and duplicate-then-deduplicate deliveries. Because every
+// nondeterministic choice flows through that one RNG in a serial
+// execution, a run is a pure function of (program, seed): re-running
+// the same seed reproduces the identical schedule, which Record
+// captures and Replay can force.
+type Chaos struct {
+	// Seed drives every scheduling and fault decision.
+	Seed int64
+
+	// DupProb is the probability an eager send is duplicated in
+	// flight. Duplicates carry the sender's sequence number; the
+	// scheduler deduplicates at delivery, so exactly one copy reaches
+	// the receiver and the other exercises the dedup path.
+	DupProb float64
+
+	// SpikeProb and Spike inject per-link latency spikes: with
+	// probability SpikeProb a message's modelled arrival time is
+	// pushed back by Spike seconds.
+	SpikeProb float64
+	Spike     float64
+
+	// FailProb, MaxRetries and Backoff model transient send failures:
+	// each injection attempt fails with probability FailProb, up to
+	// MaxRetries consecutive failures, and each failure charges the
+	// sender an exponentially growing Backoff before the retry. The
+	// send always completes within the retry bound (the failures are
+	// transient), so collectives still terminate; the cost shows up in
+	// virtual time.
+	FailProb   float64
+	MaxRetries int
+	Backoff    float64
+
+	// SlowProb and SlowFactor mark ranks as slow: each rank is slowed
+	// with probability SlowProb, multiplying its local work and
+	// injection/matching overheads by SlowFactor.
+	SlowProb   float64
+	SlowFactor float64
+
+	// Record, when non-nil, captures every scheduling decision.
+	Record *trace.Schedule
+
+	// Replay, when non-nil, forces the scheduler to follow a
+	// previously recorded decision sequence instead of drawing from
+	// the RNG. The run fails with a divergence error if the program's
+	// behaviour no longer admits the recorded schedule. Fault and
+	// slowdown draws still come from Seed, so replay with the
+	// recording's seed for exact virtual-time reproduction.
+	Replay *trace.Schedule
+}
+
+// DefaultChaos returns an aggressive default fault mix for the given
+// seed: duplicated sends, latency spikes, transient send failures with
+// bounded retry, and slow ranks, on top of fully adversarial
+// scheduling.
+func DefaultChaos(seed int64) *Chaos {
+	return &Chaos{
+		Seed:       seed,
+		DupProb:    0.05,
+		SpikeProb:  0.05,
+		Spike:      50e-6,
+		FailProb:   0.03,
+		MaxRetries: 4,
+		Backoff:    5e-6,
+		SlowProb:   0.15,
+		SlowFactor: 4,
+	}
+}
+
+// ScheduleOnly returns a chaos configuration that perturbs only the
+// message-matching order (plus duplicates), leaving virtual time
+// untouched — useful for differential timing comparisons.
+func ScheduleOnly(seed int64) *Chaos {
+	return &Chaos{Seed: seed, DupProb: 0.05}
+}
+
+// chaosState is the scheduling state of one rank.
+type chaosState uint8
+
+const (
+	// chaosRunning: the rank holds the execution token.
+	chaosRunning chaosState = iota
+	// chaosRunnable: ready to run, waiting for the token.
+	chaosRunnable
+	// chaosRecvWait: blocked in Recv until a message is delivered.
+	chaosRecvWait
+	// chaosBarrierWait: blocked in a barrier/reduce until the last
+	// rank arrives.
+	chaosBarrierWait
+	// chaosFinished: the rank body returned.
+	chaosFinished
+)
+
+// flightMsg is one in-flight copy of an eager send, held by the chaos
+// scheduler until a delivery decision releases it.
+type flightMsg struct {
+	msg     *Msg
+	dst     int
+	sendSeq uint64 // the sender's per-rank send counter
+	dup     bool   // a chaos-injected duplicate copy
+}
+
+// delivKey identifies a logical message for deduplication.
+type delivKey struct {
+	src int
+	seq uint64
+}
+
+// chaosRT is the runtime extension holding all chaos-mode state. Every
+// field is guarded by mu; because execution is serial (one token),
+// contention is nil — the mutex exists for the memory-model handoff
+// between rank goroutines.
+type chaosRT struct {
+	rt  *Runtime
+	cfg Chaos
+
+	mu sync.Mutex
+	// schedRNG drives scheduling picks; faultRNG drives fault,
+	// duplication, and slowdown draws. They must be independent
+	// streams: replay mode consumes no scheduling picks, and the fault
+	// sequence has to stay identical to the recorded run's anyway.
+	schedRNG  *rand.Rand
+	faultRNG  *rand.Rand
+	state     []chaosState
+	reqSrc    []int // posted receive source, valid in chaosRecvWait
+	reqTag    []int // posted receive tag, valid in chaosRecvWait
+	token     []chan *Msg
+	inflight  []*flightMsg
+	delivered map[delivKey]bool
+	sendSeq   []uint64
+	slow      []float64 // per-rank time multiplier, ≥ 1
+	replayPos int
+	decisions int
+}
+
+// newChaosRT initialises chaos state for n ranks. Slow-rank assignment
+// is drawn first so it consumes a fixed prefix of the RNG stream.
+func newChaosRT(rt *Runtime, cfg Chaos) *chaosRT {
+	cs := &chaosRT{
+		rt:        rt,
+		cfg:       cfg,
+		schedRNG:  rand.New(rand.NewSource(cfg.Seed)),
+		faultRNG:  rand.New(rand.NewSource(cfg.Seed ^ 0x6e624eb7)),
+		state:     make([]chaosState, rt.n),
+		reqSrc:    make([]int, rt.n),
+		reqTag:    make([]int, rt.n),
+		token:     make([]chan *Msg, rt.n),
+		delivered: make(map[delivKey]bool),
+		sendSeq:   make([]uint64, rt.n),
+		slow:      make([]float64, rt.n),
+	}
+	for r := 0; r < rt.n; r++ {
+		cs.state[r] = chaosRunnable
+		cs.token[r] = make(chan *Msg, 1)
+		cs.slow[r] = 1
+		if cfg.SlowProb > 0 && cs.faultRNG.Float64() < cfg.SlowProb {
+			f := cfg.SlowFactor
+			if f < 1 {
+				f = 1
+			}
+			cs.slow[r] = f
+		}
+	}
+	return cs
+}
+
+// start hands the token to the first rank. Called once by Run after
+// every rank goroutine is parked.
+func (cs *chaosRT) start() {
+	cs.mu.Lock()
+	cs.scheduleLocked()
+	cs.mu.Unlock()
+}
+
+// chaosOption is one candidate scheduling action: resume a runnable
+// rank (fi < 0) or deliver in-flight message fi to a blocked receiver.
+type chaosOption struct {
+	rank int
+	fi   int
+}
+
+// scheduleLocked makes one scheduling decision and wakes the chosen
+// rank. It must run with cs.mu held by the rank that just yielded the
+// token (or by Run at start-up). When every live rank is blocked in a
+// receive with no deliverable message, it fails the run with a
+// deadlock error — exact detection, no watchdog heuristics needed.
+func (cs *chaosRT) scheduleLocked() {
+	for {
+		if cs.rt.aborted.Load() {
+			return
+		}
+		var opts []chaosOption
+		finished := 0
+		for r, st := range cs.state {
+			switch st {
+			case chaosRunnable:
+				opts = append(opts, chaosOption{r, -1})
+			case chaosRecvWait:
+				// MPI non-overtaking: of the in-flight messages from one
+				// sender that match the posted receive, only the earliest
+				// may be delivered. Cross-sender order stays fully
+				// adversarial (that is the AnySource race under test).
+				for i, fm := range cs.inflight {
+					if fm.dst != r || !chaosMatch(cs.reqSrc[r], cs.reqTag[r], fm.msg) {
+						continue
+					}
+					earliest := true
+					for j, other := range cs.inflight {
+						if j == i || other.dst != r || other.msg.Src != fm.msg.Src ||
+							!chaosMatch(cs.reqSrc[r], cs.reqTag[r], other.msg) {
+							continue
+						}
+						if other.sendSeq < fm.sendSeq ||
+							(other.sendSeq == fm.sendSeq && j < i) {
+							earliest = false
+							break
+						}
+					}
+					if earliest {
+						opts = append(opts, chaosOption{r, i})
+					}
+				}
+			case chaosFinished:
+				finished++
+			}
+		}
+		if len(opts) == 0 {
+			if finished == cs.rt.n {
+				return // run complete
+			}
+			cs.rt.fail(fmt.Errorf("%w: %s", ErrDeadlock, cs.blockedSummaryLocked()))
+			return
+		}
+
+		var pick chaosOption
+		if cs.cfg.Replay != nil {
+			var ok bool
+			pick, ok = cs.replayPickLocked(opts)
+			if !ok {
+				return // replayPickLocked failed the run
+			}
+		} else {
+			pick = opts[cs.schedRNG.Intn(len(opts))]
+		}
+		cs.decisions++
+
+		if pick.fi < 0 {
+			cs.recordLocked(trace.Decision{Kind: trace.DecisionResume, Rank: pick.rank})
+			cs.state[pick.rank] = chaosRunning
+			cs.token[pick.rank] <- nil
+			return
+		}
+		fm := cs.inflight[pick.fi]
+		cs.removeInflightLocked(pick.fi)
+		key := delivKey{fm.msg.Src, fm.sendSeq}
+		if cs.delivered[key] {
+			// A duplicate of an already-delivered message: drop it and
+			// decide again. This is the dedup machinery under test.
+			cs.recordLocked(trace.Decision{
+				Kind: trace.DecisionDropDup, Rank: pick.rank,
+				Src: fm.msg.Src, Tag: fm.msg.Tag, SendSeq: fm.sendSeq, Size: fm.msg.Size,
+			})
+			continue
+		}
+		cs.delivered[key] = true
+		cs.recordLocked(trace.Decision{
+			Kind: trace.DecisionDeliver, Rank: pick.rank,
+			Src: fm.msg.Src, Tag: fm.msg.Tag, SendSeq: fm.sendSeq, Size: fm.msg.Size,
+		})
+		cs.state[pick.rank] = chaosRunning
+		cs.token[pick.rank] <- fm.msg
+		return
+	}
+}
+
+// replayPickLocked resolves the next recorded decision against the
+// current options. Drop decisions are consumed inline; a decision the
+// current state cannot honour fails the run with a divergence error.
+func (cs *chaosRT) replayPickLocked(opts []chaosOption) (chaosOption, bool) {
+	d, ok := cs.cfg.Replay.At(cs.replayPos)
+	if !ok {
+		cs.rt.fail(fmt.Errorf("mpirt: replay diverged: schedule exhausted after %d decisions but the run still needs one", cs.replayPos))
+		return chaosOption{}, false
+	}
+	cs.replayPos++
+	switch d.Kind {
+	case trace.DecisionResume:
+		for _, o := range opts {
+			if o.fi < 0 && o.rank == d.Rank {
+				return o, true
+			}
+		}
+	case trace.DecisionDeliver, trace.DecisionDropDup:
+		for _, o := range opts {
+			if o.fi < 0 {
+				continue
+			}
+			fm := cs.inflight[o.fi]
+			if o.rank == d.Rank && fm.msg.Src == d.Src && fm.sendSeq == d.SendSeq {
+				return o, true
+			}
+		}
+	}
+	cs.rt.fail(fmt.Errorf("mpirt: replay diverged at decision %d: recorded %s rank %d src %d seq %d is not schedulable",
+		cs.replayPos-1, d.Kind, d.Rank, d.Src, d.SendSeq))
+	return chaosOption{}, false
+}
+
+func (cs *chaosRT) recordLocked(d trace.Decision) {
+	if cs.cfg.Record != nil {
+		cs.cfg.Record.Record(d)
+	}
+}
+
+func (cs *chaosRT) removeInflightLocked(i int) {
+	cs.inflight = append(cs.inflight[:i], cs.inflight[i+1:]...)
+}
+
+// chaosMatch mirrors the mailbox (source, tag) matching rules.
+func chaosMatch(src, tag int, m *Msg) bool {
+	return (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag)
+}
+
+// blockedSummaryLocked describes the stuck state for the deadlock error.
+func (cs *chaosRT) blockedSummaryLocked() string {
+	var recv, barrier []int
+	for r, st := range cs.state {
+		switch st {
+		case chaosRecvWait:
+			recv = append(recv, r)
+		case chaosBarrierWait:
+			barrier = append(barrier, r)
+		}
+	}
+	sort.Ints(recv)
+	sort.Ints(barrier)
+	clip := func(s []int) []int {
+		if len(s) > 8 {
+			return s[:8]
+		}
+		return s
+	}
+	return fmt.Sprintf("ranks %v blocked in recv (no deliverable message), %v in barrier, %d in flight",
+		clip(recv), clip(barrier), len(cs.inflight))
+}
+
+// park blocks the calling rank until the scheduler wakes it, returning
+// the delivered message (nil for a plain resume). Aborting the run
+// also unparks every rank.
+func (p *Proc) chaosPark() *Msg {
+	cs := p.rt.chaos
+	select {
+	case m := <-cs.token[p.rank]:
+		return m
+	case <-p.rt.failedCh:
+		panic(errAborted)
+	}
+}
+
+// chaosAwaitStart parks the rank before its body runs, so the seeded
+// scheduler — not goroutine spawn order — decides who runs first.
+func (p *Proc) chaosAwaitStart() {
+	p.chaosPark()
+}
+
+// chaosFinish marks the rank finished and passes the token on. Called
+// from the rank goroutine's defer for both normal and panic exits.
+func (p *Proc) chaosFinish() {
+	cs := p.rt.chaos
+	cs.mu.Lock()
+	cs.state[p.rank] = chaosFinished
+	cs.scheduleLocked()
+	cs.mu.Unlock()
+}
+
+// chaosSendFaults draws the transient-failure and latency-spike faults
+// for one send. It returns the extra virtual time charged to the
+// sender before injection (retry backoffs) and the extra arrival delay
+// (latency spike). Must run with cs.mu held — the draws are part of
+// the deterministic serial stream.
+func (cs *chaosRT) chaosSendFaults(scale float64) (backoffTime, spike float64) {
+	if cs.cfg.FailProb > 0 {
+		backoff := cs.cfg.Backoff
+		for try := 0; try < cs.cfg.MaxRetries; try++ {
+			if cs.faultRNG.Float64() >= cs.cfg.FailProb {
+				break
+			}
+			backoffTime += backoff * scale
+			backoff *= 2
+		}
+	}
+	if cs.cfg.SpikeProb > 0 && cs.faultRNG.Float64() < cs.cfg.SpikeProb {
+		spike = cs.cfg.Spike
+	}
+	return backoffTime, spike
+}
+
+// chaosEnqueue places a sent message (and possibly a duplicate) into
+// the in-flight pool. Must run with cs.mu held.
+func (cs *chaosRT) chaosEnqueue(src, dst int, m *Msg) {
+	seq := cs.sendSeq[src]
+	cs.sendSeq[src]++
+	cs.inflight = append(cs.inflight, &flightMsg{msg: m, dst: dst, sendSeq: seq})
+	if cs.cfg.DupProb > 0 && cs.faultRNG.Float64() < cs.cfg.DupProb {
+		cs.inflight = append(cs.inflight, &flightMsg{msg: m, dst: dst, sendSeq: seq, dup: true})
+	}
+}
+
+// chaosRecv is Recv under the chaos scheduler: post the request, yield
+// the token, and block until the scheduler matches a message to it.
+func (p *Proc) chaosRecv(src, tag int) Msg {
+	p.rt.checkAborted()
+	cs := p.rt.chaos
+	cs.mu.Lock()
+	cs.reqSrc[p.rank], cs.reqTag[p.rank] = src, tag
+	cs.state[p.rank] = chaosRecvWait
+	cs.scheduleLocked()
+	cs.mu.Unlock()
+	m := p.chaosPark()
+	if m == nil {
+		// The scheduler resumes a recv-blocked rank only by delivering a
+		// message; a bare resume here is a scheduler bug.
+		panic(fmt.Sprintf("mpirt: chaos scheduler resumed recv-blocked rank %d without a message", p.rank))
+	}
+	p.rt.progress.Add(1)
+	if m.arrival > p.vt {
+		p.vt = m.arrival
+	}
+	p.vt += p.slowScale() * p.rt.model.RecvOverhead()
+	return *m
+}
+
+// chaosProbe reports whether a matching message is in flight. Serial
+// execution makes the answer deterministic.
+func (p *Proc) chaosProbe(src, tag int) bool {
+	cs := p.rt.chaos
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for _, fm := range cs.inflight {
+		if fm.dst == p.rank && chaosMatch(src, tag, fm.msg) &&
+			!cs.delivered[delivKey{fm.msg.Src, fm.sendSeq}] {
+			return true
+		}
+	}
+	return false
+}
+
+// chaosReduceMax is reduceMax under the chaos scheduler: non-final
+// arrivals park until the last rank completes the reduction and marks
+// them runnable; the seeded scheduler then chooses the resume order.
+func (p *Proc) chaosReduceMax(v float64) float64 {
+	rt := p.rt
+	cs := rt.chaos
+	cs.mu.Lock()
+	rt.reduceVals[p.rank] = v
+	rt.bcnt++
+	if rt.bcnt == rt.n {
+		rt.bcnt = 0
+		max := rt.reduceVals[0]
+		for _, x := range rt.reduceVals[1:] {
+			if x > max {
+				max = x
+			}
+		}
+		rt.reduceRes = max
+		for r, st := range cs.state {
+			if st == chaosBarrierWait {
+				cs.state[r] = chaosRunnable
+			}
+		}
+		cs.mu.Unlock()
+	} else {
+		cs.state[p.rank] = chaosBarrierWait
+		cs.scheduleLocked()
+		cs.mu.Unlock()
+		p.chaosPark()
+	}
+	if rt.aborted.Load() {
+		panic(errAborted)
+	}
+	cs.mu.Lock()
+	res := rt.reduceRes
+	cs.mu.Unlock()
+	if p.vt < res {
+		p.vt = res
+	}
+	rt.progress.Add(1)
+	return res
+}
+
+// slowScale returns the rank's chaos slowdown multiplier (1 outside
+// chaos mode or for unaffected ranks).
+func (p *Proc) slowScale() float64 {
+	if p.rt.chaos == nil {
+		return 1
+	}
+	return p.rt.chaos.slow[p.rank]
+}

@@ -85,6 +85,11 @@ type Config struct {
 	// Trace, when non-nil, records every sent message for post-hoc
 	// analysis (phase breakdowns, distance histograms).
 	Trace *trace.Trace
+	// Chaos, when non-nil, runs the execution under the deterministic
+	// chaos scheduler: serial token-passing execution with seeded
+	// adversarial message-matching order, fault injection, and full
+	// schedule record/replay. See the Chaos type.
+	Chaos *Chaos
 }
 
 // Report summarises one runtime execution.
@@ -166,6 +171,7 @@ type Runtime struct {
 	aborted  atomic.Bool
 	failErr  atomic.Pointer[error]
 	failedCh chan struct{}
+	chaos    *chaosRT
 
 	// barrier state
 	bmu   sync.Mutex
@@ -237,6 +243,9 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 		b.cond = sync.NewCond(&b.mu)
 		rt.boxes[i] = b
 	}
+	if cfg.Chaos != nil {
+		rt.chaos = newChaosRT(rt, *cfg.Chaos)
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -257,8 +266,18 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 				// the watchdog's progress view so it re-evaluates.
 				rt.progress.Add(1)
 			}()
+			if rt.chaos != nil {
+				// Park until the seeded scheduler — not goroutine spawn
+				// order — decides who runs first, and pass the token on
+				// when this rank's body returns or panics.
+				defer p.chaosFinish()
+				p.chaosAwaitStart()
+			}
 			body(p)
 		}()
+	}
+	if rt.chaos != nil {
+		rt.chaos.start()
 	}
 
 	watchdogDone := make(chan struct{})
@@ -404,10 +423,10 @@ func (p *Proc) Phantom() bool { return p.rt.cfg.Phantom }
 func (p *Proc) VT() float64 { return p.vt }
 
 // AdvanceVT adds d seconds of local work (compute, packing) to the
-// rank's virtual clock.
+// rank's virtual clock. Chaos-mode slow ranks pay a multiplier.
 func (p *Proc) AdvanceVT(d float64) {
 	if d > 0 {
-		p.vt += d
+		p.vt += d * p.slowScale()
 	}
 }
 
@@ -448,8 +467,19 @@ func (p *Proc) Send(dst, tag, size int, data []byte, meta any) {
 		data = cp
 	}
 
-	p.vt += p.rt.model.SendOverhead()
-	arrival := p.rt.model.Transfer(p.rank, dst, size, p.vt)
+	var arrival float64
+	if cs := p.rt.chaos; cs != nil {
+		// The sender holds the execution token, so these RNG draws are
+		// part of the deterministic serial stream.
+		cs.mu.Lock()
+		backoff, spike := cs.chaosSendFaults(cs.slow[p.rank])
+		p.vt += backoff + cs.slow[p.rank]*p.rt.model.SendOverhead()
+		arrival = p.rt.model.Transfer(p.rank, dst, size, p.vt) + spike
+		cs.mu.Unlock()
+	} else {
+		p.vt += p.rt.model.SendOverhead()
+		arrival = p.rt.model.Transfer(p.rank, dst, size, p.vt)
+	}
 
 	d := p.rt.cfg.Cluster.Dist(p.rank, dst)
 	p.rt.msgsByDist[d].Add(1)
@@ -464,6 +494,16 @@ func (p *Proc) Send(dst, tag, size int, data []byte, meta any) {
 	}
 
 	m := &Msg{Src: p.rank, Tag: tag, Size: size, Data: data, Meta: meta, arrival: arrival}
+	if cs := p.rt.chaos; cs != nil {
+		// Chaos mode: the message enters the scheduler's in-flight pool
+		// (possibly duplicated) instead of the destination mailbox; a
+		// later delivery decision releases it.
+		cs.mu.Lock()
+		cs.chaosEnqueue(p.rank, dst, m)
+		cs.mu.Unlock()
+		p.rt.progress.Add(1)
+		return
+	}
 	box := p.rt.boxes[dst]
 	box.mu.Lock()
 	box.queue = append(box.queue, m)
@@ -522,6 +562,9 @@ func (p *Proc) WaitAll(reqs ...*Request) {
 // the receive to the virtual clock, and returns it. Matching is FIFO
 // with respect to each sender.
 func (p *Proc) Recv(src, tag int) Msg {
+	if p.rt.chaos != nil {
+		return p.chaosRecv(src, tag)
+	}
 	p.rt.checkAborted()
 	box := p.rt.boxes[p.rank]
 	box.mu.Lock()
@@ -550,6 +593,9 @@ func (p *Proc) Recv(src, tag int) Msg {
 // Probe reports whether a message matching (src, tag) is currently
 // queued, without receiving it and without advancing the clock.
 func (p *Proc) Probe(src, tag int) bool {
+	if p.rt.chaos != nil {
+		return p.chaosProbe(src, tag)
+	}
 	box := p.rt.boxes[p.rank]
 	box.mu.Lock()
 	defer box.mu.Unlock()
@@ -590,6 +636,9 @@ func (p *Proc) CollectiveTime() float64 {
 // the central barrier state. It also acts as a barrier. The rank's
 // clock is advanced to the returned maximum (a barrier synchronises).
 func (p *Proc) reduceMax(v float64) float64 {
+	if p.rt.chaos != nil {
+		return p.chaosReduceMax(v)
+	}
 	rt := p.rt
 	rt.bmu.Lock()
 	rt.reduceVals[p.rank] = v

@@ -438,3 +438,53 @@ func TestFirstFitPolicyValid(t *testing.T) {
 		t.Fatalf("first-fit succeeded %d vs load-aware %d", ff.Stats.AgentSuccesses, la.Stats.AgentSuccesses)
 	}
 }
+
+// TestDistributedUnderAdversarialSchedules: the negotiation protocol
+// (Algorithms 1–3) matches AnySource receives, so the Go scheduler's
+// accidental ordering is only one of many legal executions. Under the
+// chaos scheduler's seeded adversarial orderings — delayed, reordered
+// and duplicated deliveries plus transient send failures — the
+// proposer-optimal matching must still come out plan-identical to the
+// central builder on every seed.
+func TestDistributedUnderAdversarialSchedules(t *testing.T) {
+	shapes := []topology.Cluster{
+		{Nodes: 2, SocketsPerNode: 2, RanksPerSocket: 4, NodesPerGroup: 2},
+		{Nodes: 3, SocketsPerNode: 2, RanksPerSocket: 3, NodesPerGroup: 2},
+	}
+	for _, c := range shapes {
+		for _, delta := range []float64{0.2, 0.6} {
+			g := mustER(t, c.Ranks(), delta, 500)
+			central, err := Build(g, c.L())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(0); seed < 8; seed++ {
+				dist, _, err := BuildDistributed(
+					mpirt.Config{Cluster: c, Phantom: true, Chaos: mpirt.DefaultChaos(seed)}, g)
+				if err != nil {
+					t.Fatalf("%s δ=%v chaos seed %d: %v", c, delta, seed, err)
+				}
+				if err := dist.Validate(); err != nil {
+					t.Fatalf("%s δ=%v chaos seed %d: invalid pattern: %v", c, delta, seed, err)
+				}
+				for r := range central.Plans {
+					cp, dp := central.Plans[r], dist.Plans[r]
+					if len(cp.Steps) != len(dp.Steps) {
+						t.Fatalf("%s δ=%v seed %d rank %d: step counts differ", c, delta, seed, r)
+					}
+					for i := range cp.Steps {
+						if cp.Steps[i].Agent != dp.Steps[i].Agent || cp.Steps[i].Origin != dp.Steps[i].Origin {
+							t.Fatalf("%s δ=%v seed %d rank %d step %d: schedule-dependent agent choice (central agent=%d origin=%d, chaos agent=%d origin=%d)",
+								c, delta, seed, r, i, cp.Steps[i].Agent, cp.Steps[i].Origin, dp.Steps[i].Agent, dp.Steps[i].Origin)
+						}
+					}
+					if !reflect.DeepEqual(cp.FinalSends, dp.FinalSends) ||
+						!reflect.DeepEqual(cp.FinalRecvs, dp.FinalRecvs) ||
+						!reflect.DeepEqual(cp.BufSources, dp.BufSources) {
+						t.Fatalf("%s δ=%v seed %d rank %d: remainder phase differs under adversarial schedule", c, delta, seed, r)
+					}
+				}
+			}
+		}
+	}
+}

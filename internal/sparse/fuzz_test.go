@@ -20,6 +20,33 @@ func FuzzReadMatrixMarket(f *testing.F) {
 		"garbage",
 		"%%MatrixMarket matrix coordinate real general\n-1 2 1\n",
 		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 not-a-number\n",
+		// Truncations at every structural boundary.
+		"",
+		"%",
+		"%%MatrixMarket",
+		"%%MatrixMarket matrix coordinate real general",
+		"%%MatrixMarket matrix coordinate real general\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5",          // no trailing newline
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n2 2 9\n", // extra entry
+		// Header and banner corruption.
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"%%MatrixMarket tensor coordinate real general\n2 2 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate complex hermitian\n2 2 1\n1 1 1 0\n",
+		"%%matrixmarket matrix coordinate real general\n2 2 1\n1 1 1\n",
+		// Numeric edge cases: overflow-scale dims and counts, huge
+		// exponents, signs, duplicates, reversed symmetric entries.
+		"%%MatrixMarket matrix coordinate real general\n99999999999999999999 2 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 99999999999999999999\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1e308\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 -1e-308\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n1 1 2\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 3 2\n2 2 1\n",
+		"%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1 7\n",
+		// Whitespace and binary garbage.
+		"%%MatrixMarket matrix coordinate real general\n 2\t2  1 \n 1  1\t3.5\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n\x00\x01\x02\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)

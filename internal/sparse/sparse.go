@@ -153,18 +153,42 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	pattern := header[3] == "pattern"
 	symmetric := len(header) >= 5 && header[4] == "symmetric"
 
+	// The size line is parsed field-by-field with Atoi rather than
+	// fmt.Sscan: Sscan stops at the first non-digit, silently accepting
+	// tokens like "12OO34" and leaving garbage unreported.
 	var rows, cols, nnz int
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
-		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("sparse: bad size line %q: %v", line, err)
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("sparse: bad size line %q", line)
+		}
+		var errs [3]error
+		rows, errs[0] = strconv.Atoi(f[0])
+		cols, errs[1] = strconv.Atoi(f[1])
+		nnz, errs[2] = strconv.Atoi(f[2])
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad size line %q: %v", line, err)
+			}
 		}
 		break
 	}
-	ts := make([]Triplet, 0, nnz)
+	// A corrupt header must not drive allocation: bound the dimensions
+	// (FromTriplets allocates rows+1 row pointers) and cap the triplet
+	// pre-allocation — the slice still grows to the real entry count.
+	const maxDim = 1 << 27
+	if rows < 0 || cols < 0 || nnz < 0 || rows > maxDim || cols > maxDim {
+		return nil, fmt.Errorf("sparse: implausible size line %d %d %d", rows, cols, nnz)
+	}
+	capHint := nnz
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	ts := make([]Triplet, 0, capHint)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {

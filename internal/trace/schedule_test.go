@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleDecisions() []Decision {
+	return []Decision{
+		{Kind: DecisionResume, Rank: 0},
+		{Kind: DecisionDeliver, Rank: 1, Src: 0, Tag: 7, SendSeq: 0, Size: 8},
+		{Kind: DecisionDropDup, Rank: 1, Src: 0, Tag: 7, SendSeq: 0, Size: 8},
+		{Kind: DecisionResume, Rank: 2},
+	}
+}
+
+func TestScheduleRecordAndCounts(t *testing.T) {
+	s := NewSchedule()
+	for _, d := range sampleDecisions() {
+		s.Record(d)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	r, dl, dr := s.Counts()
+	if r != 2 || dl != 1 || dr != 1 {
+		t.Fatalf("Counts = %d,%d,%d", r, dl, dr)
+	}
+	if d, ok := s.At(1); !ok || d.Kind != DecisionDeliver || d.Src != 0 {
+		t.Fatalf("At(1) = %+v, %v", d, ok)
+	}
+	if _, ok := s.At(4); ok {
+		t.Fatal("At out of range succeeded")
+	}
+	if _, ok := s.At(-1); ok {
+		t.Fatal("At(-1) succeeded")
+	}
+}
+
+func TestScheduleHashEqualDiverge(t *testing.T) {
+	a, b := NewSchedule(), NewSchedule()
+	for _, d := range sampleDecisions() {
+		a.Record(d)
+		b.Record(d)
+	}
+	if !a.Equal(b) || a.Hash() != b.Hash() {
+		t.Fatal("identical schedules compare unequal")
+	}
+	if a.Diverge(b) != -1 {
+		t.Fatalf("Diverge of equal schedules = %d", a.Diverge(b))
+	}
+	b.Record(Decision{Kind: DecisionResume, Rank: 5})
+	if a.Equal(b) {
+		t.Fatal("prefix compares equal")
+	}
+	if a.Diverge(b) != -1 {
+		t.Fatal("prefix should diverge at -1")
+	}
+	c := NewSchedule()
+	ds := sampleDecisions()
+	ds[2].Rank = 9
+	for _, d := range ds {
+		c.Record(d)
+	}
+	if a.Hash() == c.Hash() {
+		t.Fatal("different schedules share a hash")
+	}
+	if a.Diverge(c) != 2 {
+		t.Fatalf("Diverge = %d, want 2", a.Diverge(c))
+	}
+}
+
+func TestScheduleReset(t *testing.T) {
+	s := NewSchedule()
+	s.Record(Decision{Kind: DecisionResume})
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", s.Len())
+	}
+	empty := NewSchedule()
+	if s.Hash() != empty.Hash() {
+		t.Fatal("reset schedule hash differs from empty")
+	}
+}
+
+func TestScheduleWrite(t *testing.T) {
+	s := NewSchedule()
+	for _, d := range sampleDecisions() {
+		s.Record(d)
+	}
+	var sb strings.Builder
+	if err := s.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"resume", "deliver", "drop-dup", "0→1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Write output missing %q:\n%s", want, out)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("want 4 lines:\n%s", out)
+	}
+}
+
+func TestDecisionKindString(t *testing.T) {
+	if DecisionResume.String() != "resume" || DecisionKind(99).String() == "" {
+		t.Fatal("DecisionKind.String broken")
+	}
+}
