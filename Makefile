@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench chaos fuzz repro examples clean
+.PHONY: all build vet test race cover bench chaos faults fuzz repro examples clean
 
 all: build test
 
@@ -28,14 +28,22 @@ cover:
 chaos:
 	$(GO) run ./cmd/nbr-chaos -seeds 50
 
+# Fail-stop sweep: the whole fail-stop case family (every algorithm ×
+# crash-before/mid/agent/leader/multi/raw) across 10 seeds. Failing
+# seeds print a `nbr-chaos -faults -case ... -replay N` reproduce line.
+faults:
+	$(GO) run ./cmd/nbr-chaos -faults -seeds 10
+
 # Brief fuzz of the MatrixMarket parser (longer runs: go test -fuzz
 # with -fuzztime of your choice).
 fuzz:
 	$(GO) test -fuzz=FuzzReadMatrixMarket -fuzztime=20s ./internal/sparse
 
-# One benchmark per paper table/figure plus ablations (CI scale).
+# One benchmark per paper table/figure plus ablations (CI scale), and
+# the machine-readable snapshot consumed by tooling.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+	$(GO) run ./cmd/nbr-bench -json results/BENCH_pr2.json
 
 # Regenerate the experiment outputs in results/ (~15 min at medium scale).
 repro:

@@ -44,6 +44,7 @@ func run(args []string, out io.Writer) error {
 	maxMsg := fs.Int("max-msg", 1<<20, "largest message size in bytes")
 	wall := fs.Duration("wall", 10*time.Minute, "wall-clock budget per measurement")
 	scatter := fs.Bool("scatter", false, "scatter nodes across Dragonfly+ groups (the batch-scheduler placement the paper's jobs got); matters for structured topologies")
+	jsonPath := fs.String("json", "", "write the machine-readable benchmark (per-algorithm Fig. 4 cells plus fail-stop recovery overhead) to this path and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +57,10 @@ func run(args []string, out io.Writer) error {
 			return c.Scattered(*seed)
 		}
 		return c
+	}
+
+	if *jsonPath != "" {
+		return runJSON(out, *jsonPath, place(topology.Niagara(*nodes, *rps)), *trials, *seed, *wall)
 	}
 
 	run4 := *fig == 0 || *fig == 4

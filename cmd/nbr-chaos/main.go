@@ -8,13 +8,25 @@
 //
 //	nbr-chaos -seeds 50
 //
+// Sweep the fail-stop family (injected rank crashes, ULFM recovery):
+//
+//	nbr-chaos -faults -seeds 10
+//
 // Replay a failure printed by the sweep or by the conformance tests:
 //
 //	nbr-chaos -case 2n2s3l/er35/dh/allgather -replay 17 -dump
+//	nbr-chaos -faults -case failstop/2n2s3l/er35/dh/allgatherv/agent -replay 3
 //
 // Replay runs the seed twice and verifies the recorded schedules are
 // hash-identical, then forces the recorded schedule back through the
 // scheduler (divergence detection on) — the full determinism contract.
+// Fail-stop replays record the injected kills in the schedule, so the
+// printed decision counts include the crash points.
+//
+// Ad-hoc fault injection overrides a fail-stop case's derived kill
+// schedule ("rank@afterOps" or "rank@afterOps@vt", comma-separated):
+//
+//	nbr-chaos -faults -case failstop/2n2s3l/er35/cn/allgatherv/mid -replay 0 -kill 5@3,1@0
 package main
 
 import (
@@ -22,6 +34,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"nbrallgather/internal/conformance"
 	"nbrallgather/internal/mpirt"
@@ -43,11 +57,25 @@ func run(args []string, out io.Writer) error {
 	caseName := fs.String("case", "", "restrict to one matrix case (see -list)")
 	replay := fs.Int64("replay", -1, "replay one seed instead of sweeping: record, re-run, compare, force-replay")
 	scheduleOnly := fs.Bool("schedule-only", false, "adversarial scheduling only, no fault injection")
+	faults := fs.Bool("faults", false, "run the fail-stop case family (injected rank crashes) instead of the conformance matrix")
+	killSpec := fs.String("kill", "", "with -faults, override the kill schedule: rank@afterOps[@vt], comma-separated")
 	dump := fs.Bool("dump", false, "with -replay, print the recorded decision schedule")
 	list := fs.Bool("list", false, "list the conformance matrix cases and exit")
 	verbose := fs.Bool("v", false, "per-seed progress")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	mk := mpirt.DefaultChaos
+	if *scheduleOnly {
+		mk = mpirt.ScheduleOnly
+	}
+
+	if *faults {
+		return runFaults(out, *caseName, *killSpec, *seeds, *seedBase, *replay, mk, *list, *dump, *verbose)
+	}
+	if *killSpec != "" {
+		return fmt.Errorf("-kill requires -faults")
 	}
 
 	cases, err := conformance.Matrix()
@@ -66,11 +94,6 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		cases = []conformance.Case{c}
-	}
-
-	mk := mpirt.DefaultChaos
-	if *scheduleOnly {
-		mk = mpirt.ScheduleOnly
 	}
 
 	if *replay >= 0 {
@@ -107,7 +130,7 @@ func sweep(out io.Writer, cases []conformance.Case, nseeds int, base int64, mk f
 
 func replaySeed(out io.Writer, cases []conformance.Case, seed int64, mk func(int64) *mpirt.Chaos, dump bool) error {
 	for _, c := range cases {
-		record := func(replayFrom *trace.Schedule) (*trace.Schedule, error) {
+		runOnce := func(replayFrom *trace.Schedule) (*trace.Schedule, error) {
 			ch := mk(seed)
 			s := trace.NewSchedule()
 			ch.Record = s
@@ -115,40 +138,185 @@ func replaySeed(out io.Writer, cases []conformance.Case, seed int64, mk func(int
 			err := conformance.RunCase(c, ch)
 			return s, err
 		}
-
-		s1, err1 := record(nil)
-		s2, err2 := record(nil)
-		if (err1 == nil) != (err2 == nil) {
-			return fmt.Errorf("%s seed %d: nondeterministic outcome: %v vs %v", c.Name, seed, err1, err2)
-		}
-		if s1.Hash() != s2.Hash() {
-			return fmt.Errorf("%s seed %d: schedules diverge at decision %d — determinism broken",
-				c.Name, seed, s1.Diverge(s2))
-		}
-		s3, err3 := record(s1)
-		if err3 != nil && err1 == nil {
-			return fmt.Errorf("%s seed %d: forced replay failed: %v", c.Name, seed, err3)
-		}
-		if !s1.Equal(s3) {
-			return fmt.Errorf("%s seed %d: forced replay produced a different schedule (diverge at %d)",
-				c.Name, seed, s1.Diverge(s3))
-		}
-
-		resumes, delivers, drops := s1.Counts()
-		status := "PASS"
-		if err1 != nil {
-			status = "FAIL (reproduced)"
-		}
-		fmt.Fprintf(out, "%s %s seed %d: %d decisions (%d resumes, %d deliveries, %d dedups), schedule %016x, replay exact\n",
-			status, c.Name, seed, s1.Len(), resumes, delivers, drops, s1.Hash())
-		if err1 != nil {
-			fmt.Fprintf(out, "  error: %v\n", err1)
-		}
-		if dump {
-			if err := s1.Write(out); err != nil {
-				return err
-			}
+		if err := replayTriple(out, c.Name, seed, runOnce, dump); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// replayTriple implements the determinism contract shared by matrix
+// and fail-stop replays: record twice, compare hashes, then force the
+// first schedule back through the scheduler and demand equality.
+func replayTriple(out io.Writer, name string, seed int64, runOnce func(*trace.Schedule) (*trace.Schedule, error), dump bool) error {
+	s1, err1 := runOnce(nil)
+	s2, err2 := runOnce(nil)
+	if (err1 == nil) != (err2 == nil) {
+		return fmt.Errorf("%s seed %d: nondeterministic outcome: %v vs %v", name, seed, err1, err2)
+	}
+	if s1.Hash() != s2.Hash() {
+		return fmt.Errorf("%s seed %d: schedules diverge at decision %d — determinism broken",
+			name, seed, s1.Diverge(s2))
+	}
+	s3, err3 := runOnce(s1)
+	if err3 != nil && err1 == nil {
+		return fmt.Errorf("%s seed %d: forced replay failed: %v", name, seed, err3)
+	}
+	if !s1.Equal(s3) {
+		return fmt.Errorf("%s seed %d: forced replay produced a different schedule (diverge at %d)",
+			name, seed, s1.Diverge(s3))
+	}
+
+	resumes, delivers, drops := s1.Counts()
+	status := "PASS"
+	if err1 != nil {
+		status = "FAIL (reproduced)"
+	}
+	fmt.Fprintf(out, "%s %s seed %d: %d decisions (%d resumes, %d deliveries, %d dedups), schedule %016x, replay exact\n",
+		status, name, seed, s1.Len(), resumes, delivers, drops, s1.Hash())
+	if kills := s1.CountKind(trace.DecisionKill); kills > 0 {
+		fmt.Fprintf(out, "  faults: %d kills, %d fail-notifies, %d revoke-notifies recorded in schedule\n",
+			kills, s1.CountKind(trace.DecisionFailNotify), s1.CountKind(trace.DecisionRevokeNotify))
+	}
+	if err1 != nil {
+		fmt.Fprintf(out, "  error: %v\n", err1)
+	}
+	if dump {
+		if err := s1.Write(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFaults drives the fail-stop family: list, sweep, or replay, with
+// an optional ad-hoc kill schedule.
+func runFaults(out io.Writer, caseName, killSpec string, nseeds int, base, replay int64, mk func(int64) *mpirt.Chaos, list, dump, verbose bool) error {
+	cases, err := conformance.FailStopMatrix()
+	if err != nil {
+		return err
+	}
+	if list {
+		for _, c := range cases {
+			fmt.Fprintln(out, c.Name)
+		}
+		return nil
+	}
+	if caseName != "" {
+		c, err := conformance.FindFailStopCase(caseName)
+		if err != nil {
+			return err
+		}
+		cases = []conformance.FailStopCase{c}
+	}
+	kills, err := parseKills(killSpec)
+	if err != nil {
+		return err
+	}
+	if kills != nil && caseName == "" {
+		return fmt.Errorf("-kill requires -case (an ad-hoc schedule applies to one case)")
+	}
+
+	runCase := func(c conformance.FailStopCase, seed int64, ch *mpirt.Chaos) error {
+		if kills != nil {
+			return conformance.RunFailStopCaseKills(c, ch, kills)
+		}
+		return conformance.RunFailStopCase(c, seed, ch)
+	}
+
+	if replay >= 0 {
+		for _, c := range cases {
+			ks := kills
+			if ks == nil {
+				ks = conformance.FailStopKills(c, replay)
+			}
+			fmt.Fprintf(out, "%s: kill schedule %s\n", c.Name, formatKills(ks))
+			runOnce := func(replayFrom *trace.Schedule) (*trace.Schedule, error) {
+				ch := mk(replay)
+				s := trace.NewSchedule()
+				ch.Record = s
+				ch.Replay = replayFrom
+				err := runCase(c, replay, ch)
+				return s, err
+			}
+			if err := replayTriple(out, c.Name, replay, runOnce, dump); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if nseeds < 1 {
+		return fmt.Errorf("-seeds %d must be positive", nseeds)
+	}
+	seeds := make([]int64, nseeds)
+	for i := range seeds {
+		seeds[i] = base + int64(i)
+	}
+	fmt.Fprintf(out, "fail-stop sweep: %d cases × %d seeds (seeds %d..%d)\n",
+		len(cases), nseeds, base, base+int64(nseeds)-1)
+	var failures []conformance.FailStopFailure
+	for i, seed := range seeds {
+		for _, c := range cases {
+			if err := runCase(c, seed, mk(seed)); err != nil {
+				failures = append(failures, conformance.FailStopFailure{Case: c, Seed: seed, Err: err})
+			}
+		}
+		if verbose || i == len(seeds)-1 {
+			fmt.Fprintf(out, "  seed %d/%d done, %d failures\n", i+1, len(seeds), len(failures))
+		}
+	}
+	if len(failures) == 0 {
+		fmt.Fprintf(out, "PASS: %d fail-stop runs recovered or failed fast with typed errors\n", len(cases)*nseeds)
+		return nil
+	}
+	for _, f := range failures {
+		fmt.Fprintf(out, "FAIL %s\n  reproduce: nbr-chaos -faults -case %s -replay %d\n", f, f.Case.Name, f.Seed)
+	}
+	return fmt.Errorf("%d of %d fail-stop runs failed", len(failures), len(cases)*nseeds)
+}
+
+// parseKills parses the -kill spec: "rank@afterOps" or
+// "rank@afterOps@vt", comma-separated. Empty input is no override.
+func parseKills(spec string) ([]mpirt.Kill, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var kills []mpirt.Kill
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), "@")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("-kill %q: want rank@afterOps[@vt]", part)
+		}
+		rank, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("-kill %q: bad rank: %v", part, err)
+		}
+		ops, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("-kill %q: bad afterOps: %v", part, err)
+		}
+		k := mpirt.Kill{Rank: rank, AfterOps: ops}
+		if len(fields) == 3 {
+			vt, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("-kill %q: bad vt: %v", part, err)
+			}
+			k.VT = vt
+		}
+		kills = append(kills, k)
+	}
+	return kills, nil
+}
+
+func formatKills(kills []mpirt.Kill) string {
+	parts := make([]string, len(kills))
+	for i, k := range kills {
+		if k.VT > 0 {
+			parts[i] = fmt.Sprintf("%d@%d@%g", k.Rank, k.AfterOps, k.VT)
+		} else {
+			parts[i] = fmt.Sprintf("%d@%d", k.Rank, k.AfterOps)
+		}
+	}
+	return strings.Join(parts, ",")
 }

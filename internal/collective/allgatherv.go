@@ -17,11 +17,11 @@ import (
 // implement VOp; their uniform Run methods delegate here.
 type VOp interface {
 	Op
-	RunV(p *mpirt.Proc, sbuf []byte, counts []int, rbuf []byte)
+	RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []byte)
 }
 
 // checkArgsV validates the RunV contract and returns the receive total.
-func checkArgsV(p *mpirt.Proc, g *vgraph.Graph, sbuf []byte, counts []int, rbuf []byte) {
+func checkArgsV(p mpirt.Endpoint, g *vgraph.Graph, sbuf []byte, counts []int, rbuf []byte) {
 	if p.Size() != g.N() {
 		panic(fmt.Sprintf("collective: runtime has %d ranks, graph %d", p.Size(), g.N()))
 	}
@@ -71,7 +71,7 @@ func uniformCounts(n, m int) []int {
 }
 
 // RunV implements VOp for the naive algorithm.
-func (a *Naive) RunV(p *mpirt.Proc, sbuf []byte, counts []int, rbuf []byte) {
+func (a *Naive) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []byte) {
 	checkArgsV(p, a.g, sbuf, counts, rbuf)
 	r := p.Rank()
 	in := a.g.In(r)
@@ -100,7 +100,7 @@ func (a *Naive) RunV(p *mpirt.Proc, sbuf []byte, counts []int, rbuf []byte) {
 // movement to Run, with per-source segment sizes. The halving phase's
 // growth bound becomes the sum of merged sources' counts rather than a
 // strict doubling.
-func (a *DistanceHalving) RunV(p *mpirt.Proc, sbuf []byte, counts []int, rbuf []byte) {
+func (a *DistanceHalving) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []byte) {
 	checkArgsV(p, a.g, sbuf, counts, rbuf)
 	r := p.Rank()
 	plan := &a.pat.Plans[r]
@@ -220,7 +220,7 @@ func (a *DistanceHalving) RunV(p *mpirt.Proc, sbuf []byte, counts []int, rbuf []
 }
 
 // RunV implements VOp for the Common Neighbor algorithm.
-func (a *CommonNeighbor) RunV(p *mpirt.Proc, sbuf []byte, counts []int, rbuf []byte) {
+func (a *CommonNeighbor) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []byte) {
 	checkArgsV(p, a.g, sbuf, counts, rbuf)
 	r := p.Rank()
 	plan := &a.pat.Plans[r]

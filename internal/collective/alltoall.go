@@ -38,10 +38,10 @@ const (
 type AOp interface {
 	Name() string
 	Graph() *vgraph.Graph
-	RunA(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+	RunA(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte)
 }
 
-func checkArgsA(p *mpirt.Proc, g *vgraph.Graph, sbuf []byte, m int, rbuf []byte) {
+func checkArgsA(p mpirt.Endpoint, g *vgraph.Graph, sbuf []byte, m int, rbuf []byte) {
 	if p.Size() != g.N() {
 		panic(fmt.Sprintf("collective: runtime has %d ranks, graph %d", p.Size(), g.N()))
 	}
@@ -77,7 +77,7 @@ func (a *NaiveAlltoall) Graph() *vgraph.Graph { return a.g }
 
 // RunA implements AOp; the general per-edge-size data movement lives
 // in RunAV (alltoallv.go).
-func (a *NaiveAlltoall) RunA(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte) {
+func (a *NaiveAlltoall) RunA(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte) {
 	checkUniform(m)
 	a.RunAV(p, sbuf, UniformCount(m), rbuf)
 }
@@ -123,7 +123,7 @@ func (a *DistanceHalvingAlltoall) Pattern() *pattern.Pattern { return a.pat }
 // currently responsible for to its payload; each step the edges
 // destined into h2 travel to the agent, and the remainder phase
 // delivers what is left — exactly the sets recorded in FinalSends.
-func (a *DistanceHalvingAlltoall) RunA(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte) {
+func (a *DistanceHalvingAlltoall) RunA(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte) {
 	checkUniform(m)
 	a.RunAV(p, sbuf, UniformCount(m), rbuf)
 }

@@ -25,10 +25,10 @@ func UniformCount(m int) CountFunc {
 // per-edge sizes; rbuf receives In(rank)'s segments likewise.
 type AVOp interface {
 	AOp
-	RunAV(p *mpirt.Proc, sbuf []byte, counts CountFunc, rbuf []byte)
+	RunAV(p mpirt.Endpoint, sbuf []byte, counts CountFunc, rbuf []byte)
 }
 
-func checkArgsAV(p *mpirt.Proc, g *vgraph.Graph, sbuf []byte, counts CountFunc, rbuf []byte) {
+func checkArgsAV(p mpirt.Endpoint, g *vgraph.Graph, sbuf []byte, counts CountFunc, rbuf []byte) {
 	if p.Size() != g.N() {
 		panic(fmt.Sprintf("collective: runtime has %d ranks, graph %d", p.Size(), g.N()))
 	}
@@ -89,7 +89,7 @@ func recvOffsetsAV(g *vgraph.Graph, r int, counts CountFunc) map[int]int {
 // RunA implements AOp for the naive algorithm by delegating to RunAV.
 // (Defined here so both uniform and ragged paths share one body; the
 // original direct implementation remains as the RunAV special case.)
-func (a *NaiveAlltoall) RunAV(p *mpirt.Proc, sbuf []byte, counts CountFunc, rbuf []byte) {
+func (a *NaiveAlltoall) RunAV(p mpirt.Endpoint, sbuf []byte, counts CountFunc, rbuf []byte) {
 	checkArgsAV(p, a.g, sbuf, counts, rbuf)
 	r := p.Rank()
 	in := a.g.In(r)
@@ -124,7 +124,7 @@ func (a *NaiveAlltoall) RunAV(p *mpirt.Proc, sbuf []byte, counts CountFunc, rbuf
 
 // RunAV implements AVOp for the Distance Halving alltoall: the same
 // per-edge responsibility replay as RunA with per-edge sizes.
-func (a *DistanceHalvingAlltoall) RunAV(p *mpirt.Proc, sbuf []byte, counts CountFunc, rbuf []byte) {
+func (a *DistanceHalvingAlltoall) RunAV(p mpirt.Endpoint, sbuf []byte, counts CountFunc, rbuf []byte) {
 	checkArgsAV(p, a.g, sbuf, counts, rbuf)
 	r := p.Rank()
 	plan := &a.pat.Plans[r]

@@ -173,7 +173,7 @@ func (a *CommonNeighbor) Pattern() *CNPattern { return a.pat }
 // Run implements Op: an intra-group payload exchange, then delegated
 // combined deliveries. The general variable-size data movement lives in
 // RunV (allgatherv.go).
-func (a *CommonNeighbor) Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte) {
+func (a *CommonNeighbor) Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte) {
 	checkUniform(m)
 	a.RunV(p, sbuf, uniformCounts(a.g.N(), m), rbuf)
 }

@@ -44,7 +44,7 @@ const (
 type Op interface {
 	Name() string
 	Graph() *vgraph.Graph
-	Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+	Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte)
 }
 
 // checkUniform validates the uniform Run contract before delegating to
@@ -71,7 +71,7 @@ func (a *Naive) Graph() *vgraph.Graph { return a.g }
 
 // Run implements Op: isend to every outgoing neighbor, irecv from every
 // incoming neighbor, wait all.
-func (a *Naive) Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte) {
+func (a *Naive) Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte) {
 	checkUniform(m)
 	a.RunV(p, sbuf, uniformCounts(a.g.N(), m), rbuf)
 }
@@ -114,7 +114,7 @@ func (a *DistanceHalving) Pattern() *pattern.Pattern { return a.pat }
 // temporary buffers and delivers them (mostly within the socket). The
 // general variable-size data movement lives in RunV (allgatherv.go);
 // the uniform allgather is its counts[i] = m special case.
-func (a *DistanceHalving) Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte) {
+func (a *DistanceHalving) Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte) {
 	checkUniform(m)
 	a.RunV(p, sbuf, uniformCounts(a.g.N(), m), rbuf)
 }

@@ -24,7 +24,10 @@ type LeaderBased struct {
 	g       *vgraph.Graph
 	c       topology.Cluster
 	leaders int
-	plan    []lbPlan
+	// place maps graph rank -> cluster rank (nil = identity): the
+	// shrunken-communicator placement after fail-stop recovery.
+	place []int
+	plan  []lbPlan
 }
 
 // lbPlan is one rank's precomputed role.
@@ -64,6 +67,33 @@ func NewLeaderBased(g *vgraph.Graph, c topology.Cluster) (*LeaderBased, error) {
 // (the node's first k ranks); node-pair traffic is spread across them
 // by descending segment count onto the least-loaded leader.
 func NewLeaderBasedK(g *vgraph.Graph, c topology.Cluster, k int) (*LeaderBased, error) {
+	return newLeaderBased(g, c, k, nil)
+}
+
+// NewLeaderBasedPlaced builds the hierarchy for a communicator whose
+// rank i occupies cluster rank place[i] — the shrunken-communicator
+// case after fail-stop recovery, where survivors are renumbered
+// densely but keep their physical placement. Leadership is re-elected:
+// each node's leaders are its first k surviving ranks, so a dead
+// leader's role moves to the next live rank of the node.
+func NewLeaderBasedPlaced(g *vgraph.Graph, c topology.Cluster, k int, place []int) (*LeaderBased, error) {
+	if len(place) != g.N() {
+		return nil, fmt.Errorf("collective: placement has %d entries for %d ranks", len(place), g.N())
+	}
+	seen := make(map[int]bool, len(place))
+	for i, cr := range place {
+		if cr < 0 || cr >= c.Ranks() {
+			return nil, fmt.Errorf("collective: rank %d placed on cluster rank %d outside [0,%d)", i, cr, c.Ranks())
+		}
+		if seen[cr] {
+			return nil, fmt.Errorf("collective: cluster rank %d placed twice", cr)
+		}
+		seen[cr] = true
+	}
+	return newLeaderBased(g, c, k, append([]int(nil), place...))
+}
+
+func newLeaderBased(g *vgraph.Graph, c topology.Cluster, k int, place []int) (*LeaderBased, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -77,6 +107,12 @@ func NewLeaderBasedK(g *vgraph.Graph, c topology.Cluster, k int) (*LeaderBased, 
 		k = c.RanksPerNode()
 	}
 	n := g.N()
+	nodeOf := func(r int) int {
+		if place != nil {
+			return c.NodeOf(place[r])
+		}
+		return c.NodeOf(r)
+	}
 	plans := make([]lbPlan, n)
 
 	// pairSources[(x,y)] = distinct sources on node x with an edge
@@ -87,12 +123,12 @@ func NewLeaderBasedK(g *vgraph.Graph, c topology.Cluster, k int) (*LeaderBased, 
 	for u := 0; u < n; u++ {
 		seenPair := map[pair]bool{}
 		for _, v := range g.Out(u) {
-			if c.SameNode(u, v) {
+			if nodeOf(u) == nodeOf(v) {
 				plans[u].directSends = append(plans[u].directSends, v)
 				plans[v].directRecvs = append(plans[v].directRecvs, u)
 				continue
 			}
-			kp := pair{c.NodeOf(u), c.NodeOf(v)}
+			kp := pair{nodeOf(u), nodeOf(v)}
 			if !seenPair[kp] {
 				seenPair[kp] = true
 				pairSources[kp] = append(pairSources[kp], u)
@@ -118,12 +154,14 @@ func NewLeaderBasedK(g *vgraph.Graph, c topology.Cluster, k int) (*LeaderBased, 
 		return keys[i].y < keys[j].y
 	})
 	// leaderRanks lists node ny's leader ranks that exist in the
-	// communicator.
+	// communicator: its first k member ranks in communicator order
+	// (identical to the base..base+k-1 block for identity placement).
 	leaderRanks := func(ny int) []int {
-		base := ny * c.RanksPerNode()
 		var ls []int
-		for i := 0; i < k && base+i < n; i++ {
-			ls = append(ls, base+i)
+		for r := 0; r < n && len(ls) < k; r++ {
+			if nodeOf(r) == ny {
+				ls = append(ls, r)
+			}
 		}
 		return ls
 	}
@@ -204,7 +242,7 @@ func NewLeaderBasedK(g *vgraph.Graph, c topology.Cluster, k int) (*LeaderBased, 
 		sort.Ints(remoteIn[v])
 		byLeader := map[int][]int{}
 		for _, u := range remoteIn[v] {
-			kp := pair{c.NodeOf(u), c.NodeOf(v)}
+			kp := pair{nodeOf(u), nodeOf(v)}
 			dl := routes[kp].dstLeader
 			byLeader[dl] = append(byLeader[dl], u)
 		}
@@ -234,7 +272,7 @@ func NewLeaderBasedK(g *vgraph.Graph, c topology.Cluster, k int) (*LeaderBased, 
 			return plans[r].distribute[i].Sources[0] < plans[r].distribute[j].Sources[0]
 		})
 	}
-	return &LeaderBased{g: g, c: c, leaders: k, plan: plans}, nil
+	return &LeaderBased{g: g, c: c, leaders: k, place: place, plan: plans}, nil
 }
 
 // Name implements Op.
@@ -249,14 +287,14 @@ func (a *LeaderBased) Name() string {
 func (a *LeaderBased) Graph() *vgraph.Graph { return a.g }
 
 // Run implements Op; the general path is RunV.
-func (a *LeaderBased) Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte) {
+func (a *LeaderBased) Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte) {
 	checkUniform(m)
 	a.RunV(p, sbuf, uniformCounts(a.g.N(), m), rbuf)
 }
 
 // RunV implements VOp: direct intra-node edges, gather to the routed
 // leaders, leader exchange, distribution.
-func (a *LeaderBased) RunV(p *mpirt.Proc, sbuf []byte, counts []int, rbuf []byte) {
+func (a *LeaderBased) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []byte) {
 	checkArgsV(p, a.g, sbuf, counts, rbuf)
 	r := p.Rank()
 	plan := &a.plan[r]

@@ -15,7 +15,7 @@ import (
 // collective usage.
 type Persistent struct {
 	op     VOp
-	p      *mpirt.Proc
+	p mpirt.Endpoint
 	sbuf   []byte
 	counts []int
 	rbuf   []byte
@@ -26,7 +26,7 @@ type Persistent struct {
 // calling rank. The same buffers are reused by every Start; callers
 // update sbuf in place between iterations, exactly as MPI persistent
 // semantics prescribe.
-func AllgatherInit(op VOp, p *mpirt.Proc, sbuf []byte, m int, rbuf []byte) (*Persistent, error) {
+func AllgatherInit(op VOp, p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte) (*Persistent, error) {
 	if m < 1 {
 		return nil, fmt.Errorf("collective: message size %d must be positive", m)
 	}
@@ -38,7 +38,7 @@ func AllgatherInit(op VOp, p *mpirt.Proc, sbuf []byte, m int, rbuf []byte) (*Per
 
 // AllgathervInit binds a persistent neighborhood allgatherv. counts is
 // captured by reference and must not change between Starts.
-func AllgathervInit(op VOp, p *mpirt.Proc, sbuf []byte, counts []int, rbuf []byte) (*Persistent, error) {
+func AllgathervInit(op VOp, p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []byte) (*Persistent, error) {
 	if len(counts) != op.Graph().N() {
 		return nil, fmt.Errorf("collective: %d counts for %d ranks", len(counts), op.Graph().N())
 	}

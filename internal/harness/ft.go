@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"nbrallgather/internal/collective"
+	"nbrallgather/internal/mpirt"
+)
+
+// RecoveryResult quantifies the cost of surviving one injected
+// fail-stop crash: the fault-free completion time of the self-healing
+// collective against the completion time with the crash, plus the
+// detection and agreement costs that virtual time absorbed.
+type RecoveryResult struct {
+	// Baseline is the fault-free RunFTV completion time in seconds.
+	Baseline float64
+	// Failed is the completion time with the injected kill: detection,
+	// revoke, agreement, shrink and the survivor re-run all included.
+	Failed float64
+	// Overhead is Failed − Baseline.
+	Overhead float64
+	// Recovered reports whether the failed run actually took the
+	// recovery path (a kill can land after the collective completed).
+	Recovered bool
+	// Rounds is the number of shrink-and-re-run rounds.
+	Rounds int
+	// Survivors counts ranks in the final communicator.
+	Survivors int
+	// DeadRanks lists the crashed ranks.
+	DeadRanks []int
+	// Detections and DetectTime aggregate the modelled failure
+	// detections charged to virtual clocks.
+	Detections int64
+	DetectTime float64
+	// Repair names the algorithm the final round ran.
+	Repair string
+}
+
+func (r RecoveryResult) String() string {
+	return fmt.Sprintf("baseline %.3gs, with failure %.3gs (+%.3gs; %d rounds, %d survivors, repair %s)",
+		r.Baseline, r.Failed, r.Overhead, r.Rounds, r.Survivors, r.Repair)
+}
+
+// MeasureRecovery times op's self-healing allgather twice — fault-free
+// and with kill injected — and reports the recovery overhead. The
+// victim must not be rank 0: rank 0 resets the cost model and records
+// the completion time, so it has to survive.
+func MeasureRecovery(cfg Config, op collective.VOp, kill mpirt.Kill) (RecoveryResult, error) {
+	g := op.Graph()
+	if g.N() != cfg.Cluster.Ranks() {
+		return RecoveryResult{}, fmt.Errorf("harness: graph has %d ranks, cluster %d", g.N(), cfg.Cluster.Ranks())
+	}
+	if kill.Rank == 0 {
+		return RecoveryResult{}, fmt.Errorf("harness: recovery victim must not be rank 0 (it records the measurement)")
+	}
+	if kill.Rank < 0 || kill.Rank >= g.N() {
+		return RecoveryResult{}, fmt.Errorf("harness: victim rank %d outside [0,%d)", kill.Rank, g.N())
+	}
+	if cfg.MsgSize < 1 {
+		return RecoveryResult{}, fmt.Errorf("harness: message size %d must be positive", cfg.MsgSize)
+	}
+
+	out := RecoveryResult{}
+	base, _, _, err := runRecoveryOnce(cfg, op, nil)
+	if err != nil {
+		return out, fmt.Errorf("harness: fault-free run: %w", err)
+	}
+	out.Baseline = base
+
+	failed, res, rep, err := runRecoveryOnce(cfg, op, []mpirt.Kill{kill})
+	if err != nil {
+		return out, fmt.Errorf("harness: failed run: %w", err)
+	}
+	out.Failed = failed
+	out.Overhead = failed - base
+	out.DeadRanks = rep.DeadRanks
+	out.Detections = rep.Detections
+	out.DetectTime = rep.DetectTime
+	if res != nil {
+		out.Recovered = res.Recovered
+		out.Rounds = res.Rounds
+		out.Repair = res.Repair
+		if res.Comm != nil {
+			out.Survivors = res.Comm.Size()
+		} else {
+			out.Survivors = g.N()
+		}
+	}
+	return out, nil
+}
+
+// runRecoveryOnce executes one timed RunFTV over the whole
+// communicator and returns rank 0's completion time and recovery
+// outcome.
+func runRecoveryOnce(cfg Config, op collective.VOp, kills []mpirt.Kill) (float64, *collective.FTResult, *mpirt.Report, error) {
+	g := op.Graph()
+	counts := make([]int, g.N())
+	for i := range counts {
+		counts[i] = cfg.MsgSize
+	}
+	var t float64
+	var res *collective.FTResult
+	var mu sync.Mutex
+	rep, err := mpirt.Run(mpirt.Config{
+		Cluster:   cfg.Cluster,
+		Params:    cfg.Params,
+		Phantom:   cfg.Phantom,
+		WallLimit: cfg.WallLimit,
+		Chaos:     cfg.Chaos,
+		Kills:     kills,
+	}, func(p *mpirt.Proc) {
+		r := p.Rank()
+		var sbuf, rbuf []byte
+		if !p.Phantom() {
+			sbuf = make([]byte, cfg.MsgSize)
+			for i := range sbuf {
+				sbuf[i] = byte(r + i)
+			}
+			rbuf = make([]byte, g.InDegree(r)*cfg.MsgSize)
+		}
+		p.SyncResetTime()
+		fr, ferr := collective.RunFTV(p, op, sbuf, counts, rbuf)
+		if ferr != nil {
+			panic(fmt.Sprintf("harness: rank %d recovery: %v", r, ferr))
+		}
+		ct := p.CollectiveTime()
+		if r == 0 {
+			mu.Lock()
+			t = ct
+			res = fr
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return t, res, rep, nil
+}

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"testing"
+
+	"nbrallgather/internal/collective"
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/vgraph"
+)
+
+func TestMeasureRecovery(t *testing.T) {
+	c := topology.Cluster{Nodes: 4, SocketsPerNode: 2, RanksPerSocket: 2, NodesPerGroup: 2}
+	g, err := vgraph.ErdosRenyi(c.Ranks(), 0.4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dh, err := collective.NewDistanceHalving(g, c.L())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Cluster: c, MsgSize: 1 << 10, Phantom: true}
+	res, err := MeasureRecovery(cfg, dh, mpirt.Kill{Rank: 3, AfterOps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline <= 0 {
+		t.Fatalf("baseline %v, want > 0", res.Baseline)
+	}
+	if !res.Recovered {
+		t.Fatalf("early kill did not trigger recovery: %+v", res)
+	}
+	if res.Failed <= res.Baseline {
+		t.Fatalf("recovery cost invisible: baseline %v, failed %v", res.Baseline, res.Failed)
+	}
+	if res.Survivors != c.Ranks()-1 || len(res.DeadRanks) != 1 || res.DeadRanks[0] != 3 {
+		t.Fatalf("survivor accounting wrong: %+v", res)
+	}
+	if res.Detections == 0 || res.DetectTime <= 0 {
+		t.Fatalf("detection cost missing: %+v", res)
+	}
+	if res.Repair == "" {
+		t.Fatalf("no repair recorded: %+v", res)
+	}
+}
+
+func TestMeasureRecoveryRejectsRankZeroVictim(t *testing.T) {
+	c := topology.Cluster{Nodes: 2, SocketsPerNode: 2, RanksPerSocket: 2, NodesPerGroup: 2}
+	g, err := vgraph.ErdosRenyi(c.Ranks(), 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := collective.NewNaive(g)
+	if _, err := MeasureRecovery(Config{Cluster: c, MsgSize: 64, Phantom: true}, op, mpirt.Kill{Rank: 0}); err == nil {
+		t.Fatal("rank 0 victim accepted")
+	}
+}

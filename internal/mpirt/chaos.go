@@ -1,9 +1,11 @@
 package mpirt
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 
 	"nbrallgather/internal/trace"
@@ -103,11 +105,22 @@ const (
 	// chaosRecvWait: blocked in Recv until a message is delivered.
 	chaosRecvWait
 	// chaosBarrierWait: blocked in a barrier/reduce until the last
-	// rank arrives.
+	// live rank arrives (dead ranks are excused).
 	chaosBarrierWait
-	// chaosFinished: the rank body returned.
+	// chaosFTWait: blocked in a fault-tolerant agreement round
+	// (Agree/Shrink) until every rank has contributed or died.
+	chaosFTWait
+	// chaosFinished: the rank body returned (or the rank died).
 	chaosFinished
 )
+
+// chaosWake is what the execution token carries to a parked rank: a
+// delivered message, a failure/revocation error, or neither (a plain
+// resume).
+type chaosWake struct {
+	msg *Msg
+	err error
+}
 
 // flightMsg is one in-flight copy of an eager send, held by the chaos
 // scheduler until a delivery decision releases it.
@@ -142,8 +155,12 @@ type chaosRT struct {
 	state     []chaosState
 	reqSrc    []int // posted receive source, valid in chaosRecvWait
 	reqTag    []int // posted receive tag, valid in chaosRecvWait
-	token     []chan *Msg
-	inflight  []*flightMsg
+	token     []chan chaosWake
+	// wakeErr holds a pending error for a rank flipped runnable by a
+	// revocation while it was blocked in a receive; delivered with the
+	// rank's next resume.
+	wakeErr  []error
+	inflight []*flightMsg
 	delivered map[delivKey]bool
 	sendSeq   []uint64
 	slow      []float64 // per-rank time multiplier, ≥ 1
@@ -162,14 +179,15 @@ func newChaosRT(rt *Runtime, cfg Chaos) *chaosRT {
 		state:     make([]chaosState, rt.n),
 		reqSrc:    make([]int, rt.n),
 		reqTag:    make([]int, rt.n),
-		token:     make([]chan *Msg, rt.n),
+		token:     make([]chan chaosWake, rt.n),
+		wakeErr:   make([]error, rt.n),
 		delivered: make(map[delivKey]bool),
 		sendSeq:   make([]uint64, rt.n),
 		slow:      make([]float64, rt.n),
 	}
 	for r := 0; r < rt.n; r++ {
 		cs.state[r] = chaosRunnable
-		cs.token[r] = make(chan *Msg, 1)
+		cs.token[r] = make(chan chaosWake, 1)
 		cs.slow[r] = 1
 		if cfg.SlowProb > 0 && cs.faultRNG.Float64() < cfg.SlowProb {
 			f := cfg.SlowFactor
@@ -191,11 +209,20 @@ func (cs *chaosRT) start() {
 }
 
 // chaosOption is one candidate scheduling action: resume a runnable
-// rank (fi < 0) or deliver in-flight message fi to a blocked receiver.
+// rank, deliver in-flight message fi to a blocked receiver, or notify
+// a blocked receiver that its peer src has failed.
 type chaosOption struct {
+	kind uint8 // optResume, optDeliver or optFail
 	rank int
-	fi   int
+	fi   int // in-flight index, valid for optDeliver
+	src  int // dead peer, valid for optFail
 }
+
+const (
+	optResume uint8 = iota
+	optDeliver
+	optFail
+)
 
 // scheduleLocked makes one scheduling decision and wakes the chosen
 // rank. It must run with cs.mu held by the rank that just yielded the
@@ -212,12 +239,13 @@ func (cs *chaosRT) scheduleLocked() {
 		for r, st := range cs.state {
 			switch st {
 			case chaosRunnable:
-				opts = append(opts, chaosOption{r, -1})
+				opts = append(opts, chaosOption{kind: optResume, rank: r})
 			case chaosRecvWait:
 				// MPI non-overtaking: of the in-flight messages from one
 				// sender that match the posted receive, only the earliest
 				// may be delivered. Cross-sender order stays fully
 				// adversarial (that is the AnySource race under test).
+				deliverable := false
 				for i, fm := range cs.inflight {
 					if fm.dst != r || !chaosMatch(cs.reqSrc[r], cs.reqTag[r], fm.msg) {
 						continue
@@ -235,7 +263,23 @@ func (cs *chaosRT) scheduleLocked() {
 						}
 					}
 					if earliest {
-						opts = append(opts, chaosOption{r, i})
+						deliverable = true
+						opts = append(opts, chaosOption{kind: optDeliver, rank: r, fi: i})
+					}
+				}
+				// Failure notification options. A receive posted to a
+				// dead source may be failed even while a matching message
+				// is still in flight — the adversarial message-lost-at-
+				// crash case; the seeded pick decides. An AnySource
+				// receive fails only when every peer is dead and nothing
+				// is deliverable.
+				if src := cs.reqSrc[r]; src != AnySource {
+					if cs.rt.deadMask[src].Load() {
+						opts = append(opts, chaosOption{kind: optFail, rank: r, src: src})
+					}
+				} else if !deliverable {
+					if d := cs.rt.firstDeadPeer(r); d >= 0 {
+						opts = append(opts, chaosOption{kind: optFail, rank: r, src: d})
 					}
 				}
 			case chaosFinished:
@@ -262,10 +306,25 @@ func (cs *chaosRT) scheduleLocked() {
 		}
 		cs.decisions++
 
-		if pick.fi < 0 {
-			cs.recordLocked(trace.Decision{Kind: trace.DecisionResume, Rank: pick.rank})
+		if pick.kind == optResume {
+			kind := trace.DecisionResume
+			var werr error
+			if cs.wakeErr[pick.rank] != nil {
+				kind = trace.DecisionRevokeNotify
+				werr = cs.wakeErr[pick.rank]
+				cs.wakeErr[pick.rank] = nil
+			}
+			cs.recordLocked(trace.Decision{Kind: kind, Rank: pick.rank})
 			cs.state[pick.rank] = chaosRunning
-			cs.token[pick.rank] <- nil
+			cs.token[pick.rank] <- chaosWake{err: werr}
+			return
+		}
+		if pick.kind == optFail {
+			cs.recordLocked(trace.Decision{
+				Kind: trace.DecisionFailNotify, Rank: pick.rank, Src: pick.src,
+			})
+			cs.state[pick.rank] = chaosRunning
+			cs.token[pick.rank] <- chaosWake{err: &RankFailedError{Rank: pick.src}}
 			return
 		}
 		fm := cs.inflight[pick.fi]
@@ -286,7 +345,7 @@ func (cs *chaosRT) scheduleLocked() {
 			Src: fm.msg.Src, Tag: fm.msg.Tag, SendSeq: fm.sendSeq, Size: fm.msg.Size,
 		})
 		cs.state[pick.rank] = chaosRunning
-		cs.token[pick.rank] <- fm.msg
+		cs.token[pick.rank] <- chaosWake{msg: fm.msg}
 		return
 	}
 }
@@ -295,22 +354,39 @@ func (cs *chaosRT) scheduleLocked() {
 // current options. Drop decisions are consumed inline; a decision the
 // current state cannot honour fails the run with a divergence error.
 func (cs *chaosRT) replayPickLocked(opts []chaosOption) (chaosOption, bool) {
-	d, ok := cs.cfg.Replay.At(cs.replayPos)
-	if !ok {
-		cs.rt.fail(fmt.Errorf("mpirt: replay diverged: schedule exhausted after %d decisions but the run still needs one", cs.replayPos))
-		return chaosOption{}, false
+	var d trace.Decision
+	for {
+		var ok bool
+		d, ok = cs.cfg.Replay.At(cs.replayPos)
+		if !ok {
+			cs.rt.fail(fmt.Errorf("mpirt: replay diverged: schedule exhausted after %d decisions but the run still needs one", cs.replayPos))
+			return chaosOption{}, false
+		}
+		cs.replayPos++
+		// Kills are recorded inline by the dying rank, not chosen by
+		// the scheduler; skip them when resolving a scheduling pick.
+		if d.Kind != trace.DecisionKill {
+			break
+		}
 	}
-	cs.replayPos++
 	switch d.Kind {
-	case trace.DecisionResume:
+	case trace.DecisionResume, trace.DecisionRevokeNotify:
+		// A revoke notification is a resume whose error payload is
+		// determined by program state, so both match a resume option.
 		for _, o := range opts {
-			if o.fi < 0 && o.rank == d.Rank {
+			if o.kind == optResume && o.rank == d.Rank {
+				return o, true
+			}
+		}
+	case trace.DecisionFailNotify:
+		for _, o := range opts {
+			if o.kind == optFail && o.rank == d.Rank && o.src == d.Src {
 				return o, true
 			}
 		}
 	case trace.DecisionDeliver, trace.DecisionDropDup:
 		for _, o := range opts {
-			if o.fi < 0 {
+			if o.kind != optDeliver {
 				continue
 			}
 			fm := cs.inflight[o.fi]
@@ -339,37 +415,59 @@ func chaosMatch(src, tag int, m *Msg) bool {
 	return (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag)
 }
 
-// blockedSummaryLocked describes the stuck state for the deadlock error.
+// blockedSummaryLocked describes the stuck state for the deadlock
+// error: per blocked rank, the pending operation kind, the posted
+// (source, tag), and whether the peer is dead.
 func (cs *chaosRT) blockedSummaryLocked() string {
-	var recv, barrier []int
+	var parts []string
+	var barrier, ft []int
 	for r, st := range cs.state {
 		switch st {
 		case chaosRecvWait:
-			recv = append(recv, r)
+			src, dead := "any", ""
+			if s := cs.reqSrc[r]; s != AnySource {
+				src = fmt.Sprintf("%d", s)
+				if cs.rt.deadMask[s].Load() {
+					dead = " [peer dead]"
+				}
+			}
+			tag := "any"
+			if t := cs.reqTag[r]; t != AnyTag {
+				tag = fmt.Sprintf("%d", t)
+			}
+			parts = append(parts, fmt.Sprintf("rank %d: recv src=%s tag=%s%s", r, src, tag, dead))
 		case chaosBarrierWait:
 			barrier = append(barrier, r)
+		case chaosFTWait:
+			ft = append(ft, r)
 		}
 	}
-	sort.Ints(recv)
 	sort.Ints(barrier)
-	clip := func(s []int) []int {
-		if len(s) > 8 {
-			return s[:8]
-		}
-		return s
+	sort.Ints(ft)
+	if len(parts) > 8 {
+		parts = append(parts[:8], "…")
 	}
-	return fmt.Sprintf("ranks %v blocked in recv (no deliverable message), %v in barrier, %d in flight",
-		clip(recv), clip(barrier), len(cs.inflight))
+	if len(barrier) > 0 {
+		parts = append(parts, fmt.Sprintf("ranks %v in barrier", barrier))
+	}
+	if len(ft) > 0 {
+		parts = append(parts, fmt.Sprintf("ranks %v in agree/shrink", ft))
+	}
+	if dead := cs.rt.deadRanksOf(); len(dead) > 0 {
+		parts = append(parts, fmt.Sprintf("dead ranks %v", dead))
+	}
+	parts = append(parts, fmt.Sprintf("%d in flight", len(cs.inflight)))
+	return strings.Join(parts, "; ")
 }
 
 // park blocks the calling rank until the scheduler wakes it, returning
-// the delivered message (nil for a plain resume). Aborting the run
-// also unparks every rank.
-func (p *Proc) chaosPark() *Msg {
+// the wake payload (message, failure error, or neither for a plain
+// resume). Aborting the run also unparks every rank.
+func (p *Proc) chaosPark() chaosWake {
 	cs := p.rt.chaos
 	select {
-	case m := <-cs.token[p.rank]:
-		return m
+	case w := <-cs.token[p.rank]:
+		return w
 	case <-p.rt.failedCh:
 		panic(errAborted)
 	}
@@ -424,28 +522,43 @@ func (cs *chaosRT) chaosEnqueue(src, dst int, m *Msg) {
 	}
 }
 
-// chaosRecv is Recv under the chaos scheduler: post the request, yield
-// the token, and block until the scheduler matches a message to it.
-func (p *Proc) chaosRecv(src, tag int) Msg {
+// chaosRecvErr is recvErr under the chaos scheduler: post the request,
+// yield the token, and block until the scheduler matches a message to
+// it or notifies it of a peer failure / revocation.
+func (p *Proc) chaosRecvErr(src, tag int) (Msg, error) {
 	p.rt.checkAborted()
 	cs := p.rt.chaos
+	if src != AnySource && (src < 0 || src >= p.rt.n) {
+		panic(&UsageError{Rank: p.rank, Op: "recv",
+			Msg: fmt.Sprintf("invalid source rank %d", src)})
+	}
+	if p.rt.revoked.Load() {
+		return Msg{}, &CommRevokedError{}
+	}
 	cs.mu.Lock()
 	cs.reqSrc[p.rank], cs.reqTag[p.rank] = src, tag
 	cs.state[p.rank] = chaosRecvWait
 	cs.scheduleLocked()
 	cs.mu.Unlock()
-	m := p.chaosPark()
-	if m == nil {
+	w := p.chaosPark()
+	if w.err != nil {
+		var rf *RankFailedError
+		if errors.As(w.err, &rf) {
+			p.chargeDetect(rf.Rank)
+		}
+		return Msg{}, w.err
+	}
+	if w.msg == nil {
 		// The scheduler resumes a recv-blocked rank only by delivering a
-		// message; a bare resume here is a scheduler bug.
+		// message or an error; a bare resume here is a scheduler bug.
 		panic(fmt.Sprintf("mpirt: chaos scheduler resumed recv-blocked rank %d without a message", p.rank))
 	}
 	p.rt.progress.Add(1)
-	if m.arrival > p.vt {
-		p.vt = m.arrival
+	if w.msg.arrival > p.vt {
+		p.vt = w.msg.arrival
 	}
 	p.vt += p.slowScale() * p.rt.model.RecvOverhead()
-	return *m
+	return *w.msg, nil
 }
 
 // chaosProbe reports whether a matching message is in flight. Serial
@@ -464,28 +577,18 @@ func (p *Proc) chaosProbe(src, tag int) bool {
 }
 
 // chaosReduceMax is reduceMax under the chaos scheduler: non-final
-// arrivals park until the last rank completes the reduction and marks
-// them runnable; the seeded scheduler then chooses the resume order.
+// arrivals park until the generation is covered (every rank arrived or
+// died) and the completer marks them runnable; the seeded scheduler
+// then chooses the resume order.
 func (p *Proc) chaosReduceMax(v float64) float64 {
 	rt := p.rt
 	cs := rt.chaos
 	cs.mu.Lock()
 	rt.reduceVals[p.rank] = v
+	rt.bArr[p.rank] = true
 	rt.bcnt++
-	if rt.bcnt == rt.n {
-		rt.bcnt = 0
-		max := rt.reduceVals[0]
-		for _, x := range rt.reduceVals[1:] {
-			if x > max {
-				max = x
-			}
-		}
-		rt.reduceRes = max
-		for r, st := range cs.state {
-			if st == chaosBarrierWait {
-				cs.state[r] = chaosRunnable
-			}
-		}
+	if rt.completeBarrierLocked() {
+		cs.wakeBarrierWaitersLocked()
 		cs.mu.Unlock()
 	} else {
 		cs.state[p.rank] = chaosBarrierWait
@@ -504,6 +607,77 @@ func (p *Proc) chaosReduceMax(v float64) float64 {
 	}
 	rt.progress.Add(1)
 	return res
+}
+
+// chaosFTRound is ftRound under the chaos scheduler: contribute,
+// park until the round is covered by arrivals ∪ dead, and read the
+// agreed results.
+func (p *Proc) chaosFTRound(ok, clear bool) (bool, []int) {
+	rt := p.rt
+	cs := rt.chaos
+	rt.checkAborted()
+	cs.mu.Lock()
+	rt.ftArr[p.rank] = true
+	rt.ftCnt++
+	rt.ftOK = rt.ftOK && ok
+	rt.ftClear = rt.ftClear || clear
+	rt.ftVals[p.rank] = p.vt
+	if rt.completeFTLocked() {
+		cs.wakeFTWaitersLocked()
+		cs.mu.Unlock()
+	} else {
+		cs.state[p.rank] = chaosFTWait
+		cs.scheduleLocked()
+		cs.mu.Unlock()
+		p.chaosPark()
+	}
+	if rt.aborted.Load() {
+		panic(errAborted)
+	}
+	cs.mu.Lock()
+	res, maxVT, alive := rt.ftRes, rt.ftMax, rt.ftAlive
+	cs.mu.Unlock()
+	p.finishFTRound(maxVT, len(alive))
+	return res, alive
+}
+
+// wakeBarrierWaitersLocked flips barrier waiters runnable after a
+// completed generation; the scheduler resumes them in seeded order.
+func (cs *chaosRT) wakeBarrierWaitersLocked() {
+	for r, st := range cs.state {
+		if st == chaosBarrierWait {
+			cs.state[r] = chaosRunnable
+		}
+	}
+}
+
+// wakeFTWaitersLocked flips agreement-round waiters runnable after a
+// completed round.
+func (cs *chaosRT) wakeFTWaitersLocked() {
+	for r, st := range cs.state {
+		if st == chaosFTWait {
+			cs.state[r] = chaosRunnable
+		}
+	}
+}
+
+// revokeWaitersLocked flips every recv-blocked rank runnable with a
+// pending revocation error, so it observes the revoke instead of
+// waiting on a message that may never come.
+func (cs *chaosRT) revokeWaitersLocked() {
+	for r, st := range cs.state {
+		if st == chaosRecvWait {
+			cs.state[r] = chaosRunnable
+			cs.wakeErr[r] = &CommRevokedError{}
+		}
+	}
+}
+
+// recordKillLocked records an injected crash in the schedule. Called
+// by the dying rank (which holds the execution token), so the kill's
+// position in the decision stream is deterministic.
+func (cs *chaosRT) recordKillLocked(rank int) {
+	cs.recordLocked(trace.Decision{Kind: trace.DecisionKill, Rank: rank})
 }
 
 // slowScale returns the rank's chaos slowdown multiplier (1 outside

@@ -25,7 +25,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -90,6 +90,16 @@ type Config struct {
 	// adversarial message-matching order, fault injection, and full
 	// schedule record/replay. See the Chaos type.
 	Chaos *Chaos
+	// Kills schedules injected fail-stop crashes: each victim rank dies
+	// permanently once it has passed the kill's operation count and
+	// virtual time. Deaths do not fail the run by themselves — peers
+	// observe them through the ULFM-style error surface (see
+	// RankFailedError, Revoke, Agree, Shrink).
+	Kills []Kill
+	// DetectTimeout is the virtual-time cost one rank pays the first
+	// time it detects a given peer's death (the modelled heartbeat/ack
+	// timeout). 0 selects the 100 µs default.
+	DetectTimeout float64
 }
 
 // Report summarises one runtime execution.
@@ -108,6 +118,14 @@ type Report struct {
 	Ranks        int
 	// Wall is the host wall-clock the run took.
 	Wall time.Duration
+	// DeadRanks lists the ranks that suffered injected fail-stop
+	// crashes during the run, ascending.
+	DeadRanks []int
+	// Detections counts first-time failure detections across ranks;
+	// DetectTime is their total virtual-time cost (each detection
+	// charges Config.DetectTimeout to the observer's clock).
+	Detections int64
+	DetectTime float64
 }
 
 // MsgImbalance returns MaxRankMsgs divided by the mean per-rank
@@ -159,6 +177,9 @@ type mailbox struct {
 	queue  []*Msg
 	seq    uint64 // delivery counter, for the watchdog
 	waiter bool
+	// wSrc and wTag are the posted (source, tag) while waiter is set,
+	// for the watchdog's blocked summary.
+	wSrc, wTag int
 }
 
 // Runtime is the shared state of one execution.
@@ -173,15 +194,35 @@ type Runtime struct {
 	failedCh chan struct{}
 	chaos    *chaosRT
 
-	// barrier state
+	// fail-stop state: deadMask marks permanently failed ranks,
+	// revoked the ULFM-style communicator revocation epoch.
+	deadMask []atomic.Bool
+	revoked  atomic.Bool
+
+	// barrier state; bArr marks which ranks have arrived in the
+	// pending generation (a generation completes when every rank has
+	// arrived or died).
 	bmu   sync.Mutex
 	bcond *sync.Cond
 	bgen  int
 	bcnt  int
+	bArr  []bool
 
 	// collective-time reduction scratch
 	reduceVals []float64
 	reduceRes  float64
+
+	// fault-tolerant agreement round state (Agree/Shrink), guarded by
+	// bmu in threaded mode and by the chaos mutex in chaos mode.
+	ftArr   []bool
+	ftCnt   int
+	ftGen   int
+	ftOK    bool
+	ftClear bool
+	ftVals  []float64
+	ftRes   bool
+	ftMax   float64
+	ftAlive []int
 
 	// watchdog state
 	blocked  atomic.Int64
@@ -200,6 +241,19 @@ type Proc struct {
 	vt        float64
 	sent      int64
 	sentBytes int64
+
+	// fail-stop state: ops counts blocking-operation entries (the kill
+	// trigger), kills are this rank's scheduled crashes, dead is set
+	// once a kill fired. detected memoises per-peer failure detection;
+	// detectTime/detections aggregate its cost for the Report. ftEpoch
+	// numbers fault-tolerant collective invocations for tag isolation.
+	ops        int64
+	kills      []Kill
+	dead       bool
+	detected   map[int]bool
+	detectTime float64
+	detections int64
+	ftEpoch    int
 }
 
 // Run executes body on cfg.Ranks goroutine ranks and returns the
@@ -227,6 +281,14 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 	if cfg.WallLimit == 0 {
 		cfg.WallLimit = 120 * time.Second
 	}
+	if cfg.DetectTimeout == 0 {
+		cfg.DetectTimeout = 100e-6
+	}
+	for _, k := range cfg.Kills {
+		if k.Rank < 0 || k.Rank >= n {
+			return nil, fmt.Errorf("mpirt: kill rank %d out of range 0..%d", k.Rank, n-1)
+		}
+	}
 
 	rt := &Runtime{
 		cfg:        cfg,
@@ -235,6 +297,11 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 		boxes:      make([]*mailbox, n),
 		procs:      make([]*Proc, n),
 		reduceVals: make([]float64, n),
+		deadMask:   make([]atomic.Bool, n),
+		bArr:       make([]bool, n),
+		ftArr:      make([]bool, n),
+		ftVals:     make([]float64, n),
+		ftOK:       true,
 		failedCh:   make(chan struct{}),
 	}
 	rt.bcond = sync.NewCond(&rt.bmu)
@@ -252,15 +319,35 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 	wg.Add(n)
 	for r := 0; r < n; r++ {
 		p := &Proc{rt: rt, rank: r}
+		for _, k := range cfg.Kills {
+			if k.Rank == r {
+				p.kills = append(p.kills, k)
+			}
+		}
 		rt.procs[r] = p
 		go func() {
 			defer wg.Done()
 			defer func() {
 				rt.finished.Add(1)
-				if rec := recover(); rec != nil && !errors.Is(asErr(rec), errAborted) {
-					buf := make([]byte, 16<<10)
-					buf = buf[:runtime.Stack(buf, false)]
-					rt.fail(fmt.Errorf("mpirt: rank %d panicked: %v\n%s", p.rank, rec, buf))
+				if rec := recover(); rec != nil {
+					err := asErr(rec)
+					switch {
+					case errors.Is(err, errAborted):
+						// The run already failed elsewhere.
+					case errors.Is(err, errKilled):
+						// Injected fail-stop crash: a permanent rank
+						// exit, not a run failure. Peers observe it via
+						// the ULFM error surface.
+					case isFailureError(err):
+						// A typed failure escaped the rank body without
+						// a recovery layer absorbing it: abort the run
+						// with the typed error, no stack noise.
+						rt.fail(fmt.Errorf("mpirt: rank %d aborted: %w", p.rank, err))
+					default:
+						buf := make([]byte, 16<<10)
+						buf = buf[:runtime.Stack(buf, false)]
+						rt.fail(fmt.Errorf("mpirt: rank %d panicked: %v\n%s", p.rank, rec, buf))
+					}
 				}
 				// A finished rank may leave peers blocked on it; kick
 				// the watchdog's progress view so it re-evaluates.
@@ -309,6 +396,7 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 		rep.MsgsByDist[d] = rt.msgsByDist[d].Load()
 		rep.BytesByDist[d] = rt.bytesByDist[d].Load()
 	}
+	rep.DeadRanks = rt.deadRanksOf()
 	for _, p := range rt.procs {
 		t := math.Max(p.vt, model.PortDrain(p.rank))
 		if t > rep.Time {
@@ -320,6 +408,8 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 		if p.sentBytes > rep.MaxRankBytes {
 			rep.MaxRankBytes = p.sentBytes
 		}
+		rep.Detections += p.detections
+		rep.DetectTime += p.detectTime
 	}
 	return rep, nil
 }
@@ -329,6 +419,16 @@ func asErr(rec any) error {
 		return e
 	}
 	return fmt.Errorf("%v", rec)
+}
+
+// isFailureError reports whether err is one of the typed failure /
+// usage errors whose escape from a rank body should abort the run with
+// the error itself rather than a panic stack.
+func isFailureError(err error) bool {
+	var rf *RankFailedError
+	var cr *CommRevokedError
+	var ue *UsageError
+	return errors.As(err, &rf) || errors.As(err, &cr) || errors.As(err, &ue)
 }
 
 func (rt *Runtime) fail(err error) {
@@ -388,20 +488,52 @@ func (rt *Runtime) watchdog(start time.Time, done <-chan struct{}) {
 	}
 }
 
+// blockedSummary describes, for the deadlock error, what every parked
+// rank is waiting for: the pending operation kind, the peer rank and
+// tag of posted receives, and whether that peer is dead.
 func (rt *Runtime) blockedSummary() string {
-	var waiting []int
+	var parts []string
 	for r, b := range rt.boxes {
 		b.mu.Lock()
 		if b.waiter {
-			waiting = append(waiting, r)
+			src, dead := "any", ""
+			if b.wSrc != AnySource {
+				src = fmt.Sprintf("%d", b.wSrc)
+				if rt.deadMask[b.wSrc].Load() {
+					dead = " [peer dead]"
+				}
+			}
+			tag := "any"
+			if b.wTag != AnyTag {
+				tag = fmt.Sprintf("%d", b.wTag)
+			}
+			parts = append(parts, fmt.Sprintf("rank %d: recv src=%s tag=%s%s", r, src, tag, dead))
 		}
 		b.mu.Unlock()
 	}
-	sort.Ints(waiting)
-	if len(waiting) > 8 {
-		return fmt.Sprintf("ranks %v… waiting in recv", waiting[:8])
+	rt.bmu.Lock()
+	for r := 0; r < rt.n; r++ {
+		if rt.deadMask[r].Load() {
+			continue
+		}
+		if rt.bArr[r] {
+			parts = append(parts, fmt.Sprintf("rank %d: barrier", r))
+		}
+		if rt.ftArr[r] {
+			parts = append(parts, fmt.Sprintf("rank %d: agree/shrink", r))
+		}
 	}
-	return fmt.Sprintf("ranks %v waiting in recv", waiting)
+	rt.bmu.Unlock()
+	if dead := rt.deadRanksOf(); len(dead) > 0 {
+		parts = append(parts, fmt.Sprintf("dead ranks %v", dead))
+	}
+	if len(parts) == 0 {
+		return "blocked ranks are between states"
+	}
+	if len(parts) > 10 {
+		parts = append(parts[:10], "…")
+	}
+	return strings.Join(parts, "; ")
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -445,17 +577,40 @@ func (p *Proc) Alloc(n int) []byte {
 // Send delivers a message of the given size to dst. data may be nil
 // (phantom mode or metadata-only protocol signals). Sends are eager:
 // the call returns once the message is enqueued at the destination;
-// the cost model decides when it becomes receivable.
+// the cost model decides when it becomes receivable. Sending to a
+// dead rank or on a revoked communicator panics with the typed
+// failure error (use SendErr to handle it).
 func (p *Proc) Send(dst, tag, size int, data []byte, meta any) {
+	if err := p.sendErr(dst, tag, size, data, meta); err != nil {
+		panic(err)
+	}
+}
+
+// sendErr implements Send/SendErr. Usage errors panic (they abort the
+// run); failure conditions are returned.
+func (p *Proc) sendErr(dst, tag, size int, data []byte, meta any) error {
+	p.enterOp()
 	p.rt.checkAborted()
 	if dst < 0 || dst >= p.rt.n {
-		panic(fmt.Sprintf("mpirt: rank %d send to invalid rank %d", p.rank, dst))
+		panic(&UsageError{Rank: p.rank, Op: "send",
+			Msg: fmt.Sprintf("invalid destination rank %d", dst)})
 	}
 	if size < 0 {
-		panic(fmt.Sprintf("mpirt: rank %d send with negative size %d", p.rank, size))
+		panic(&UsageError{Rank: p.rank, Op: "send",
+			Msg: fmt.Sprintf("negative size %d", size)})
 	}
 	if data != nil && len(data) != size {
-		panic(fmt.Sprintf("mpirt: rank %d send size %d != len(data) %d", p.rank, size, len(data)))
+		panic(&UsageError{Rank: p.rank, Op: "send",
+			Msg: fmt.Sprintf("size %d != len(data) %d", size, len(data))})
+	}
+	if p.rt.revoked.Load() {
+		return &CommRevokedError{}
+	}
+	if p.rt.deadMask[dst].Load() {
+		// An eager send to a dead peer fails fast: the modelled ack
+		// never comes, so the sender pays the detection timeout once.
+		p.chargeDetect(dst)
+		return &RankFailedError{Rank: dst}
 	}
 	if p.rt.cfg.Phantom {
 		data = nil
@@ -502,7 +657,7 @@ func (p *Proc) Send(dst, tag, size int, data []byte, meta any) {
 		cs.chaosEnqueue(p.rank, dst, m)
 		cs.mu.Unlock()
 		p.rt.progress.Add(1)
-		return
+		return nil
 	}
 	box := p.rt.boxes[dst]
 	box.mu.Lock()
@@ -511,16 +666,21 @@ func (p *Proc) Send(dst, tag, size int, data []byte, meta any) {
 	box.cond.Broadcast()
 	box.mu.Unlock()
 	p.rt.progress.Add(1)
+	return nil
 }
 
 // Request represents a pending nonblocking operation.
 type Request struct {
 	p    *Proc
+	comm *Comm // non-nil for SubProc requests: back-translate Msg.Src
 	send bool
 	src  int
 	tag  int
-	msg  *Msg
-	done bool
+	// tagShift is subtracted from the delivered Msg.Tag for SubProc
+	// requests (the posted tag was shifted into the comm's epoch).
+	tagShift int
+	msg      *Msg
+	done     bool
 }
 
 // Isend starts a nonblocking send. In this eager runtime the transfer
@@ -537,18 +697,38 @@ func (p *Proc) Irecv(src, tag int) *Request {
 }
 
 // Wait blocks until the request completes and returns the received
-// message (zero Msg for sends).
+// message (zero Msg for sends). If the request cannot complete because
+// the peer died or the communicator was revoked, Wait panics with the
+// typed failure error; use WaitErr to handle it.
 func (r *Request) Wait() Msg {
+	m, err := r.WaitErr()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// WaitErr blocks until the request completes, returning the typed
+// failure (*RankFailedError, *CommRevokedError) instead of panicking
+// when the operation can no longer complete.
+func (r *Request) WaitErr() (Msg, error) {
 	if r.done {
 		if r.msg != nil {
-			return *r.msg
+			return *r.msg, nil
 		}
-		return Msg{}
+		return Msg{}, nil
 	}
-	m := r.p.Recv(r.src, r.tag)
+	m, err := r.p.recvErr(r.src, r.tag)
+	if err != nil {
+		return Msg{}, err
+	}
+	if r.comm != nil {
+		m.Src = r.comm.NewRank(m.Src)
+		m.Tag -= r.tagShift
+	}
 	r.msg = &m
 	r.done = true
-	return m
+	return m, nil
 }
 
 // WaitAll completes every request.
@@ -560,12 +740,32 @@ func (p *Proc) WaitAll(reqs ...*Request) {
 
 // Recv blocks until a message matching (src, tag) is available, charges
 // the receive to the virtual clock, and returns it. Matching is FIFO
-// with respect to each sender.
+// with respect to each sender. Receiving from a dead peer (with no
+// matching message left) or on a revoked communicator panics with the
+// typed failure error; use RecvErr to handle it.
 func (p *Proc) Recv(src, tag int) Msg {
+	m, err := p.recvErr(src, tag)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// recvErr implements Recv/RecvErr/Request.WaitErr. Messages already
+// queued from a now-dead sender remain deliverable (eager sends
+// completed before the crash); once none match, a posted receive on a
+// dead source — or on any source when every peer is dead — fails with
+// *RankFailedError rather than waiting forever.
+func (p *Proc) recvErr(src, tag int) (Msg, error) {
+	p.enterOp()
 	if p.rt.chaos != nil {
-		return p.chaosRecv(src, tag)
+		return p.chaosRecvErr(src, tag)
 	}
 	p.rt.checkAborted()
+	if src != AnySource && (src < 0 || src >= p.rt.n) {
+		panic(&UsageError{Rank: p.rank, Op: "recv",
+			Msg: fmt.Sprintf("invalid source rank %d", src)})
+	}
 	box := p.rt.boxes[p.rank]
 	box.mu.Lock()
 	for {
@@ -575,14 +775,31 @@ func (p *Proc) Recv(src, tag int) Msg {
 				box.mu.Unlock()
 				p.rt.progress.Add(1)
 				p.vt = math.Max(p.vt, m.arrival) + p.rt.model.RecvOverhead()
-				return *m
+				return *m, nil
 			}
 		}
 		if p.rt.aborted.Load() {
 			box.mu.Unlock()
 			panic(errAborted)
 		}
+		if p.rt.revoked.Load() {
+			box.mu.Unlock()
+			return Msg{}, &CommRevokedError{}
+		}
+		if src != AnySource && p.rt.deadMask[src].Load() {
+			box.mu.Unlock()
+			p.chargeDetect(src)
+			return Msg{}, &RankFailedError{Rank: src}
+		}
+		if src == AnySource {
+			if d := p.rt.firstDeadPeer(p.rank); d >= 0 {
+				box.mu.Unlock()
+				p.chargeDetect(d)
+				return Msg{}, &RankFailedError{Rank: d}
+			}
+		}
 		box.waiter = true
+		box.wSrc, box.wTag = src, tag
 		p.rt.blocked.Add(1)
 		box.cond.Wait()
 		p.rt.blocked.Add(-1)
@@ -591,8 +808,11 @@ func (p *Proc) Recv(src, tag int) Msg {
 }
 
 // Probe reports whether a message matching (src, tag) is currently
-// queued, without receiving it and without advancing the clock.
+// queued, without receiving it and without advancing the clock. A dead
+// peer with no queued message probes false — probing never blocks, so
+// it needs no error path.
 func (p *Proc) Probe(src, tag int) bool {
+	p.enterOp()
 	if p.rt.chaos != nil {
 		return p.chaosProbe(src, tag)
 	}
@@ -635,35 +855,31 @@ func (p *Proc) CollectiveTime() float64 {
 // reduceMax performs an allreduce(max) over one float64 per rank using
 // the central barrier state. It also acts as a barrier. The rank's
 // clock is advanced to the returned maximum (a barrier synchronises).
+// The barrier is dead-tolerant: a generation completes once every rank
+// has arrived or died, with the maximum taken over arrivals, so an
+// injected crash cannot wedge survivors in a barrier.
 func (p *Proc) reduceMax(v float64) float64 {
+	p.enterOp()
 	if p.rt.chaos != nil {
 		return p.chaosReduceMax(v)
 	}
 	rt := p.rt
 	rt.bmu.Lock()
 	rt.reduceVals[p.rank] = v
+	rt.bArr[p.rank] = true
 	rt.bcnt++
 	gen := rt.bgen
-	if rt.bcnt == rt.n {
-		rt.bcnt = 0
-		rt.bgen++
-		max := math.Inf(-1)
-		for _, x := range rt.reduceVals {
-			if x > max {
-				max = x
-			}
-		}
+	if rt.completeBarrierLocked() {
 		// reduceRes cannot be clobbered by the next generation before
 		// every rank of this one has read it: completing generation
-		// g+1 requires all n ranks to have left generation g.
-		rt.reduceRes = max
+		// g+1 requires all live ranks to have left generation g, and a
+		// parked rank cannot die.
 		rt.bcond.Broadcast()
-	} else {
-		for gen == rt.bgen && !rt.aborted.Load() {
-			rt.blocked.Add(1)
-			rt.bcond.Wait()
-			rt.blocked.Add(-1)
-		}
+	}
+	for gen == rt.bgen && !rt.aborted.Load() {
+		rt.blocked.Add(1)
+		rt.bcond.Wait()
+		rt.blocked.Add(-1)
 	}
 	res := rt.reduceRes
 	rt.bmu.Unlock()

@@ -124,7 +124,7 @@ func (k *Kernel) LocalY(p int) []float64 {
 // block (nil in phantom mode). Communication advances the virtual
 // clock through the collective; the multiply charges 2·nnz·K flops.
 func (k *Kernel) RunRank(p *mpirt.Proc, op interface {
-	Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+	Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte)
 }) []float64 {
 	r := p.Rank()
 	m := k.MsgBytes()

@@ -83,7 +83,7 @@ func TestNewRejects(t *testing.T) {
 // runKernel executes the kernel distributed and compares against the
 // serial reference.
 func runKernel(t *testing.T, x *sparse.CSR, width int, c topology.Cluster, mkOp func(k *Kernel) interface {
-	Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+	Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte)
 }) {
 	t.Helper()
 	k, err := New(x, width, c.Ranks())
@@ -114,12 +114,12 @@ func TestKernelCorrectAllAlgorithms(t *testing.T) {
 	c := topology.Cluster{Nodes: 2, SocketsPerNode: 2, RanksPerSocket: 4, NodesPerGroup: 2}
 	x := testMatrix(t, 100, 800)
 	runKernel(t, x, 3, c, func(k *Kernel) interface {
-		Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+		Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte)
 	} {
 		return collective.NewNaive(k.Graph())
 	})
 	runKernel(t, x, 3, c, func(k *Kernel) interface {
-		Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+		Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte)
 	} {
 		dh, err := collective.NewDistanceHalving(k.Graph(), c.L())
 		if err != nil {
@@ -128,7 +128,7 @@ func TestKernelCorrectAllAlgorithms(t *testing.T) {
 		return dh
 	})
 	runKernel(t, x, 3, c, func(k *Kernel) interface {
-		Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+		Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte)
 	} {
 		cn, err := collective.NewCommonNeighbor(k.Graph(), 4)
 		if err != nil {
@@ -142,7 +142,7 @@ func TestKernelCorrectUniformMatrix(t *testing.T) {
 	c := topology.Cluster{Nodes: 3, SocketsPerNode: 2, RanksPerSocket: 2, NodesPerGroup: 2}
 	x := sparse.Uniform(60, 700, 23)
 	runKernel(t, x, 2, c, func(k *Kernel) interface {
-		Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+		Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte)
 	} {
 		dh, err := collective.NewDistanceHalving(k.Graph(), c.L())
 		if err != nil {
@@ -157,7 +157,7 @@ func TestKernelRaggedLastBlock(t *testing.T) {
 	c := topology.Cluster{Nodes: 1, SocketsPerNode: 2, RanksPerSocket: 2}
 	x := testMatrix(t, 10, 40)
 	runKernel(t, x, 2, c, func(k *Kernel) interface {
-		Run(p *mpirt.Proc, sbuf []byte, m int, rbuf []byte)
+		Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte)
 	} {
 		return collective.NewNaive(k.Graph())
 	})

@@ -33,6 +33,17 @@ const (
 	// DecisionDropDup discards an in-flight duplicate of a message
 	// that was already delivered (the dedup path).
 	DecisionDropDup
+	// DecisionKill marks a fail-stop crash injection firing: Rank died
+	// at this point of the serial execution. Kills are inputs (the
+	// -kill schedule), recorded so dumps and replays show them in
+	// context and the determinism fingerprint covers them.
+	DecisionKill
+	// DecisionFailNotify delivers a failure notification to a blocked
+	// receiver: Rank observed the permanent failure of Src.
+	DecisionFailNotify
+	// DecisionRevokeNotify resumes a receiver that was blocked when the
+	// communicator was revoked; it observes a revocation error.
+	DecisionRevokeNotify
 )
 
 // String returns a short label for the kind.
@@ -44,6 +55,12 @@ func (k DecisionKind) String() string {
 		return "deliver"
 	case DecisionDropDup:
 		return "drop-dup"
+	case DecisionKill:
+		return "kill"
+	case DecisionFailNotify:
+		return "fail-notify"
+	case DecisionRevokeNotify:
+		return "revoke-notify"
 	default:
 		return fmt.Sprintf("DecisionKind(%d)", uint8(k))
 	}
@@ -177,6 +194,19 @@ func (s *Schedule) Counts() (resumes, delivers, drops int) {
 	return
 }
 
+// CountKind returns the number of decisions of one kind.
+func (s *Schedule) CountKind(k DecisionKind) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, d := range s.decisions {
+		if d.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
 // Write renders the schedule as one line per decision, the format
 // `nbr-chaos -replay -dump` prints.
 func (s *Schedule) Write(w io.Writer) error {
@@ -185,6 +215,12 @@ func (s *Schedule) Write(w io.Writer) error {
 		switch d.Kind {
 		case DecisionResume:
 			_, err = fmt.Fprintf(w, "%6d resume   rank %d\n", i, d.Rank)
+		case DecisionKill:
+			_, err = fmt.Fprintf(w, "%6d kill     rank %d\n", i, d.Rank)
+		case DecisionRevokeNotify:
+			_, err = fmt.Fprintf(w, "%6d revoke-notify rank %d\n", i, d.Rank)
+		case DecisionFailNotify:
+			_, err = fmt.Fprintf(w, "%6d fail-notify rank %d: rank %d failed\n", i, d.Rank, d.Src)
 		default:
 			_, err = fmt.Fprintf(w, "%6d %-8s %d→%d tag %d seq %d size %d\n",
 				i, d.Kind, d.Src, d.Rank, d.Tag, d.SendSeq, d.Size)

@@ -158,6 +158,39 @@ func (g *Graph) IndexOfOut(u, v int) int {
 	return -1
 }
 
+// Project returns the subgraph induced by keep — the survivor-projected
+// virtual topology after fail-stop failures. keep lists the original
+// ranks to retain, strictly ascending; they are renumbered densely in
+// that order (keep[i] becomes rank i). Edges with either endpoint
+// outside keep are dropped.
+func (g *Graph) Project(keep []int) (*Graph, error) {
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("vgraph: Project with empty keep set")
+	}
+	newOf := make([]int, g.n)
+	for i := range newOf {
+		newOf[i] = -1
+	}
+	for i, r := range keep {
+		if r < 0 || r >= g.n {
+			return nil, fmt.Errorf("vgraph: Project keep rank %d outside [0,%d)", r, g.n)
+		}
+		if i > 0 && keep[i-1] >= r {
+			return nil, fmt.Errorf("vgraph: Project keep ranks must be strictly ascending, got %d after %d", r, keep[i-1])
+		}
+		newOf[r] = i
+	}
+	out := make([][]int, len(keep))
+	for i, r := range keep {
+		for _, v := range g.out[r] {
+			if newOf[v] >= 0 {
+				out[i] = append(out[i], newOf[v])
+			}
+		}
+	}
+	return FromOutLists(len(keep), out)
+}
+
 // ErdosRenyi generates a directed G(n, δ) graph: every ordered pair
 // (u, v), u ≠ v, is an edge independently with probability delta. The
 // same seed yields the same graph, so all harness trials and both
