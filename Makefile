@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench chaos faults fuzz repro examples clean
+.PHONY: all build vet lint test race cover bench chaos faults fuzz repro examples clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static invariant analyzers (DESIGN.md §8): determinism, requestleak,
+# errdiscipline, tagdiscipline, vtclean. Exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/nbr-lint -dir .
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,116 @@
+// Command nbr-lint runs the module's static invariant analyzers
+// (internal/lint) and reports findings as file:line: [analyzer]
+// message, exiting nonzero when any survive suppression. It is wired
+// into `make lint` and CI; see DESIGN.md §8 for the invariants.
+//
+// Usage:
+//
+//	nbr-lint [-dir .] [-modpath path] [-analyzers a,b] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nbrallgather/internal/lint"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// errFindings marks a clean run of the tool that found violations.
+type errFindings struct{ n int }
+
+func (e errFindings) Error() string {
+	return fmt.Sprintf("nbr-lint: %d finding(s)", e.n)
+}
+
+// jsonFinding is the machine-readable shape of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nbr-lint", flag.ContinueOnError)
+	fs.SetOutput(out)
+	dir := fs.String("dir", ".", "module or fixture root to lint")
+	modpath := fs.String("modpath", "", "module path override (default: read from <dir>/go.mod)")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	analyzers, err := selectAnalyzers(*names)
+	if err != nil {
+		return err
+	}
+
+	var pkgs []*lint.Package
+	if *modpath != "" {
+		pkgs, err = lint.LoadDir(*dir, *modpath)
+	} else {
+		pkgs, err = lint.LoadModule(*dir)
+	}
+	if err != nil {
+		return err
+	}
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+
+	if *asJSON {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		return errFindings{n: len(diags)}
+	}
+	return nil
+}
+
+func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("nbr-lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestModuleIsClean runs the CLI path over the real module: the tree
+// must produce zero findings and a nil error.
+func TestModuleIsClean(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dir", filepath.Join("..", "..")}, &out); err != nil {
+		t.Fatalf("lint over module failed: %v\n%s", err, out.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("expected no output on a clean module, got:\n%s", out.String())
+	}
+}
+
+// TestFixturesFail runs the CLI over the golden fixture tree: every
+// bad package must surface findings and the run must report an error.
+func TestFixturesFail(t *testing.T) {
+	fixtures := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+	var out strings.Builder
+	err := run([]string{"-dir", fixtures, "-modpath", "nbrallgather"}, &out)
+	if err == nil {
+		t.Fatalf("fixture tree should produce findings, got none:\n%s", out.String())
+	}
+	var ef errFindings
+	if !errors.As(err, &ef) {
+		t.Fatalf("expected errFindings, got %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"[determinism]", "[requestleak]", "[errdiscipline]", "[tagdiscipline]", "[vtclean]",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fixture output missing %s findings:\n%s", want, text)
+		}
+	}
+}
+
+// TestAnalyzerSubset checks -analyzers filtering: only the requested
+// analyzer's findings appear.
+func TestAnalyzerSubset(t *testing.T) {
+	fixtures := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+	var out strings.Builder
+	err := run([]string{"-dir", fixtures, "-modpath", "nbrallgather", "-analyzers", "vtclean"}, &out)
+	if err == nil {
+		t.Fatal("vtclean subset over fixtures should still fail")
+	}
+	text := out.String()
+	if !strings.Contains(text, "[vtclean]") {
+		t.Errorf("missing vtclean findings:\n%s", text)
+	}
+	if strings.Contains(text, "[tagdiscipline]") {
+		t.Errorf("subset run leaked other analyzers:\n%s", text)
+	}
+}
+
+// TestJSONOutput checks the machine-readable mode round-trips.
+func TestJSONOutput(t *testing.T) {
+	fixtures := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+	var out strings.Builder
+	err := run([]string{"-dir", fixtures, "-modpath", "nbrallgather", "-json"}, &out)
+	if err == nil {
+		t.Fatal("fixture tree should produce findings")
+	}
+	var findings []jsonFinding
+	if jerr := json.Unmarshal([]byte(out.String()), &findings); jerr != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", jerr, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output is empty")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Fatalf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+// TestUnknownAnalyzer checks the flag validation path.
+func TestUnknownAnalyzer(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-analyzers", "nope"}, &out); err == nil {
+		t.Fatal("unknown analyzer name should fail")
+	}
+}

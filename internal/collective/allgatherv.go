@@ -5,6 +5,7 @@ import (
 
 	"nbrallgather/internal/mpirt"
 	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/tags"
 	"nbrallgather/internal/vgraph"
 )
 
@@ -77,10 +78,10 @@ func (a *Naive) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []byte) {
 	in := a.g.In(r)
 	reqs := make([]*mpirt.Request, 0, len(in))
 	for _, u := range in {
-		reqs = append(reqs, p.Irecv(u, tagNaive))
+		reqs = append(reqs, p.Irecv(u, tags.Naive))
 	}
 	for _, v := range a.g.Out(r) {
-		p.Isend(v, tagNaive, counts[r], sbuf, nil)
+		p.Send(v, tags.Naive, counts[r], sbuf, nil)
 	}
 	pos := 0
 	for i, req := range reqs {
@@ -142,7 +143,7 @@ func (a *DistanceHalving) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf
 		s := &plan.Steps[t]
 		var req *mpirt.Request
 		if s.Origin != pattern.NoRank {
-			req = p.Irecv(s.Origin, tagDHStep+t)
+			req = p.Irecv(s.Origin, tags.DHStep+t)
 		}
 		if s.Agent != pattern.NoRank {
 			size := prefix[s.SendCount]
@@ -150,7 +151,7 @@ func (a *DistanceHalving) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf
 			if !phantom {
 				payload = main[:size]
 			}
-			p.Isend(s.Agent, tagDHStep+t, size, payload, nil)
+			p.Send(s.Agent, tags.DHStep+t, size, payload, nil)
 		}
 		if req != nil {
 			msg := req.Wait()
@@ -177,7 +178,7 @@ func (a *DistanceHalving) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf
 
 	reqs := make([]*mpirt.Request, 0, len(plan.FinalRecvs))
 	for _, sender := range plan.FinalRecvs {
-		reqs = append(reqs, p.Irecv(sender, tagDHFinal))
+		reqs = append(reqs, p.Irecv(sender, tags.DHFinal))
 	}
 	for _, fs := range plan.FinalSends {
 		size := 0
@@ -192,7 +193,7 @@ func (a *DistanceHalving) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf
 			}
 		}
 		p.ChargeCopy(size)
-		p.Isend(fs.Dst, tagDHFinal, size, tmp, fs.Sources)
+		p.Send(fs.Dst, tags.DHFinal, size, tmp, fs.Sources)
 	}
 	for _, src := range plan.FinalSelfCopies {
 		deliverToSelf(src)
@@ -230,12 +231,12 @@ func (a *CommonNeighbor) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf 
 	shareReqs := make([]*mpirt.Request, 0, len(plan.Group)-1)
 	for _, g := range plan.Group {
 		if g != r {
-			shareReqs = append(shareReqs, p.Irecv(g, tagCNShare))
+			shareReqs = append(shareReqs, p.Irecv(g, tags.CNShare))
 		}
 	}
 	for _, g := range plan.Group {
 		if g != r {
-			p.Isend(g, tagCNShare, counts[r], sbuf, nil)
+			p.Send(g, tags.CNShare, counts[r], sbuf, nil)
 		}
 	}
 	groupData := map[int][]byte{r: sbuf}
@@ -256,7 +257,7 @@ func (a *CommonNeighbor) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf 
 
 	reqs := make([]*mpirt.Request, 0, len(plan.RecvFrom))
 	for _, s := range plan.RecvFrom {
-		reqs = append(reqs, p.Irecv(s, tagCNDeliv))
+		reqs = append(reqs, p.Irecv(s, tags.CNDeliv))
 	}
 	for _, fs := range plan.Sends {
 		size := 0
@@ -271,7 +272,7 @@ func (a *CommonNeighbor) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf 
 			}
 		}
 		p.ChargeCopy(size)
-		p.Isend(fs.Dst, tagCNDeliv, size, tmp, fs.Sources)
+		p.Send(fs.Dst, tags.CNDeliv, size, tmp, fs.Sources)
 	}
 	for _, req := range reqs {
 		msg := req.Wait()

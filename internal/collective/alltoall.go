@@ -24,12 +24,8 @@ import (
 //   - the remainder phase's FinalSends/FinalRecvs/SelfCopies sets apply
 //     verbatim, with per-edge payloads substituted for source payloads.
 
-// Alltoall tags, disjoint from the allgather tag space.
-const (
-	tagA2ANaive = 300
-	tagA2AStep  = 400 // + step index
-	tagA2AFinal = 399
-)
+// Alltoall tags live in the internal/tags registry, disjoint from the
+// allgather tag space.
 
 // AOp is a neighborhood alltoall implementation. sbuf holds
 // outdegree·m bytes: segment i is addressed to Out(rank)[i]. rbuf

@@ -2,10 +2,11 @@ package collective
 
 import (
 	"fmt"
-	"sort"
 
 	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/order"
 	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/tags"
 	"nbrallgather/internal/vgraph"
 )
 
@@ -95,7 +96,7 @@ func (a *NaiveAlltoall) RunAV(p mpirt.Endpoint, sbuf []byte, counts CountFunc, r
 	in := a.g.In(r)
 	reqs := make([]*mpirt.Request, 0, len(in))
 	for _, u := range in {
-		reqs = append(reqs, p.Irecv(u, tagA2ANaive))
+		reqs = append(reqs, p.Irecv(u, tags.A2ANaive))
 	}
 	pos := 0
 	for _, v := range a.g.Out(r) {
@@ -105,7 +106,7 @@ func (a *NaiveAlltoall) RunAV(p mpirt.Endpoint, sbuf []byte, counts CountFunc, r
 			seg = sbuf[pos : pos+c]
 		}
 		pos += c
-		p.Isend(v, tagA2ANaive, c, seg, nil)
+		p.Send(v, tags.A2ANaive, c, seg, nil)
 	}
 	rpos := 0
 	for i, req := range reqs {
@@ -159,21 +160,20 @@ func (a *DistanceHalvingAlltoall) RunAV(p mpirt.Endpoint, sbuf []byte, counts Co
 		s := &plan.Steps[t]
 		var req *mpirt.Request
 		if s.Origin != pattern.NoRank {
-			req = p.Irecv(s.Origin, tagA2AStep+t)
+			req = p.Irecv(s.Origin, tags.A2AStep+t)
 		}
 		if s.Agent != pattern.NoRank {
 			var moved []edge
-			for e := range held {
+			for _, e := range order.SortedKeysFunc(held, func(a, b edge) bool {
+				if a.Src != b.Src {
+					return a.Src < b.Src
+				}
+				return a.Dst < b.Dst
+			}) {
 				if e.Dst >= s.H2Lo && e.Dst < s.H2Hi {
 					moved = append(moved, e)
 				}
 			}
-			sort.Slice(moved, func(i, j int) bool {
-				if moved[i].Src != moved[j].Src {
-					return moved[i].Src < moved[j].Src
-				}
-				return moved[i].Dst < moved[j].Dst
-			})
 			size := 0
 			var payload []byte
 			for _, e := range moved {
@@ -185,7 +185,7 @@ func (a *DistanceHalvingAlltoall) RunAV(p mpirt.Endpoint, sbuf []byte, counts Co
 				delete(held, e)
 			}
 			p.ChargeCopy(size)
-			p.Isend(s.Agent, tagA2AStep+t, size, payload, moved)
+			p.Send(s.Agent, tags.A2AStep+t, size, payload, moved)
 		}
 		if req != nil {
 			msg := req.Wait()
@@ -212,7 +212,7 @@ func (a *DistanceHalvingAlltoall) RunAV(p mpirt.Endpoint, sbuf []byte, counts Co
 
 	reqs := make([]*mpirt.Request, 0, len(plan.FinalRecvs))
 	for _, sender := range plan.FinalRecvs {
-		reqs = append(reqs, p.Irecv(sender, tagA2AFinal))
+		reqs = append(reqs, p.Irecv(sender, tags.A2AFinal))
 	}
 	for _, fs := range plan.FinalSends {
 		size := 0
@@ -231,7 +231,7 @@ func (a *DistanceHalvingAlltoall) RunAV(p mpirt.Endpoint, sbuf []byte, counts Co
 			delete(held, e)
 		}
 		p.ChargeCopy(size)
-		p.Isend(fs.Dst, tagA2AFinal, size, payload, fs.Sources)
+		p.Send(fs.Dst, tags.A2AFinal, size, payload, fs.Sources)
 	}
 	for _, src := range plan.FinalSelfCopies {
 		e := edge{src, r}

@@ -5,7 +5,9 @@ import (
 	"sort"
 
 	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/order"
 	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/tags"
 	"nbrallgather/internal/vgraph"
 )
 
@@ -68,12 +70,7 @@ func BuildCN(g *vgraph.Graph, k int) (*CNPattern, error) {
 				contributors[v] = append(contributors[v], r)
 			}
 		}
-		dests := make([]int, 0, len(contributors))
-		for v := range contributors {
-			dests = append(dests, v)
-		}
-		sort.Ints(dests)
-		for i, v := range dests {
+		for i, v := range order.SortedKeys(contributors) {
 			cs := contributors[v]
 			sort.Ints(cs)
 			// Delegate rotates over the contributors so delivery load
@@ -91,10 +88,7 @@ func BuildCN(g *vgraph.Graph, k int) (*CNPattern, error) {
 		}
 	}
 	for v := 0; v < n; v++ {
-		for s := range senders[v] {
-			p.Plans[v].RecvFrom = append(p.Plans[v].RecvFrom, s)
-		}
-		sort.Ints(p.Plans[v].RecvFrom)
+		p.Plans[v].RecvFrom = order.SortedKeys(senders[v])
 	}
 	return p, nil
 }
@@ -185,10 +179,6 @@ func (a *CommonNeighbor) Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte) 
 // rank body by every rank, with a prebuilt CN pattern for the plan
 // content.
 func BuildCNRank(p *mpirt.Proc, pat *CNPattern) {
-	const (
-		tagCNGroup = 70000
-		tagCNNote  = 70001
-	)
 	g := pat.Graph
 	r := p.Rank()
 	pattern.ChargeNeighborListExchange(p, g)
@@ -196,20 +186,20 @@ func BuildCNRank(p *mpirt.Proc, pat *CNPattern) {
 	listBytes := 8 * (g.OutDegree(r) + 1)
 	for _, mbr := range plan.Group {
 		if mbr != r {
-			p.Send(mbr, tagCNGroup, listBytes, nil, nil)
+			p.Send(mbr, tags.CNGroup, listBytes, nil, nil)
 		}
 	}
 	for _, mbr := range plan.Group {
 		if mbr != r {
-			p.Recv(mbr, tagCNGroup)
+			p.Recv(mbr, tags.CNGroup)
 		}
 	}
 	for _, fs := range plan.Sends {
-		p.Send(fs.Dst, tagCNNote, 8, nil, len(fs.Sources))
+		p.Send(fs.Dst, tags.CNNote, 8, nil, len(fs.Sources))
 	}
 	expect := g.InDegree(r)
 	for expect > 0 {
-		msg := p.Recv(mpirt.AnySource, tagCNNote)
+		msg := p.Recv(mpirt.AnySource, tags.CNNote)
 		expect -= msg.Meta.(int)
 	}
 }

@@ -6,7 +6,9 @@ import (
 
 	"nbrallgather/internal/bitset"
 	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/order"
 	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/tags"
 	"nbrallgather/internal/vgraph"
 )
 
@@ -66,7 +68,10 @@ func BuildCNAffinity(g *vgraph.Graph, k int) (*CNPattern, error) {
 			}
 		}
 		negCands[round] = make([][]int, n)
-		for r, l := range perRep {
+		// Indexed writes keyed by the range key are order-independent,
+		// but the sorted iteration keeps the intent machine-checkable.
+		for _, r := range order.SortedKeys(perRep) {
+			l := perRep[r]
 			sort.Ints(l)
 			negCands[round][r] = l
 		}
@@ -112,10 +117,7 @@ func BuildCNAffinity(g *vgraph.Graph, k int) (*CNPattern, error) {
 		assignDelegates(g, p, c.members, senders)
 	}
 	for v := 0; v < n; v++ {
-		for s := range senders[v] {
-			p.Plans[v].RecvFrom = append(p.Plans[v].RecvFrom, s)
-		}
-		sort.Ints(p.Plans[v].RecvFrom)
+		p.Plans[v].RecvFrom = order.SortedKeys(senders[v])
 	}
 	return p, nil
 }
@@ -130,12 +132,7 @@ func assignDelegates(g *vgraph.Graph, p *CNPattern, group []int, senders []map[i
 			contributors[v] = append(contributors[v], r)
 		}
 	}
-	dests := make([]int, 0, len(contributors))
-	for v := range contributors {
-		dests = append(dests, v)
-	}
-	sort.Ints(dests)
-	for i, v := range dests {
+	for i, v := range order.SortedKeys(contributors) {
 		cs := contributors[v]
 		sort.Ints(cs)
 		delegate := cs[i%len(cs)]
@@ -170,11 +167,6 @@ func NewCommonNeighborAffinity(g *vgraph.Graph, k int) (*CommonNeighbor, error) 
 // receivers. Must be called from within an mpirt rank body by every
 // rank, with a pattern from BuildCNAffinity.
 func BuildCNAffinityRank(p *mpirt.Proc, pat *CNPattern) {
-	const (
-		tagCNPair  = 71000 // + round
-		tagCNMerge = 72000 // + round
-		tagCNNote  = 73000
-	)
 	g := pat.Graph
 	r := p.Rank()
 	pattern.ChargeNeighborListExchange(p, g)
@@ -185,10 +177,10 @@ func BuildCNAffinityRank(p *mpirt.Proc, pat *CNPattern) {
 		// Pairing negotiation: one signal out and one back per
 		// candidate representative (symmetric candidate lists).
 		for _, c := range mine {
-			p.Send(c, tagCNPair+round, 8, nil, nil)
+			p.Send(c, tags.CNPairBase+round, 8, nil, nil)
 		}
 		for range mine {
-			p.Recv(mpirt.AnySource, tagCNPair+round)
+			p.Recv(mpirt.AnySource, tags.CNPairBase+round)
 		}
 	}
 	// Intra-group merge: members ship their (grown) neighbor lists to
@@ -197,21 +189,21 @@ func BuildCNAffinityRank(p *mpirt.Proc, pat *CNPattern) {
 	listBytes := 8 * (g.OutDegree(r) + 1)
 	for _, mbr := range plan.Group {
 		if mbr != r {
-			p.Send(mbr, tagCNMerge, listBytes, nil, nil)
+			p.Send(mbr, tags.CNMerge, listBytes, nil, nil)
 		}
 	}
 	for _, mbr := range plan.Group {
 		if mbr != r {
-			p.Recv(mbr, tagCNMerge)
+			p.Recv(mbr, tags.CNMerge)
 		}
 	}
 	// Delegate announcements (receivers learn their senders).
 	for _, fs := range plan.Sends {
-		p.Send(fs.Dst, tagCNNote, 8, nil, len(fs.Sources))
+		p.Send(fs.Dst, tags.CNAffNote, 8, nil, len(fs.Sources))
 	}
 	expect := g.InDegree(r)
 	for expect > 0 {
-		msg := p.Recv(mpirt.AnySource, tagCNNote)
+		msg := p.Recv(mpirt.AnySource, tags.CNAffNote)
 		expect -= msg.Meta.(int)
 	}
 }

@@ -25,15 +25,10 @@ import (
 	"nbrallgather/internal/vgraph"
 )
 
-// Message tags. Each algorithm owns a disjoint tag space so mixed runs
-// (e.g. verification back-to-back) cannot cross-match.
-const (
-	tagNaive   = 1
-	tagDHStep  = 100 // + step index
-	tagDHFinal = 99
-	tagCNShare = 200
-	tagCNDeliv = 201
-)
+// Message tags come from the internal/tags registry: each algorithm
+// owns a disjoint tag space so mixed runs (e.g. verification
+// back-to-back) cannot cross-match, and the tagdiscipline analyzer
+// keeps raw tag literals out of this package.
 
 // Op is one neighborhood allgather implementation, bound to a virtual
 // topology at construction. Run performs the collective for the

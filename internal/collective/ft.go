@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/tags"
 	"nbrallgather/internal/vgraph"
 )
 
@@ -75,14 +76,6 @@ func attemptFT(f func()) (err error) {
 	return nil
 }
 
-// ftTagShift returns the tag epoch for one attempt: every invocation
-// and every recovery round gets a disjoint tag space, so re-runs can
-// never match stale messages from an abandoned attempt (including
-// eager sends a rank issued just before dying).
-func ftTagShift(epoch, round int) int {
-	return (epoch*64 + round) << 13
-}
-
 // RunFT is RunFTV with a uniform message size.
 func RunFT(p *mpirt.Proc, op VOp, sbuf []byte, m int, rbuf []byte) (*FTResult, error) {
 	checkUniform(m)
@@ -108,7 +101,7 @@ func RunFTV(p *mpirt.Proc, op VOp, sbuf []byte, counts []int, rbuf []byte) (*FTR
 
 	// First attempt: the full communicator through an identity view,
 	// so even the fault-free path runs in its own tag epoch.
-	full := p.Sub(identityComm(p.Size()), ftTagShift(epoch, 0))
+	full := p.Sub(identityComm(p.Size()), tags.FTShift(epoch, 0))
 	err := attemptFT(func() { op.RunV(full, sbuf, counts, rbuf) })
 	if err != nil {
 		p.Revoke()
@@ -131,7 +124,7 @@ func RunFTV(p *mpirt.Proc, op VOp, sbuf []byte, counts []int, rbuf []byte) (*FTR
 		for i, o := range alive {
 			counts2[i] = counts[o]
 		}
-		sub := p.Sub(comm, ftTagShift(epoch, round))
+		sub := p.Sub(comm, tags.FTShift(epoch, round))
 		var rbuf2 []byte
 		if !p.Phantom() {
 			want := 0

@@ -5,7 +5,9 @@ import (
 	"sort"
 
 	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/order"
 	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/tags"
 	"nbrallgather/internal/topology"
 	"nbrallgather/internal/vgraph"
 )
@@ -49,14 +51,6 @@ type lbPlan struct {
 	// message from.
 	fromLeaders []int
 }
-
-// Leader-based tag space.
-const (
-	tagLBDirect = 500
-	tagLBGather = 501
-	tagLBNode   = 502
-	tagLBDist   = 503
-)
 
 // NewLeaderBased builds the single-leader hierarchy.
 func NewLeaderBased(g *vgraph.Graph, c topology.Cluster) (*LeaderBased, error) {
@@ -136,22 +130,18 @@ func newLeaderBased(g *vgraph.Graph, c topology.Cluster, k int, place []int) (*L
 			remoteIn[v] = append(remoteIn[v], u)
 		}
 	}
-	keys := make([]pair, 0, len(pairSources))
-	for kp := range pairSources {
-		keys = append(keys, kp)
-	}
 	// Assign pairs to leaders on both sides with a longest-first
 	// greedy: heaviest pairs (most sources) first, each onto the
 	// currently least-loaded leader of its node.
-	sort.Slice(keys, func(i, j int) bool {
-		si, sj := len(pairSources[keys[i]]), len(pairSources[keys[j]])
-		if si != sj {
-			return si > sj
+	keys := order.SortedKeysFunc(pairSources, func(a, b pair) bool {
+		sa, sb := len(pairSources[a]), len(pairSources[b])
+		if sa != sb {
+			return sa > sb
 		}
-		if keys[i].x != keys[j].x {
-			return keys[i].x < keys[j].x
+		if a.x != b.x {
+			return a.x < b.x
 		}
-		return keys[i].y < keys[j].y
+		return a.y < b.y
 	})
 	// leaderRanks lists node ny's leader ranks that exist in the
 	// communicator: its first k member ranks in communicator order
@@ -190,7 +180,8 @@ func newLeaderBased(g *vgraph.Graph, c topology.Cluster, k int, place []int) (*L
 	// Gather: a member ships its payload once to each distinct source
 	// leader that forwards it.
 	gatherPairs := map[[2]int]bool{} // {member, leader}
-	for kp, srcs := range pairSources {
+	for _, kp := range keys {
+		srcs := pairSources[kp]
 		sl := routes[kp].srcLeader
 		for _, u := range srcs {
 			if u == sl {
@@ -246,12 +237,7 @@ func newLeaderBased(g *vgraph.Graph, c topology.Cluster, k int, place []int) (*L
 			dl := routes[kp].dstLeader
 			byLeader[dl] = append(byLeader[dl], u)
 		}
-		dls := make([]int, 0, len(byLeader))
-		for dl := range byLeader {
-			dls = append(dls, dl)
-		}
-		sort.Ints(dls)
-		for _, dl := range dls {
+		for _, dl := range order.SortedKeys(byLeader) {
 			srcs := byLeader[dl]
 			sort.Ints(srcs)
 			if dl == v {
@@ -314,28 +300,28 @@ func (a *LeaderBased) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []b
 	// Post all receives first; tags resolve phase ordering.
 	directReqs := make([]*mpirt.Request, 0, len(plan.directRecvs))
 	for _, u := range plan.directRecvs {
-		directReqs = append(directReqs, p.Irecv(u, tagLBDirect))
+		directReqs = append(directReqs, p.Irecv(u, tags.LBDirect))
 	}
 	gatherReqs := make([]*mpirt.Request, 0, len(plan.gatherFrom))
 	for _, u := range plan.gatherFrom {
-		gatherReqs = append(gatherReqs, p.Irecv(u, tagLBGather))
+		gatherReqs = append(gatherReqs, p.Irecv(u, tags.LBGather))
 	}
 	nodeReqs := make([]*mpirt.Request, 0, len(plan.nodeRecvs))
 	for _, l := range plan.nodeRecvs {
-		nodeReqs = append(nodeReqs, p.Irecv(l, tagLBNode))
+		nodeReqs = append(nodeReqs, p.Irecv(l, tags.LBNode))
 	}
 	distReqs := make([]*mpirt.Request, 0, len(plan.fromLeaders))
 	for _, l := range plan.fromLeaders {
-		distReqs = append(distReqs, p.Irecv(l, tagLBDist))
+		distReqs = append(distReqs, p.Irecv(l, tags.LBDist))
 	}
 
 	// Phase 0: direct intra-node edges.
 	for _, v := range plan.directSends {
-		p.Isend(v, tagLBDirect, counts[r], sbuf, nil)
+		p.Send(v, tags.LBDirect, counts[r], sbuf, nil)
 	}
 	// Phase 1: gather to each routed leader.
 	for _, l := range plan.gatherTo {
-		p.Isend(l, tagLBGather, counts[r], sbuf, nil)
+		p.Send(l, tags.LBGather, counts[r], sbuf, nil)
 	}
 	nodeData := map[int][]byte{r: sbuf}
 	for i, req := range gatherReqs {
@@ -359,7 +345,7 @@ func (a *LeaderBased) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []b
 			size += counts[src]
 		}
 		p.ChargeCopy(size)
-		p.Isend(ns.Dst, tagLBNode, size, payload, ns.Sources)
+		p.Send(ns.Dst, tags.LBNode, size, payload, ns.Sources)
 	}
 	// remote[src] holds payloads received from other nodes' leaders.
 	remote := map[int][]byte{}
@@ -388,7 +374,7 @@ func (a *LeaderBased) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []b
 			size += counts[src]
 		}
 		p.ChargeCopy(size)
-		p.Isend(d.Dst, tagLBDist, size, payload, d.Sources)
+		p.Send(d.Dst, tags.LBDist, size, payload, d.Sources)
 	}
 	for _, src := range plan.selfDeliver {
 		var data []byte

@@ -1,6 +1,9 @@
 package collective
 
-import "nbrallgather/internal/trace"
+import (
+	"nbrallgather/internal/tags"
+	"nbrallgather/internal/trace"
+)
 
 // DHPhases returns trace selectors splitting a Distance Halving
 // collective into its two phases — the halving (agent relay) phase and
@@ -9,8 +12,8 @@ import "nbrallgather/internal/trace"
 // phase, though message-heavy, is confined to cheap local links.
 func DHPhases() []trace.Phase {
 	return []trace.Phase{
-		{Label: "halving", Select: trace.TagRange(tagDHStep, tagDHStep+64)},
-		{Label: "remainder", Select: func(e trace.Event) bool { return e.Tag == tagDHFinal }},
+		{Label: "halving", Select: trace.TagRange(tags.DHStep, tags.DHStep+64)},
+		{Label: "remainder", Select: func(e trace.Event) bool { return e.Tag == tags.DHFinal }},
 	}
 }
 
@@ -18,7 +21,7 @@ func DHPhases() []trace.Phase {
 // Halving alltoall.
 func AlltoallDHPhases() []trace.Phase {
 	return []trace.Phase{
-		{Label: "halving", Select: trace.TagRange(tagA2AStep, tagA2AStep+64)},
-		{Label: "remainder", Select: func(e trace.Event) bool { return e.Tag == tagA2AFinal }},
+		{Label: "halving", Select: trace.TagRange(tags.A2AStep, tags.A2AStep+64)},
+		{Label: "remainder", Select: func(e trace.Event) bool { return e.Tag == tags.A2AFinal }},
 	}
 }

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrDisciplineAnalyzer enforces the module's error conventions:
+//
+//   - an error returned by module code is not discarded — neither by a
+//     bare call statement nor by assignment to blank. The fail-stop
+//     layer's SendErr/RecvErr/WaitErr exist precisely so callers can
+//     react to peer death; dropping those errors reverts to silent
+//     hangs;
+//   - typed failures (*RankFailedError, *CommRevokedError, and
+//     friends) are matched with errors.As / errors.Is, never by
+//     comparing or searching Error() strings, and never by direct type
+//     assertion on an error-typed value (which misses wrapped errors).
+var ErrDisciplineAnalyzer = &Analyzer{
+	Name: "errdiscipline",
+	Doc:  "flags discarded module error returns, Error()-string matching, and type assertions on errors",
+	Run:  runErrDiscipline,
+}
+
+func runErrDiscipline(p *Pass) {
+	p.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				checkDiscardedErr(p, call, "bare call discards")
+			}
+		case *ast.AssignStmt:
+			checkBlankErr(p, n)
+		case *ast.CallExpr:
+			checkErrorStringMatch(p, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				if isErrorStringCall(p, n.X) || isErrorStringCall(p, n.Y) {
+					p.Report(n.Pos(), "comparing Error() strings: match typed failures with errors.As/errors.Is")
+				}
+			}
+		case *ast.TypeAssertExpr:
+			checkErrTypeAssert(p, n)
+		case *ast.TypeSwitchStmt:
+			checkErrTypeSwitch(p, n)
+		}
+		return true
+	})
+}
+
+// moduleFunc reports whether f is declared inside the target module
+// (the linted tree), as opposed to the standard library.
+func moduleFunc(p *Pass, f *types.Func) bool {
+	if f == nil {
+		return false
+	}
+	path := funcPkgPath(f)
+	root := moduleRoot(p.Pkg.Path)
+	return path == root || len(path) > len(root) && path[:len(root)+1] == root+"/"
+}
+
+// moduleRoot extracts the module path prefix from a package path.
+func moduleRoot(pkgPath string) string {
+	for i := 0; i < len(pkgPath); i++ {
+		if pkgPath[i] == '/' {
+			return pkgPath[:i]
+		}
+	}
+	return pkgPath
+}
+
+func checkDiscardedErr(p *Pass, call *ast.CallExpr, how string) {
+	f := calleeOf(p, call)
+	if !moduleFunc(p, f) || !lastResultIsError(f) {
+		return
+	}
+	p.Report(call.Pos(), "%s the error returned by %s: handle it or propagate it", how, f.Name())
+}
+
+func checkBlankErr(p *Pass, as *ast.AssignStmt) {
+	// Single call with multiple results: _ positions align with the
+	// callee's result tuple.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		f := calleeOf(p, call)
+		if !moduleFunc(p, f) {
+			return
+		}
+		sig, ok := f.Type().(*types.Signature)
+		if !ok || sig.Results().Len() != len(as.Lhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" &&
+				isErrorType(sig.Results().At(i).Type()) {
+				p.Report(as.Pos(), "blank discards the error returned by %s: handle it or propagate it", f.Name())
+			}
+		}
+		return
+	}
+	// 1:1 assignments.
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		f := calleeOf(p, call)
+		if moduleFunc(p, f) && lastResultIsError(f) && f.Type().(*types.Signature).Results().Len() == 1 {
+			p.Report(as.Pos(), "blank discards the error returned by %s: handle it or propagate it", f.Name())
+		}
+	}
+}
+
+// isErrorStringCall reports whether e is a call of Error() on an
+// error-typed value.
+func isErrorStringCall(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	tv, ok := p.Pkg.Info.Types[sel.X]
+	return ok && isErrorType(tv.Type)
+}
+
+// stringMatchFuncs are the strings-package predicates that indicate
+// error identification by substring.
+var stringMatchFuncs = map[string]bool{
+	"Contains":  true,
+	"HasPrefix": true,
+	"HasSuffix": true,
+	"EqualFold": true,
+	"Index":     true,
+}
+
+func checkErrorStringMatch(p *Pass, call *ast.CallExpr) {
+	f := calleeOf(p, call)
+	if f == nil || funcPkgPath(f) != "strings" || !stringMatchFuncs[f.Name()] {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorStringCall(p, arg) {
+			p.Report(call.Pos(), "matching Error() text with strings.%s: match typed failures with errors.As/errors.Is", f.Name())
+			return
+		}
+	}
+}
+
+func checkErrTypeAssert(p *Pass, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil {
+		return // x.(type) inside a type switch: handled there
+	}
+	tv, ok := p.Pkg.Info.Types[ta.X]
+	if !ok || !isErrorType(tv.Type) {
+		return
+	}
+	p.Report(ta.Pos(), "type assertion on an error value misses wrapped errors: use errors.As")
+}
+
+func checkErrTypeSwitch(p *Pass, ts *ast.TypeSwitchStmt) {
+	var x ast.Expr
+	switch s := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := ast.Unparen(s.X).(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if ta, ok := ast.Unparen(s.Rhs[0]).(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	}
+	if x == nil {
+		return
+	}
+	tv, ok := p.Pkg.Info.Types[x]
+	if !ok || !isErrorType(tv.Type) {
+		return
+	}
+	p.Report(ts.Pos(), "type switch on an error value misses wrapped errors: use errors.As")
+}

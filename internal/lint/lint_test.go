@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts `// want "regex"` expectations from fixture sources.
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` comment: a finding the analyzer must
+// produce at that file and line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func loadExpectations(t *testing.T, dir string) []expectation {
+	t.Helper()
+	var exps []expectation
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regex %q: %v", path, i+1, m[1], err)
+			}
+			exps = append(exps, expectation{file: path, line: i + 1, re: re})
+		}
+	}
+	return exps
+}
+
+func loadFixtures(t *testing.T) []*Package {
+	t.Helper()
+	pkgs, err := LoadDir(filepath.Join("testdata", "src"), "nbrallgather")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+func findPkg(t *testing.T, pkgs []*Package, path string) *Package {
+	t.Helper()
+	for _, p := range pkgs {
+		if p.Path == path {
+			return p
+		}
+	}
+	t.Fatalf("fixture package %s not loaded", path)
+	return nil
+}
+
+func findAnalyzer(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %s", name)
+	return nil
+}
+
+// TestGolden checks every bad-fixture package against its `// want`
+// comments: each expected finding must appear at its line, and no
+// unexpected findings may appear.
+func TestGolden(t *testing.T) {
+	pkgs := loadFixtures(t)
+	cases := []struct {
+		pkg      string
+		analyzer string
+	}{
+		{"nbrallgather/internal/collective/determbad", "determinism"},
+		{"nbrallgather/internal/collective/requestleakbad", "requestleak"},
+		{"nbrallgather/internal/collective/errbad", "errdiscipline"},
+		{"nbrallgather/internal/collective/tagbad", "tagdiscipline"},
+		{"nbrallgather/internal/vtbad", "vtclean"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			pkg := findPkg(t, pkgs, tc.pkg)
+			a := findAnalyzer(t, tc.analyzer)
+			diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+			if len(diags) == 0 {
+				t.Fatalf("bad fixture %s produced no %s findings", tc.pkg, tc.analyzer)
+			}
+			exps := loadExpectations(t, pkg.Dir)
+			if len(exps) == 0 {
+				t.Fatalf("fixture %s has no want comments", tc.pkg)
+			}
+			matched := make([]bool, len(exps))
+			for _, d := range diags {
+				found := false
+				for i, exp := range exps {
+					if matched[i] || d.Pos.Line != exp.line || !sameFile(d.Pos.Filename, exp.file) {
+						continue
+					}
+					if exp.re.MatchString(d.Message) {
+						matched[i] = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("unexpected finding: %s", d)
+				}
+			}
+			for i, exp := range exps {
+				if !matched[i] {
+					t.Errorf("%s:%d: expected finding matching %q, got none", exp.file, exp.line, exp.re)
+				}
+			}
+		})
+	}
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	if err1 != nil || err2 != nil {
+		return filepath.Base(a) == filepath.Base(b)
+	}
+	return aa == bb
+}
+
+// TestCleanFixture runs the full suite over the negative fixture and
+// the stub support packages: zero findings allowed.
+func TestCleanFixture(t *testing.T) {
+	pkgs := loadFixtures(t)
+	for _, path := range []string{
+		"nbrallgather/internal/collective/clean",
+		"nbrallgather/internal/mpirt",
+		"nbrallgather/internal/tags",
+	} {
+		pkg := findPkg(t, pkgs, path)
+		if diags := RunAnalyzers([]*Package{pkg}, Analyzers()); len(diags) != 0 {
+			for _, d := range diags {
+				t.Errorf("clean fixture %s: %s", path, d)
+			}
+		}
+	}
+}
+
+// TestModuleClean runs the full suite over the real module: the tree
+// must stay lint-clean (the same gate `make lint` enforces).
+func TestModuleClean(t *testing.T) {
+	pkgs, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := RunAnalyzers(pkgs, Analyzers()); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+		t.Fatalf("module has %d lint findings", len(diags))
+	}
+}
+
+// TestDirectiveParsing pins the suppression grammar: trailing and
+// preceding-line directives, with and without justifications.
+func TestDirectiveParsing(t *testing.T) {
+	pkgs := loadFixtures(t)
+	pkg := findPkg(t, pkgs, "nbrallgather/internal/collective/determbad")
+	idx := directiveIndex(pkg)
+	found := false
+	for _, lines := range idx {
+		for _, words := range lines {
+			for _, w := range words {
+				if w == "ordered" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("determbad fixture should carry an ordered directive")
+	}
+}
+
+// TestDiagnosticString pins the canonical rendering.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "determinism", Message: "boom"}
+	d.Pos.Filename = "x/y.go"
+	d.Pos.Line = 12
+	if got, want := d.String(), "x/y.go:12: [determinism] boom"; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+// TestPathHelpers pins the import-path matchers the analyzers scope by.
+func TestPathHelpers(t *testing.T) {
+	for _, tc := range []struct {
+		path, elem string
+		contains   bool
+	}{
+		{"nbrallgather/internal/mpirt", "internal/mpirt", true},
+		{"nbrallgather/internal/mpirtx", "internal/mpirt", false},
+		{"nbrallgather/internal/collective/determbad", "internal/collective", true},
+		{"nbrallgather/cmd/nbr-lint", "cmd", true},
+		{"nbrallgather/command", "cmd", false},
+	} {
+		if got := pathContains(tc.path, tc.elem); got != tc.contains {
+			t.Errorf("pathContains(%q, %q) = %v, want %v", tc.path, tc.elem, got, tc.contains)
+		}
+	}
+	if fmt.Sprintf("%v", pathHasSuffix("a/b/c", "b/c")) != "true" {
+		t.Error("pathHasSuffix failed on a/b/c, b/c")
+	}
+}

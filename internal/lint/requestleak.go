@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RequestLeakAnalyzer checks that every nonblocking request value
+// (Isend/Irecv result) reaches a Wait, or escapes the creating function
+// by return or store. A dropped request silently discards a completion:
+// for Irecv the message is lost, and for either direction the caller
+// can no longer order later operations after the transfer. The check is
+// intra-procedural: a request assigned to a variable must be used at
+// least once outside the statements that produce requests into it; a
+// request produced in expression-statement position (or assigned to
+// blank) is reported outright — if the completion genuinely does not
+// matter, the blocking call expresses that without minting a request.
+var RequestLeakAnalyzer = &Analyzer{
+	Name: "requestleak",
+	Doc:  "flags nonblocking requests that never reach Wait and do not escape",
+	Run:  runRequestLeak,
+}
+
+func runRequestLeak(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncRequests(p, fn.Body)
+		}
+	}
+}
+
+// isRequestCall reports whether call creates a request.
+func isRequestCall(p *Pass, call *ast.CallExpr) bool {
+	f := calleeOf(p, call)
+	if f == nil || !pathContains(funcPkgPath(f), "internal/mpirt") {
+		return false
+	}
+	return f.Name() == "Isend" || f.Name() == "Irecv"
+}
+
+func checkFuncRequests(p *Pass, body *ast.BlockStmt) {
+	// producers[obj] = statements that assign or append request values
+	// into obj; uses[obj] counts identifier occurrences outside those
+	// statements.
+	producers := map[types.Object][]ast.Stmt{}
+	var bare []*ast.CallExpr
+
+	// Pass 1: find request-producing statements and their targets.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isRequestCall(p, call) {
+				bare = append(bare, call)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !rhsProducesRequest(p, rhs) || i >= len(n.Lhs) {
+					continue
+				}
+				lhs := ast.Unparen(n.Lhs[i])
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					// Store into a field, slice, or map: escapes.
+					continue
+				}
+				if id.Name == "_" {
+					p.Report(rhs.Pos(), "request assigned to blank is never waited on: use the blocking call or keep the request")
+					continue
+				}
+				obj := p.Pkg.Info.Defs[id]
+				if obj == nil {
+					obj = p.Pkg.Info.Uses[id]
+				}
+				if obj != nil {
+					producers[obj] = append(producers[obj], n)
+				}
+			}
+		}
+		return true
+	})
+
+	for _, call := range bare {
+		f := calleeOf(p, call)
+		p.Report(call.Pos(), "%s result dropped: the request never reaches Wait — use the blocking call or keep the request", f.Name())
+	}
+
+	if len(producers) == 0 {
+		return
+	}
+
+	// Pass 2: count uses of each tracked variable outside its producer
+	// statements.
+	used := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Pkg.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		stmts, tracked := producers[obj]
+		if !tracked {
+			return true
+		}
+		inProducer := false
+		for _, s := range stmts {
+			if id.Pos() >= s.Pos() && id.Pos() <= s.End() {
+				inProducer = true
+				break
+			}
+		}
+		if !inProducer {
+			used[obj] = true
+		}
+		return true
+	})
+	for obj := range producers {
+		if !used[obj] {
+			p.Report(obj.Pos(), "request %s is never waited on and never escapes", obj.Name())
+		}
+	}
+}
+
+// rhsProducesRequest reports whether the expression yields a request:
+// a direct Isend/Irecv call, or an append whose elements include one.
+func rhsProducesRequest(p *Pass, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if isRequestCall(p, call) {
+		return true
+	}
+	if isBuiltin(p, call, "append") {
+		for _, arg := range call.Args[1:] {
+			if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok && isRequestCall(p, inner) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// TagDisciplineAnalyzer keeps raw integer literals out of message-tag
+// positions. Tags are protocol structure: two call sites that happen to
+// pick the same number cross-match silently, and the fail-stop epoch
+// shifting assumes every static tag fits the registry's reserved
+// blocks. All tags therefore come from internal/tags (the registry may
+// of course define them with literals), possibly offset by variables —
+// `tags.DHStep + t` is fine, `100 + t` is not. Two packages are exempt:
+// the registry itself, and internal/mpirt, which owns the runtime's
+// reserved internal tags and applies registered shifts.
+var TagDisciplineAnalyzer = &Analyzer{
+	Name: "tagdiscipline",
+	Doc:  "flags integer literals in message-tag argument positions outside the tag registry",
+	Run:  runTagDiscipline,
+}
+
+func runTagDiscipline(p *Pass) {
+	if pathHasSuffix(p.Pkg.Path, "internal/tags") || pathHasSuffix(p.Pkg.Path, "internal/mpirt") {
+		return
+	}
+	p.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeOf(p, call)
+		tagIdx := -1
+		switch {
+		case isMpirtComm(f):
+			tagIdx = 1 // (peer, tag, ...)
+		case f != nil && f.Name() == "Sub" && pathContains(funcPkgPath(f), "internal/mpirt"):
+			tagIdx = 1 // (comm, tagShift)
+		}
+		if tagIdx < 0 || tagIdx >= len(call.Args) {
+			return true
+		}
+		if lit := findIntLiteral(call.Args[tagIdx]); lit != nil {
+			p.Report(lit.Pos(), "integer literal %s in tag position: use a constant from internal/tags", lit.Value)
+		}
+		return true
+	})
+}
+
+// findIntLiteral returns the first integer literal inside the tag
+// expression, without descending into nested call arguments: a helper
+// call like tags.FTShift(epoch, 0) is an opaque registry value whose
+// own arguments are the helper's business.
+func findIntLiteral(e ast.Expr) *ast.BasicLit {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.INT {
+			return e
+		}
+	case *ast.BinaryExpr:
+		if lit := findIntLiteral(e.X); lit != nil {
+			return lit
+		}
+		return findIntLiteral(e.Y)
+	case *ast.UnaryExpr:
+		return findIntLiteral(e.X)
+	}
+	return nil
+}

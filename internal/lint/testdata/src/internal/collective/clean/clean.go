@@ -1,0 +1,37 @@
+// Package clean is the negative fixture: idiomatic runtime use that
+// every analyzer must pass with zero findings.
+package clean
+
+import (
+	"errors"
+	"sort"
+
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/tags"
+)
+
+// Exchange runs a conforming send/receive round: registry tags, waited
+// requests, sorted map iteration, handled errors.
+func Exchange(p *mpirt.Proc, peers map[int]int) error {
+	var reqs []*mpirt.Request
+	var keys []int
+	for k := range peers { //lint:ordered — normalised by the sort below
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		reqs = append(reqs, p.Irecv(k, tags.Naive))
+		p.Send(k, tags.Naive, peers[k], nil, nil)
+	}
+	for _, r := range reqs {
+		r.Wait()
+	}
+	if err := p.SendErr(1, tags.DHStep, 8, nil, nil); err != nil {
+		var rf *mpirt.RankFailedError
+		if errors.As(err, &rf) {
+			return err
+		}
+		return err
+	}
+	return nil
+}

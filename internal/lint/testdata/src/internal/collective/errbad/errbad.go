@@ -1,0 +1,67 @@
+// Package errbad exercises the errdiscipline analyzer.
+package errbad
+
+import (
+	"strings"
+
+	"nbrallgather/internal/mpirt"
+)
+
+// Discards collects the discarded-error violation classes.
+func Discards(p *mpirt.Proc, tag int) {
+	p.SendErr(1, tag, 8, nil, nil)     // want "bare call discards the error returned by SendErr"
+	_ = p.SendErr(2, tag, 8, nil, nil) // want "blank discards the error returned by SendErr"
+	_, _ = p.RecvErr(1, tag)           // want "blank discards the error returned by RecvErr"
+}
+
+// StringMatch collects the string-matching violation classes.
+func StringMatch(p *mpirt.Proc, tag int) bool {
+	err := p.SendErr(1, tag, 8, nil, nil)
+	if err == nil {
+		return false
+	}
+	if strings.Contains(err.Error(), "rank failed") { // want "matching Error\(\) text with strings.Contains"
+		return true
+	}
+	return err.Error() == "communicator revoked" // want "comparing Error\(\) strings"
+}
+
+// TypeAssert collects the direct-assertion violation classes.
+func TypeAssert(p *mpirt.Proc, tag int) int {
+	err := p.SendErr(1, tag, 8, nil, nil)
+	if rf, ok := err.(*mpirt.RankFailedError); ok { // want "type assertion on an error value"
+		return rf.Rank
+	}
+	switch err.(type) { // want "type switch on an error value"
+	case *mpirt.CommRevokedError:
+		return -1
+	}
+	return 0
+}
+
+// Handled shows the conforming patterns: checked errors and
+// any-typed recover values stay unflagged.
+func Handled(p *mpirt.Proc, tag int) error {
+	if err := p.SendErr(1, tag, 8, nil, nil); err != nil {
+		return err
+	}
+	msg, err := p.RecvErr(1, tag)
+	if err != nil {
+		return err
+	}
+	_ = msg
+	return nil
+}
+
+// Absorb mirrors the runtime's recover-value switch: the operand is
+// any, not error, so typed matching is the only option and the switch
+// stays unflagged.
+func Absorb(rec any) error {
+	switch e := rec.(type) {
+	case *mpirt.RankFailedError:
+		return e
+	case *mpirt.CommRevokedError:
+		return e
+	}
+	return nil
+}

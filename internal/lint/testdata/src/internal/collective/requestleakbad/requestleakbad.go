@@ -1,0 +1,41 @@
+// Package requestleakbad exercises the requestleak analyzer.
+package requestleakbad
+
+import "nbrallgather/internal/mpirt"
+
+// Leaks collects the request-leak violation classes.
+func Leaks(p *mpirt.Proc, tag int) {
+	p.Isend(1, tag, 8, nil, nil) // want "Isend result dropped"
+	p.Irecv(1, tag)              // want "Irecv result dropped"
+
+	_ = p.Irecv(2, tag) // want "request assigned to blank"
+
+	var reqs []*mpirt.Request // want "request reqs is never waited on"
+	reqs = append(reqs, p.Irecv(3, tag))
+	reqs = append(reqs, p.Irecv(4, tag))
+}
+
+// Waited shows the conforming patterns: requests waited on, returned,
+// or stored beyond the function stay unflagged.
+func Waited(p *mpirt.Proc, tag int) *mpirt.Request {
+	req := p.Irecv(1, tag)
+	req.Wait()
+
+	var reqs []*mpirt.Request
+	reqs = append(reqs, p.Irecv(2, tag))
+	reqs = append(reqs, p.Isend(3, tag, 8, nil, nil))
+	for _, r := range reqs {
+		r.Wait()
+	}
+
+	return p.Irecv(4, tag)
+}
+
+// holder keeps a request alive across calls.
+type holder struct{ pending *mpirt.Request }
+
+// Escapes stores the request in a field: it outlives the function, so
+// the intra-procedural check cannot call it leaked.
+func (h *holder) Escapes(p *mpirt.Proc, tag int) {
+	h.pending = p.Irecv(1, tag)
+}

@@ -1,0 +1,25 @@
+// Package tagbad exercises the tagdiscipline analyzer.
+package tagbad
+
+import (
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/tags"
+)
+
+// Literals collects the raw-tag violation classes.
+func Literals(p *mpirt.Proc, t int) {
+	p.Send(1, 42, 8, nil, nil)        // want "integer literal 42 in tag position"
+	p.Recv(1, 100+t)                  // want "integer literal 100 in tag position"
+	_ = p.Irecv(1, 7)                 // want "integer literal 7 in tag position"
+	_ = p.Sub(&mpirt.Comm{}, 5<<13)   // want "integer literal 5 in tag position"
+	_ = p.Probe(mpirt.AnySource, 303) // want "integer literal 303 in tag position"
+}
+
+// Registry shows the conforming patterns: registry constants, variable
+// offsets, and opaque registry helpers stay unflagged.
+func Registry(p *mpirt.Proc, t, epoch int) {
+	p.Send(1, tags.Naive, 8, nil, nil)
+	p.Recv(1, tags.DHStep+t)
+	sub := p.Sub(&mpirt.Comm{}, tags.FTShift(epoch, 0))
+	sub.Send(1, tags.Naive, 8, nil, nil)
+}

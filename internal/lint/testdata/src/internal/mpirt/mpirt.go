@@ -1,0 +1,59 @@
+// Package mpirt is a type-compatible stub of the real runtime, just
+// enough surface for the analyzer fixtures to type-check: the analyzers
+// resolve comm calls by package path suffix and method name, so the
+// stub's paths and signatures must mirror the real ones.
+package mpirt
+
+// AnySource matches any sender in Recv/Irecv/Probe.
+const AnySource = -1
+
+// Msg mirrors the runtime's delivered-message shape.
+type Msg struct {
+	Src, Tag, Size int
+	Data           []byte
+	Meta           any
+}
+
+// Request is a nonblocking operation handle.
+type Request struct{}
+
+// Wait blocks until the request completes.
+func (r *Request) Wait() Msg { return Msg{} }
+
+// Comm is a communicator stub.
+type Comm struct{}
+
+// Proc is one rank's runtime handle.
+type Proc struct{}
+
+func (p *Proc) Rank() int { return 0 }
+func (p *Proc) Size() int { return 1 }
+
+func (p *Proc) Send(dst, tag, size int, data []byte, meta any)           {}
+func (p *Proc) Recv(src, tag int) Msg                                    { return Msg{} }
+func (p *Proc) Isend(dst, tag, size int, data []byte, meta any) *Request { return &Request{} }
+func (p *Proc) Irecv(src, tag int) *Request                              { return &Request{} }
+func (p *Proc) Probe(src, tag int) bool                                  { return false }
+
+func (p *Proc) SendErr(dst, tag, size int, data []byte, meta any) error { return nil }
+func (p *Proc) RecvErr(src, tag int) (Msg, error)                       { return Msg{}, nil }
+
+func (p *Proc) Sub(c *Comm, tagShift int) *SubProc { return &SubProc{} }
+
+// SubProc is a communicator-scoped view of a Proc.
+type SubProc struct{}
+
+func (s *SubProc) Send(dst, tag, size int, data []byte, meta any)           {}
+func (s *SubProc) Recv(src, tag int) Msg                                    { return Msg{} }
+func (s *SubProc) Isend(dst, tag, size int, data []byte, meta any) *Request { return &Request{} }
+func (s *SubProc) Irecv(src, tag int) *Request                              { return &Request{} }
+
+// RankFailedError mirrors the runtime's typed fail-stop error.
+type RankFailedError struct{ Rank int }
+
+func (e *RankFailedError) Error() string { return "rank failed" }
+
+// CommRevokedError mirrors the runtime's typed revocation error.
+type CommRevokedError struct{}
+
+func (e *CommRevokedError) Error() string { return "communicator revoked" }

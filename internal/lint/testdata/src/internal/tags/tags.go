@@ -1,0 +1,11 @@
+// Package tags is a stub of the real tag registry for analyzer
+// fixtures.
+package tags
+
+const (
+	Naive  = 1
+	DHStep = 100
+)
+
+// FTShift mirrors the registry's epoch-shift helper.
+func FTShift(epoch, round int) int { return (epoch*64 + round) << 13 }

@@ -1,0 +1,28 @@
+// Package vtbad exercises the vtclean analyzer: it sits outside the
+// wall-clock-allowed package set, so every host-clock read is a
+// finding.
+package vtbad
+
+import "time"
+
+// Clocky collects the host-clock violation classes.
+func Clocky() time.Duration {
+	start := time.Now()              // want "time.Now reads the host clock"
+	time.Sleep(time.Millisecond)     // want "time.Sleep reads the host clock"
+	t := time.NewTicker(time.Second) // want "time.NewTicker reads the host clock"
+	defer t.Stop()
+	<-time.After(time.Millisecond) // want "time.After reads the host clock"
+	return time.Since(start)       // want "time.Since reads the host clock"
+}
+
+// DurationsOnly shows that duration arithmetic and constants are legal
+// everywhere, and that an annotated deliberate read is suppressed.
+func DurationsOnly(budget time.Duration) time.Duration {
+	limit := 2 * time.Second
+	if budget > limit {
+		budget = limit
+	}
+	deadline := time.Now() //lint:wallclock — fixture for the suppression path
+	_ = deadline
+	return budget
+}

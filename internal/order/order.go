@@ -1,0 +1,55 @@
+// Package order provides deterministic iteration over Go maps. Map
+// range order is randomised by the runtime, so any plan, schedule or
+// message sequence derived from a bare map range differs from run to
+// run — which breaks the bit-exact chaos replay and the
+// schedule-determinism invariant the determinism analyzer
+// (internal/lint) enforces. Whenever communication or plan order is
+// derived from a map, iterate its keys through one of these helpers
+// instead of ranging the map directly.
+package order
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order. An empty map yields a
+// nil slice, so plans built through it stay DeepEqual to append-built
+// ones.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]K, 0, len(m))
+	for k := range m { //lint:ordered — normalised by the sort below
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// SortedKeysFunc returns m's keys sorted by less, for key types without
+// a natural order (structs) or when a non-default order is wanted. less
+// must be a strict weak ordering; ties keep an unspecified but
+// deterministic order only if less is total, so break ties explicitly.
+// An empty map yields a nil slice.
+func SortedKeysFunc[K comparable, V any](m map[K]V, less func(a, b K) bool) []K {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]K, 0, len(m))
+	for k := range m { //lint:ordered — normalised by the sort below
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b K) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+	return keys
+}

@@ -1,0 +1,39 @@
+package order
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	for trial := 0; trial < 20; trial++ {
+		got := SortedKeys(m)
+		if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+			t.Fatalf("SortedKeys = %v", got)
+		}
+	}
+	if got := SortedKeys(map[string]int{}); len(got) != 0 {
+		t.Fatalf("SortedKeys(empty) = %v", got)
+	}
+}
+
+func TestSortedKeysFunc(t *testing.T) {
+	type pair struct{ x, y int }
+	m := map[pair]int{
+		{2, 1}: 0, {1, 2}: 0, {1, 1}: 0, {2, 0}: 0,
+	}
+	less := func(a, b pair) bool {
+		if a.x != b.x {
+			return a.x < b.x
+		}
+		return a.y < b.y
+	}
+	want := []pair{{1, 1}, {1, 2}, {2, 0}, {2, 1}}
+	for trial := 0; trial < 20; trial++ {
+		got := SortedKeysFunc(m, less)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeysFunc = %v", got)
+		}
+	}
+}

@@ -7,6 +7,8 @@ import (
 
 	"nbrallgather/internal/bitset"
 	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/order"
+	"nbrallgather/internal/tags"
 	"nbrallgather/internal/vgraph"
 )
 
@@ -34,16 +36,9 @@ const signalBytes = 8
 // noteBytes is the modelled wire size of one agent notification.
 const noteBytes = 8
 
-// Tag layout for the build protocol. Each halving step uses its own tag
-// group so asynchronously progressing ranks never mismatch messages.
-const (
-	tagPropBase  = 10000 // + step*4 + phase*2 : proposer → acceptor
-	tagReplyBase = 10001 // + step*4 + phase*2 : acceptor → proposer
-	tagDescBase  = 30000 // + step : descriptor D + buffer source list
-	tagNoteBase  = 40000 // + step : agent notification to out-neighbors
-	tagFinalNote = 50000 // final-phase sender announcements
-	tagExchange  = 60000 // calculate_A neighbor-list allgather
-)
+// The build protocol's tag layout lives in the internal/tags registry
+// (tags.PropBase …): each halving step uses its own tag group so
+// asynchronously progressing ranks never mismatch messages.
 
 // descMsg is the meta payload of the descriptor transfer: the origin's
 // buffer source order plus the delivery entries it offloads.
@@ -168,10 +163,10 @@ func BuildRank(p *mpirt.Proc, g *vgraph.Graph, l int) (plan *RankPlan, attempts,
 		// incoming neighbors in h2. Content is advisory; the cost is
 		// what matters here.
 		for _, v := range g.OutSet(r).ElemsRange(nil, s.H2Lo, s.H2Hi) {
-			p.Send(v, tagNoteBase+t, noteBytes, nil, nil)
+			p.Send(v, tags.NoteBase+t, noteBytes, nil, nil)
 		}
 		for range inRange(g, r, s.H2Lo, s.H2Hi) {
-			p.Recv(mpirt.AnySource, tagNoteBase+t)
+			p.Recv(mpirt.AnySource, tags.NoteBase+t)
 		}
 
 		// Descriptor exchange (Algorithm 1 lines 31–49).
@@ -189,10 +184,10 @@ func BuildRank(p *mpirt.Proc, g *vgraph.Graph, l int) (plan *RankPlan, attempts,
 					delete(st.del, src)
 				}
 			}
-			p.Send(s.Agent, tagDescBase+t, descMsgBytes(d), nil, d)
+			p.Send(s.Agent, tags.DescBase+t, descMsgBytes(d), nil, d)
 		}
 		if s.Origin != NoRank {
-			msg := p.Recv(s.Origin, tagDescBase+t)
+			msg := p.Recv(s.Origin, tags.DescBase+t)
 			d := msg.Meta.(*descMsg)
 			s.RecvSources = append([]int(nil), d.sources...)
 			for _, src := range d.sources {
@@ -201,9 +196,9 @@ func BuildRank(p *mpirt.Proc, g *vgraph.Graph, l int) (plan *RankPlan, attempts,
 					st.buf = append(st.buf, src)
 				}
 			}
-			for src, dests := range d.entries {
+			for _, src := range order.SortedKeys(d.entries) {
 				set := st.del[src]
-				for _, dst := range dests {
+				for _, dst := range d.entries[src] {
 					if dst == r {
 						s.SelfCopies = append(s.SelfCopies, src)
 						selfCopied.Add(src)
@@ -234,8 +229,8 @@ func BuildRank(p *mpirt.Proc, g *vgraph.Graph, l int) (plan *RankPlan, attempts,
 	// learns its remainder-phase senders (the paper's I_on tracking).
 	plan = &RankPlan{Rank: r, Steps: st.steps, BufSources: st.buf}
 	bySrcDst := map[int][]int{}
-	for src, dests := range st.del {
-		for _, dst := range dests.Elems(nil) {
+	for _, src := range order.SortedKeys(st.del) {
+		for _, dst := range st.del[src].Elems(nil) {
 			if dst == r {
 				plan.FinalSelfCopies = append(plan.FinalSelfCopies, src)
 				selfCopied.Add(src)
@@ -244,33 +239,25 @@ func BuildRank(p *mpirt.Proc, g *vgraph.Graph, l int) (plan *RankPlan, attempts,
 			bySrcDst[dst] = append(bySrcDst[dst], src)
 		}
 	}
-	dsts := make([]int, 0, len(bySrcDst))
-	for d := range bySrcDst {
-		dsts = append(dsts, d)
-	}
-	sort.Ints(dsts)
-	for _, d := range dsts {
+	for _, d := range order.SortedKeys(bySrcDst) {
 		srcs := bySrcDst[d]
 		sort.Ints(srcs)
 		plan.FinalSends = append(plan.FinalSends, FinalSend{Dst: d, Sources: srcs})
-		p.Send(d, tagFinalNote, noteBytes, nil, finalNote{count: len(srcs)})
+		p.Send(d, tags.FinalNote, noteBytes, nil, finalNote{count: len(srcs)})
 	}
 	sort.Ints(plan.FinalSelfCopies)
 
 	expect := g.InDegree(r) - selfCopied.Count()
 	senders := map[int]bool{}
 	for expect > 0 {
-		msg := p.Recv(mpirt.AnySource, tagFinalNote)
+		msg := p.Recv(mpirt.AnySource, tags.FinalNote)
 		expect -= msg.Meta.(finalNote).count
 		senders[msg.Src] = true
 	}
 	if expect < 0 {
 		panic(fmt.Sprintf("pattern: rank %d over-announced final edges by %d", r, -expect))
 	}
-	for s := range senders {
-		plan.FinalRecvs = append(plan.FinalRecvs, s)
-	}
-	sort.Ints(plan.FinalRecvs)
+	plan.FinalRecvs = order.SortedKeys(senders)
 	return plan, attempts, successes
 }
 
@@ -332,8 +319,8 @@ func candidatesOf(g *vgraph.Graph, r, clo, chi, wlo, whi int) []int {
 // h2 = [h2lo, h2hi) is the opposite half agents live in.
 func findAgent(p *mpirt.Proc, g *vgraph.Graph, step, phase, r, h2lo, h2hi int) int {
 	cands := candidatesOf(g, r, h2lo, h2hi, h2lo, h2hi)
-	propTag := tagPropBase + step*4 + phase*2
-	replyTag := tagReplyBase + step*4 + phase*2
+	propTag := tags.PropBase + step*4 + phase*2
+	replyTag := tags.ReplyBase + step*4 + phase*2
 	for i, c := range cands {
 		p.Send(c, propTag, signalBytes, nil, sigREQ)
 		reply := p.Recv(c, replyTag)
@@ -360,8 +347,8 @@ func findOrigin(p *mpirt.Proc, g *vgraph.Graph, step, phase, r, h1lo, h1hi, h2lo
 	// order.
 	cands := candidatesOf(g, r, h2lo, h2hi, h1lo, h1hi)
 
-	propTag := tagPropBase + step*4 + phase*2
-	replyTag := tagReplyBase + step*4 + phase*2
+	propTag := tags.PropBase + step*4 + phase*2
+	replyTag := tags.ReplyBase + step*4 + phase*2
 
 	remaining := map[int]bool{}
 	for _, c := range cands {
@@ -385,7 +372,11 @@ func findOrigin(p *mpirt.Proc, g *vgraph.Graph, step, phase, r, h1lo, h1hi, h2lo
 				selected = c
 				p.Send(c, replyTag, signalBytes, nil, sigACCEPT)
 				delete(waiting, c)
-				for w := range waiting {
+				// DROPs go out in sorted order: these are real sends, so
+				// map-order iteration would perturb the runtime's event
+				// order across otherwise identical runs and break
+				// bit-exact chaos replay.
+				for _, w := range order.SortedKeys(waiting) {
 					p.Send(w, replyTag, signalBytes, nil, sigDROP)
 					delete(waiting, w)
 					delete(remaining, w)
@@ -435,8 +426,8 @@ func ChargeNeighborListExchange(p *mpirt.Proc, g *vgraph.Graph) {
 	for dist := 1; dist < n; dist *= 2 {
 		dst := (r - dist%n + n) % n
 		src := (r + dist) % n
-		p.Send(dst, tagExchange+dist, accBytes, nil, nil)
-		p.Recv(src, tagExchange+dist)
+		p.Send(dst, tags.Exchange+dist, accBytes, nil, nil)
+		p.Recv(src, tags.Exchange+dist)
 		// In Bruck's algorithm the received block is the source's
 		// accumulated prefix: ranks src, src+1, … up to dist entries.
 		for k := 0; k < dist && k < n-1; k++ {

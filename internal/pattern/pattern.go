@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"nbrallgather/internal/bitset"
+	"nbrallgather/internal/order"
 	"nbrallgather/internal/vgraph"
 )
 
@@ -402,7 +403,8 @@ func (b *builder) applyTransfers(ranks []int) {
 				st.buf = append(st.buf, src)
 			}
 		}
-		for src, dests := range x.entries {
+		for _, src := range order.SortedKeys(x.entries) {
+			dests := x.entries[src]
 			set := st.del[src]
 			if set == nil {
 				set = bitset.New(b.n)
@@ -437,8 +439,8 @@ func (b *builder) finish() (*Pattern, error) {
 		st := b.states[r]
 		plan := RankPlan{Rank: r, Steps: st.steps, BufSources: st.buf}
 		bySrcDst := map[int][]int{} // dst → sources
-		for src, dests := range st.del {
-			for _, d := range dests.Elems(nil) {
+		for _, src := range order.SortedKeys(st.del) {
+			for _, d := range st.del[src].Elems(nil) {
 				if d == r {
 					plan.FinalSelfCopies = append(plan.FinalSelfCopies, src)
 					continue
@@ -446,12 +448,7 @@ func (b *builder) finish() (*Pattern, error) {
 				bySrcDst[d] = append(bySrcDst[d], src)
 			}
 		}
-		dsts := make([]int, 0, len(bySrcDst))
-		for d := range bySrcDst {
-			dsts = append(dsts, d)
-		}
-		sort.Ints(dsts)
-		for _, d := range dsts {
+		for _, d := range order.SortedKeys(bySrcDst) {
 			srcs := bySrcDst[d]
 			sort.Ints(srcs)
 			plan.FinalSends = append(plan.FinalSends, FinalSend{Dst: d, Sources: srcs})

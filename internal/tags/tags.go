@@ -1,0 +1,101 @@
+// Package tags is the message-tag registry: every tag any component of
+// the repository puts on the wire is declared here, in one place, so
+// the tag spaces of the collectives, the pattern-build protocols and
+// the fail-stop recovery epochs are disjoint by construction and
+// auditable at a glance.
+//
+// Discipline, enforced by the tagdiscipline analyzer (internal/lint):
+// outside this package, no integer literal may be passed as a tag
+// argument to a runtime operation — tags are always a registry
+// constant, a registry constant plus a step/round index, or a value
+// derived through FTShift. That keeps cross-matching between phases
+// impossible to introduce silently: a new protocol must claim its tag
+// block here, next to everyone else's.
+//
+// Layout (base values; "+ step"/"+ round" blocks own the interval up
+// to the next base):
+//
+//	    1         naive allgather
+//	   99         distance-halving remainder phase
+//	  100 + step  distance-halving halving steps
+//	  200, 201    common-neighbor share / deliver
+//	  300         naive alltoall
+//	  399         distance-halving alltoall remainder phase
+//	  400 + step  distance-halving alltoall halving steps
+//	  500…503     leader-based hierarchy phases
+//	10000…60000+  distributed pattern-build negotiation protocol
+//	70000…73000+  common-neighbor group-formation protocols
+//	≥ 1<<19       fail-stop recovery epochs (FTShift)
+package tags
+
+// Neighborhood allgather tag spaces. Each algorithm owns a disjoint
+// block so mixed runs (e.g. back-to-back verification) cannot
+// cross-match.
+const (
+	// Naive is the direct point-to-point allgather.
+	Naive = 1
+	// DHFinal is the distance-halving remainder phase.
+	DHFinal = 99
+	// DHStep is the distance-halving halving phase; add the step index
+	// (step < DHFinal-ladder width never exceeds ⌈log2 n⌉ ≤ 63).
+	DHStep = 100 // + step
+	// CNShare / CNDeliv are the common-neighbor intra-group share and
+	// delegated combined delivery.
+	CNShare = 200
+	CNDeliv = 201
+)
+
+// Neighborhood alltoall tag spaces, disjoint from the allgather blocks.
+const (
+	A2ANaive = 300
+	A2AFinal = 399
+	A2AStep  = 400 // + step
+)
+
+// Leader-based hierarchy phases.
+const (
+	LBDirect = 500
+	LBGather = 501
+	LBNode   = 502
+	LBDist   = 503
+)
+
+// Distributed pattern-build negotiation protocol (Algorithms 1–3).
+// Each halving step uses its own tag group so asynchronously
+// progressing ranks never mismatch messages.
+const (
+	// PropBase/ReplyBase carry REQ/EXIT and ACCEPT/DROP signals:
+	// add step*4 + phase*2.
+	PropBase  = 10000 // + step*4 + phase*2 : proposer → acceptor
+	ReplyBase = 10001 // + step*4 + phase*2 : acceptor → proposer
+	// DescBase ships the descriptor D plus buffer source list.
+	DescBase = 30000 // + step
+	// NoteBase is the per-step agent notification to out-neighbors.
+	NoteBase = 40000 // + step
+	// FinalNote announces remainder-phase senders.
+	FinalNote = 50000
+	// Exchange is the calculate_A neighbor-list allgather.
+	Exchange = 60000 // + distance
+)
+
+// Common-neighbor group-formation protocols (consecutive and affinity
+// grouping cost models).
+const (
+	CNGroup    = 70000
+	CNNote     = 70001
+	CNPairBase = 71000 // + round
+	CNMerge    = 72000
+	CNAffNote  = 73000
+)
+
+// FTShift returns the tag-space shift of one fail-stop attempt: every
+// fault-tolerant collective invocation (epoch ≥ 1) and every recovery
+// round within it gets a disjoint tag epoch, so re-runs can never
+// match stale messages from an abandoned attempt — including eager
+// sends a rank issued just before dying. The smallest shift,
+// FTShift(1, 0) = 1<<19, clears every static block above; successive
+// epochs/rounds step by 1<<13, wider than any static block's internal
+// step ladder.
+func FTShift(epoch, round int) int {
+	return (epoch*64 + round) << 13
+}
