@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench chaos faults fuzz repro examples clean
+.PHONY: all build vet lint lint-sarif test race cover bench chaos faults fuzz repro examples clean
 
 all: build lint test
 
@@ -15,9 +15,15 @@ vet:
 	$(GO) vet ./...
 
 # Static invariant analyzers (DESIGN.md §8): determinism, requestleak,
-# errdiscipline, tagdiscipline, vtclean. Exits nonzero on any finding.
+# errdiscipline, tagdiscipline, vtclean, plus the dataflow-powered
+# bufinflight, deadlockshape and waitcoverage; full-suite runs also
+# flag stale suppression directives. Exit 1 = findings, 2 = tool error.
 lint:
 	$(GO) run ./cmd/nbr-lint -dir .
+
+# Machine-readable lint for code-scanning upload.
+lint-sarif:
+	$(GO) run ./cmd/nbr-lint -dir . -sarif > nbr-lint.sarif; test $$? -ne 2
 
 test:
 	$(GO) test ./...

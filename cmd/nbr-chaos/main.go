@@ -30,6 +30,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -180,6 +181,19 @@ func replayTriple(out io.Writer, name string, seed int64, runOnce func(*trace.Sc
 	}
 	if err1 != nil {
 		fmt.Fprintf(out, "  error: %v\n", err1)
+		var d1 *mpirt.DeadlockError
+		if errors.As(err1, &d1) {
+			fmt.Fprintf(out, "  wait-for cycle (vt %.6g):\n", d1.VT)
+			for _, e := range d1.Cycle {
+				fmt.Fprintf(out, "    %s\n", e)
+			}
+			var d3 *mpirt.DeadlockError
+			if !errors.As(err3, &d3) || !d1.SameCycle(d3) {
+				return fmt.Errorf("%s seed %d: forced replay did not reproduce the deadlock cycle (%v vs %v)",
+					name, seed, err1, err3)
+			}
+			fmt.Fprintln(out, "  replay reproduced the identical cycle")
+		}
 	}
 	if dump {
 		if err := s1.Write(out); err != nil {

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/trace"
 )
 
 // TestRunList prints the conformance matrix; the case names double as
@@ -57,5 +60,62 @@ func TestRunBadFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-no-such-flag"}, &out); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestReplayTriplePrintsDeadlockCycle pins the reproduced-hang report:
+// when a replayed seed fails with a DeadlockError, the tool prints the
+// full wait-for cycle and confirms the forced replay reproduced the
+// identical cycle.
+func TestReplayTriplePrintsDeadlockCycle(t *testing.T) {
+	derr := &mpirt.DeadlockError{
+		Cycle: []mpirt.WaitEdge{
+			{Rank: 0, Op: "recv", Peer: 1, Tag: 7},
+			{Rank: 1, Op: "recv", Peer: 0, Tag: 7},
+		},
+		VT: 3,
+	}
+	runOnce := func(replayFrom *trace.Schedule) (*trace.Schedule, error) {
+		return trace.NewSchedule(), derr
+	}
+	var out bytes.Buffer
+	if err := replayTriple(&out, "fake-case", 1, runOnce, false); err != nil {
+		t.Fatalf("replayTriple: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"FAIL (reproduced)",
+		"wait-for cycle (vt 3)",
+		"rank 0 --recv(tag 7)--> rank 1",
+		"rank 1 --recv(tag 7)--> rank 0",
+		"replay reproduced the identical cycle",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestReplayTripleRejectsDivergentCycle pins the failure mode: a forced
+// replay that deadlocks on a different cycle is a determinism bug.
+func TestReplayTripleRejectsDivergentCycle(t *testing.T) {
+	calls := 0
+	runOnce := func(replayFrom *trace.Schedule) (*trace.Schedule, error) {
+		calls++
+		cycle := []mpirt.WaitEdge{
+			{Rank: 0, Op: "recv", Peer: 1, Tag: 7},
+			{Rank: 1, Op: "recv", Peer: 0, Tag: 7},
+		}
+		if calls == 3 { // the forced replay sees a different peer
+			cycle = []mpirt.WaitEdge{
+				{Rank: 0, Op: "recv", Peer: 2, Tag: 7},
+				{Rank: 2, Op: "recv", Peer: 0, Tag: 7},
+			}
+		}
+		return trace.NewSchedule(), &mpirt.DeadlockError{Cycle: cycle, VT: 3}
+	}
+	var out bytes.Buffer
+	err := replayTriple(&out, "fake-case", 1, runOnce, false)
+	if err == nil || !strings.Contains(err.Error(), "did not reproduce the deadlock cycle") {
+		t.Fatalf("want cycle-divergence error, got %v", err)
 	}
 }

@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	nbr-lint [-dir .] [-modpath path] [-analyzers a,b] [-json]
+//	nbr-lint [-dir .] [-modpath path] [-analyzers a,b] [-json] [-sarif]
+//
+// Exit codes: 0 — clean; 1 — findings; 2 — the tool itself failed
+// (bad flags, unloadable or untypeable source). CI distinguishes "the
+// code has violations" from "the linter broke".
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -20,10 +25,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	os.Exit(Main(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Main runs the tool and maps its outcome to the exit-code contract.
+func Main(args []string, out, errOut io.Writer) int {
+	err := run(args, out)
+	if err == nil {
+		return 0
 	}
+	fmt.Fprintln(errOut, err)
+	var ef errFindings
+	if errors.As(err, &ef) {
+		return 1
+	}
+	return 2
 }
 
 // errFindings marks a clean run of the tool that found violations.
@@ -48,8 +64,12 @@ func run(args []string, out io.Writer) error {
 	modpath := fs.String("modpath", "", "module path override (default: read from <dir>/go.mod)")
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	asSARIF := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *asJSON && *asSARIF {
+		return fmt.Errorf("nbr-lint: -json and -sarif are mutually exclusive")
 	}
 
 	analyzers, err := selectAnalyzers(*names)
@@ -68,7 +88,11 @@ func run(args []string, out io.Writer) error {
 	}
 	diags := lint.RunAnalyzers(pkgs, analyzers)
 
-	if *asJSON {
+	if *asSARIF {
+		if err := writeSARIF(out, analyzers, diags); err != nil {
+			return err
+		}
+	} else if *asJSON {
 		findings := make([]jsonFinding, 0, len(diags))
 		for _, d := range diags {
 			findings = append(findings, jsonFinding{

@@ -90,3 +90,90 @@ func TestUnknownAnalyzer(t *testing.T) {
 		t.Fatal("unknown analyzer name should fail")
 	}
 }
+
+// TestSARIFOutput checks the -sarif mode emits a valid SARIF 2.1.0 log
+// with one rule per analyzer and a located result per finding.
+func TestSARIFOutput(t *testing.T) {
+	fixtures := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+	var out strings.Builder
+	err := run([]string{"-dir", fixtures, "-modpath", "nbrallgather", "-sarif"}, &out)
+	if err == nil {
+		t.Fatal("fixture tree should produce findings")
+	}
+	var log sarifLog
+	if jerr := json.Unmarshal([]byte(out.String()), &log); jerr != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", jerr, out.String())
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want exactly 1 run, got %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "nbr-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("SARIF results are empty")
+	}
+	rules := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, res := range run.Results {
+		if !rules[res.RuleID] {
+			t.Errorf("result rule %q not declared in driver rules", res.RuleID)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result without location: %+v", res)
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || loc.Region.StartLine <= 0 {
+			t.Errorf("incomplete location: %+v", loc)
+		}
+		if strings.Contains(loc.ArtifactLocation.URI, "\\") {
+			t.Errorf("URI not slash-separated: %q", loc.ArtifactLocation.URI)
+		}
+	}
+	// The dataflow analyzers must be represented among the results.
+	seen := map[string]bool{}
+	for _, res := range run.Results {
+		seen[res.RuleID] = true
+	}
+	for _, want := range []string{"bufinflight", "deadlockshape", "waitcoverage"} {
+		if !seen[want] {
+			t.Errorf("no SARIF result from %s over the fixtures", want)
+		}
+	}
+}
+
+// TestExitCodes pins the exit-code contract: findings exit 1, tool
+// failures (unloadable dir, bad flags) exit 2, clean runs exit 0.
+func TestExitCodes(t *testing.T) {
+	fixtures := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+	var out, errOut strings.Builder
+	if code := Main([]string{"-dir", fixtures, "-modpath", "nbrallgather"}, &out, &errOut); code != 1 {
+		t.Errorf("findings must exit 1, got %d (stderr: %s)", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := Main([]string{"-dir", filepath.Join("..", "..", "no-such-dir")}, &out, &errOut); code != 2 {
+		t.Errorf("unloadable dir must exit 2, got %d", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := Main([]string{"-analyzers", "nope"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag value must exit 2, got %d", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := Main([]string{"-json", "-sarif"}, &out, &errOut); code != 2 {
+		t.Errorf("conflicting output modes must exit 2, got %d", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := Main([]string{"-dir", filepath.Join("..", "..")}, &out, &errOut); code != 0 {
+		t.Errorf("clean module must exit 0, got %d (stderr: %s)", code, errOut.String())
+	}
+}

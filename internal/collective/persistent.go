@@ -15,7 +15,7 @@ import (
 // collective usage.
 type Persistent struct {
 	op     VOp
-	p mpirt.Endpoint
+	p      mpirt.Endpoint
 	sbuf   []byte
 	counts []int
 	rbuf   []byte

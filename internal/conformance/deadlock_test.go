@@ -1,0 +1,66 @@
+package conformance
+
+import (
+	"errors"
+	"testing"
+
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/trace"
+)
+
+// TestDeadlockCycleDeterminism pins the acceptance contract for the
+// wait-for-graph detector at the conformance layer: a seeded chaos run
+// of a deliberate 3-rank receive cycle fails with a DeadlockError
+// naming the full cycle at a virtual time, twice-recorded runs agree
+// bit-exactly, and forcing the recorded schedule back through the
+// scheduler reproduces the identical cycle — the same contract
+// nbr-chaos verifies on reproduced hangs.
+func TestDeadlockCycleDeterminism(t *testing.T) {
+	cluster := topology.Cluster{Nodes: 1, SocketsPerNode: 2, RanksPerSocket: 2}
+	body := func(p *mpirt.Proc) {
+		r := p.Rank()
+		if r > 2 {
+			return
+		}
+		p.Recv((r+1)%3, 7)
+	}
+	runOnce := func(seed int64, replayFrom *trace.Schedule) (*trace.Schedule, *mpirt.DeadlockError) {
+		ch := mpirt.ScheduleOnly(seed)
+		s := trace.NewSchedule()
+		ch.Record = s
+		ch.Replay = replayFrom
+		_, err := mpirt.Run(mpirt.Config{Cluster: cluster, Chaos: ch}, body)
+		if err == nil {
+			t.Fatalf("seed %d: deadlocked body completed without error", seed)
+		}
+		if !errors.Is(err, mpirt.ErrDeadlock) {
+			t.Fatalf("seed %d: error does not unwrap to ErrDeadlock: %v", seed, err)
+		}
+		var d *mpirt.DeadlockError
+		if !errors.As(err, &d) {
+			t.Fatalf("seed %d: error carries no DeadlockError: %v", seed, err)
+		}
+		return s, d
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		s1, d1 := runOnce(seed, nil)
+		s2, d2 := runOnce(seed, nil)
+		if s1.Hash() != s2.Hash() {
+			t.Fatalf("seed %d: recorded schedules diverge at decision %d", seed, s1.Diverge(s2))
+		}
+		if !d1.SameCycle(d2) {
+			t.Fatalf("seed %d: cycles differ across identical runs: %v vs %v", seed, d1, d2)
+		}
+		if len(d1.Cycle) != 3 {
+			t.Fatalf("seed %d: want the full 3-edge cycle, got %v", seed, d1.Cycle)
+		}
+		s3, d3 := runOnce(seed, s1)
+		if !s1.Equal(s3) {
+			t.Fatalf("seed %d: forced replay diverged at decision %d", seed, s1.Diverge(s3))
+		}
+		if !d1.SameCycle(d3) || d1.Error() != d3.Error() {
+			t.Fatalf("seed %d: replay did not reproduce the identical cycle: %v vs %v", seed, d1, d3)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BufInflightAnalyzer flags writes to a buffer while a nonblocking send
+// of it is in flight: any write, append, or re-slice of the []byte
+// passed to Isend (or an alias of it) on a path between the Isend and
+// the Wait/WaitErr/WaitAll that completes the returned request. MPI
+// forbids touching a send buffer before completion; in this runtime
+// sends are eager so the race is silent — the receiver sees the
+// snapshot, replay diverges from production MPI. The check is a forward
+// CFG traversal from each Isend, killed by a wait that covers the
+// request (including a WaitAll over a slice the request was appended
+// to) or by the request escaping the function.
+var BufInflightAnalyzer = &Analyzer{
+	Name: "bufinflight",
+	Doc:  "flags buffer writes between an Isend and the Wait covering its request",
+	Run:  runBufInflight,
+}
+
+func runBufInflight(p *Pass) {
+	forEachFuncBody(p, func(body *ast.BlockStmt) {
+		checkBufInflight(p, body)
+	})
+}
+
+// isend is one tracked nonblocking send: the statement it occurs in,
+// the buffer argument's aliases, and the request's aliases.
+type isend struct {
+	stmt ast.Node
+	call *ast.CallExpr
+	bufs map[types.Object]bool
+	reqs map[types.Object]bool
+}
+
+func checkBufInflight(p *Pass, body *ast.BlockStmt) {
+	cfg := buildCFG(body)
+	var sends []*isend
+	for _, blk := range cfg.Blocks {
+		for _, node := range blk.Nodes {
+			stmt := node
+			ast.Inspect(node, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeOf(p, call)
+				if f == nil || f.Name() != "Isend" || !pathContains(funcPkgPath(f), "internal/mpirt") {
+					return true
+				}
+				if len(call.Args) < 4 {
+					return true
+				}
+				bufObj := rootObj(p, call.Args[3])
+				if bufObj == nil {
+					return true // nil payload or fresh literal: nothing aliases it
+				}
+				is := &isend{
+					stmt: stmt,
+					call: call,
+					bufs: aliasSet(p, body, bufObj, false),
+					reqs: map[types.Object]bool{},
+				}
+				// The request target: the assignment LHS the call (or the
+				// append wrapping it) flows into, plus its alias closure so
+				// WaitAll over a collecting slice counts.
+				if as, ok := stmt.(*ast.AssignStmt); ok {
+					for i, rhs := range as.Rhs {
+						if i >= len(as.Lhs) || !containsCall(rhs, call) {
+							continue
+						}
+						if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+							if o := objOfIdent(p, id); o != nil {
+								is.reqs = aliasSet(p, body, o, true)
+							}
+						}
+					}
+				}
+				sends = append(sends, is)
+				return true
+			})
+		}
+	}
+	for _, is := range sends {
+		traceInflight(p, cfg, is)
+	}
+}
+
+// containsCall reports whether expr contains call (pointer identity).
+func containsCall(expr ast.Expr, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if n == call {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// traceInflight walks the CFG forward from the Isend statement,
+// reporting buffer writes until every path reaches a covering wait.
+func traceInflight(p *Pass, cfg *CFG, is *isend) {
+	blk, idx := cfg.FindStmt(is.stmt)
+	if blk == nil {
+		return
+	}
+	reported := map[token.Pos]bool{}
+	type item struct {
+		b *Block
+		i int
+	}
+	work := []item{{blk, idx + 1}}
+	seen := map[*Block]bool{}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		ended := false
+		for i := it.i; i < len(it.b.Nodes); i++ {
+			node := it.b.Nodes[i]
+			if waitsOrEscapes(p, node, is.reqs) {
+				ended = true
+				break
+			}
+			reportBufWrites(p, node, is.bufs, reported)
+		}
+		if ended {
+			continue
+		}
+		for _, s := range it.b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, item{s, 0})
+			}
+		}
+	}
+}
+
+// waitsOrEscapes reports whether node completes the request (a Wait,
+// WaitErr, or WaitAll whose receiver or argument roots in reqs) or
+// makes it escape the function (returned or passed to another call) —
+// either way the in-flight window ends on this path.
+func waitsOrEscapes(p *Pass, node ast.Node, reqs map[types.Object]bool) bool {
+	if len(reqs) == 0 {
+		return false // bare Isend: the window never closes in this function
+	}
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if o := rootObj(p, r); o != nil && reqs[o] {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			f := calleeOf(p, n)
+			if f != nil && pathContains(funcPkgPath(f), "internal/mpirt") {
+				switch f.Name() {
+				case "Wait", "WaitErr":
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						if o := rootObj(p, sel.X); o != nil && reqs[o] {
+							found = true
+							return false
+						}
+					}
+				case "WaitAll":
+					for _, a := range n.Args {
+						if o := rootObj(p, a); o != nil && reqs[o] {
+							found = true
+							return false
+						}
+					}
+				}
+			}
+			// Passing the request to any other call is an escape.
+			if !isBuiltin(p, n, "append") {
+				for _, a := range n.Args {
+					if o := rootObj(p, a); o != nil && reqs[o] {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// reportBufWrites reports at most one finding per node: an index/deref
+// write, a re-slice or reassignment of an alias, an increment through
+// an alias, or a copy/append targeting the in-flight storage.
+func reportBufWrites(p *Pass, node ast.Node, bufs map[types.Object]bool, reported map[token.Pos]bool) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		p.Report(pos, format, args...)
+	}
+	done := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.IndexExpr, *ast.SliceExpr, *ast.StarExpr:
+					if o := rootObj(p, lhs); o != nil && bufs[o] {
+						report(lhs.Pos(), "write to buffer %q while its Isend is in flight: Wait on the request first", o.Name())
+						done = true
+						return false
+					}
+					_ = l
+				case *ast.Ident:
+					if n.Tok != token.DEFINE {
+						if o := objOfIdent(p, l); o != nil && bufs[o] {
+							report(lhs.Pos(), "buffer %q re-sliced or reassigned while its Isend is in flight: Wait on the request first", o.Name())
+							done = true
+							return false
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if o := rootObj(p, n.X); o != nil && bufs[o] {
+				report(n.Pos(), "write to buffer %q while its Isend is in flight: Wait on the request first", o.Name())
+				done = true
+				return false
+			}
+		case *ast.CallExpr:
+			if isBuiltin(p, n, "copy") && len(n.Args) == 2 {
+				if o := rootObj(p, n.Args[0]); o != nil && bufs[o] {
+					report(n.Pos(), "copy into buffer %q while its Isend is in flight: Wait on the request first", o.Name())
+					done = true
+					return false
+				}
+			}
+			if isBuiltin(p, n, "append") && len(n.Args) > 0 {
+				if o := rootObj(p, n.Args[0]); o != nil && bufs[o] {
+					report(n.Pos(), "append to buffer %q while its Isend is in flight may grow it in place: Wait on the request first", o.Name())
+					done = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,388 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// This file is the dataflow layer's control-flow graph builder: basic
+// blocks over go/ast statements, built with the standard library only
+// (golang.org/x/tools is off-limits in this module). The granularity is
+// one statement per node; expressions nested inside a statement are the
+// analyzers' business (they ast.Inspect each node). Conditions of if
+// and for statements are recorded on the branching block so analyzers
+// can prune infeasible branches (e.g. `if req != nil` on a request that
+// is provably non-nil).
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the single synthetic return block: every return statement
+	// and the natural fall-off-the-end path lead here. Panics do not —
+	// a panicking path never "reaches return".
+	Exit *Block
+	// Defers collects every defer statement in the body; deferred calls
+	// run on all exits, so analyzers treat them as covering every path.
+	Defers []*ast.DeferStmt
+}
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	// Cond is the controlling condition when the block ends in a two-way
+	// branch: Succs[0] is the true edge, Succs[1] the false edge.
+	Cond ast.Expr
+	// Loop is the for/range statement whose head this block is, if any.
+	Loop ast.Stmt
+}
+
+// buildCFG constructs the CFG for a function body.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmt(body)
+	// Falling off the end of the body returns.
+	b.edge(b.cur, b.cfg.Exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labelStart[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	return b.cfg
+}
+
+// FindStmt locates the block and node index holding stmt (by pointer
+// identity). Returns (nil, -1) for statements that are not CFG nodes
+// (e.g. an if statement itself — its condition and branches are).
+func (c *CFG) FindStmt(stmt ast.Node) (*Block, int) {
+	for _, blk := range c.Blocks {
+		for i, n := range blk.Nodes {
+			if n == stmt {
+				return blk, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+type pendingGoto struct {
+	label string
+	from  *Block
+}
+
+type cfgBuilder struct {
+	cfg       *CFG
+	cur       *Block
+	breaks    []branchTarget
+	continues []branchTarget
+	// labelStart maps a label to the block its statement starts in, for
+	// gotos (resolved at the end — forward gotos included).
+	labelStart map[string]*Block
+	gotos      []pendingGoto
+	// curLabel is a pending label to attach to the next loop or switch,
+	// so `break L` / `continue L` resolve.
+	curLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// terminate ends the current path: subsequent statements (if any) land
+// in a fresh, unreachable block.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) append(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) target(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.LabeledStmt:
+		start := b.newBlock()
+		b.edge(b.cur, start)
+		b.cur = start
+		if b.labelStart == nil {
+			b.labelStart = map[string]*Block{}
+		}
+		b.labelStart[s.Label.Name] = start
+		b.curLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.curLabel = ""
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.append(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.terminate()
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.DeferStmt:
+		b.append(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+	case *ast.ExprStmt:
+		b.append(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				// A panicking path terminates without reaching Exit.
+				b.terminate()
+			}
+		}
+	default:
+		b.append(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.append(s.Init)
+	}
+	b.append(s.Cond)
+	branch := b.cur
+	branch.Cond = s.Cond
+
+	then := b.newBlock()
+	b.edge(branch, then) // Succs[0]: condition true
+	after := b.newBlock()
+
+	b.cur = then
+	b.stmt(s.Body)
+	b.edge(b.cur, after)
+
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(branch, els) // Succs[1]: condition false
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(branch, after) // Succs[1]: condition false
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.append(s.Init)
+	}
+	head := b.newBlock()
+	head.Loop = s
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		head.Cond = s.Cond
+	}
+	bodyBlk := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, bodyBlk) // Succs[0]: loop taken
+	b.edge(head, after)   // Succs[1]: loop exits (or via break for `for {}`)
+
+	label := b.curLabel
+	b.curLabel = ""
+	b.breaks = append(b.breaks, branchTarget{label, after})
+	b.continues = append(b.continues, branchTarget{label, head})
+	b.cur = bodyBlk
+	b.stmt(s.Body)
+	if s.Post != nil {
+		b.append(s.Post)
+	}
+	b.edge(b.cur, head)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	head := b.newBlock()
+	head.Loop = s
+	// Only the ranged expression is evaluated at the head; the body's
+	// statements live in their own block (placing the whole RangeStmt
+	// here would double-scan them through the head node).
+	head.Nodes = append(head.Nodes, s.X)
+	b.edge(b.cur, head)
+	bodyBlk := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, bodyBlk) // Succs[0]: an element remains
+	b.edge(head, after)   // Succs[1]: range exhausted
+
+	label := b.curLabel
+	b.curLabel = ""
+	b.breaks = append(b.breaks, branchTarget{label, after})
+	b.continues = append(b.continues, branchTarget{label, head})
+	b.cur = bodyBlk
+	b.stmt(s.Body)
+	b.edge(b.cur, head)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt) {
+	if s.Init != nil {
+		b.append(s.Init)
+	}
+	if s.Tag != nil {
+		b.append(s.Tag)
+	}
+	b.caseClauses(s.Body.List, func(cc *ast.CaseClause) ([]ast.Expr, []ast.Stmt, bool) {
+		return cc.List, cc.Body, cc.List == nil
+	})
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	if s.Init != nil {
+		b.append(s.Init)
+	}
+	b.append(s.Assign)
+	b.caseClauses(s.Body.List, func(cc *ast.CaseClause) ([]ast.Expr, []ast.Stmt, bool) {
+		return cc.List, cc.Body, cc.List == nil
+	})
+}
+
+// caseClauses wires an eval block to each case body, handling default
+// and fallthrough. stmts are *ast.CaseClause; extract pulls the guard
+// expressions, body, and whether the clause is the default.
+func (b *cfgBuilder) caseClauses(stmts []ast.Stmt, extract func(*ast.CaseClause) ([]ast.Expr, []ast.Stmt, bool)) {
+	eval := b.cur
+	after := b.newBlock()
+	label := b.curLabel
+	b.curLabel = ""
+	b.breaks = append(b.breaks, branchTarget{label, after})
+
+	var caseBlocks []*Block
+	var bodies [][]ast.Stmt
+	hasDefault := false
+	for _, st := range stmts {
+		cc, ok := st.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		guards, body, isDefault := extract(cc)
+		blk := b.newBlock()
+		for _, g := range guards {
+			blk.Nodes = append(blk.Nodes, g)
+		}
+		if isDefault {
+			hasDefault = true
+		}
+		b.edge(eval, blk)
+		caseBlocks = append(caseBlocks, blk)
+		bodies = append(bodies, body)
+	}
+	if !hasDefault {
+		b.edge(eval, after)
+	}
+	for i, blk := range caseBlocks {
+		b.cur = blk
+		ft := false
+		for _, st := range bodies[i] {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				ft = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if ft && i+1 < len(caseBlocks) {
+			b.edge(b.cur, caseBlocks[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	eval := b.cur
+	after := b.newBlock()
+	label := b.curLabel
+	b.curLabel = ""
+	b.breaks = append(b.breaks, branchTarget{label, after})
+	for _, st := range s.Body.List {
+		cc, ok := st.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.edge(eval, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		for _, bs := range cc.Body {
+			b.stmt(bs)
+		}
+		b.edge(b.cur, after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := b.target(b.breaks, label); t != nil {
+			b.edge(b.cur, t)
+		}
+		b.terminate()
+	case "continue":
+		if t := b.target(b.continues, label); t != nil {
+			b.edge(b.cur, t)
+		}
+		b.terminate()
+	case "goto":
+		b.gotos = append(b.gotos, pendingGoto{label: label, from: b.cur})
+		b.terminate()
+	case "fallthrough":
+		// Handled by caseClauses; a stray one terminates the path.
+		b.terminate()
+	}
+}

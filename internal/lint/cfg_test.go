@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as a file and returns the body of its first
+// function. The CFG builder is pure syntax, so no type information is
+// needed here.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// reachable returns the set of blocks reachable from start.
+func reachable(start *Block) map[*Block]bool {
+	seen := map[*Block]bool{start: true}
+	work := []*Block{start}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestCFGLinear(t *testing.T) {
+	body := parseBody(t, `package x
+func f() { a := 1; b := a + 1; _ = b }`)
+	cfg := buildCFG(body)
+	if len(cfg.Entry.Nodes) != 3 {
+		t.Fatalf("straight-line code should stay in one block, entry has %d nodes", len(cfg.Entry.Nodes))
+	}
+	if !reachable(cfg.Entry)[cfg.Exit] {
+		t.Fatal("fall-off-the-end must reach Exit")
+	}
+	for _, n := range cfg.Entry.Nodes {
+		if blk, i := cfg.FindStmt(n); blk != cfg.Entry || i < 0 {
+			t.Fatalf("FindStmt lost node %v", n)
+		}
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	body := parseBody(t, `package x
+func f(c bool) { if c { println(1) } else { println(2) }; println(3) }`)
+	cfg := buildCFG(body)
+	branch := cfg.Entry
+	if branch.Cond == nil {
+		t.Fatal("branching block must record its condition")
+	}
+	if len(branch.Succs) != 2 {
+		t.Fatalf("if/else branch needs 2 successors, got %d", len(branch.Succs))
+	}
+	// Both arms must rejoin and reach Exit.
+	for i, s := range branch.Succs {
+		if !reachable(s)[cfg.Exit] {
+			t.Errorf("arm %d does not reach Exit", i)
+		}
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	body := parseBody(t, `package x
+func f() int { return 1; println(2) }`)
+	cfg := buildCFG(body)
+	live := reachable(cfg.Entry)
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if live[blk] {
+					t.Errorf("statement after return must be unreachable: %v", es)
+				}
+			}
+		}
+	}
+	if !live[cfg.Exit] {
+		t.Fatal("return must reach Exit")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	body := parseBody(t, `package x
+func f(c bool) { if c { panic("boom") }; println(1) }`)
+	cfg := buildCFG(body)
+	var panicBlk *Block
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					panicBlk = blk
+				}
+			}
+		}
+	}
+	if panicBlk == nil {
+		t.Fatal("panic statement not placed in any block")
+	}
+	if reachable(panicBlk)[cfg.Exit] {
+		t.Fatal("a panicking path must not reach Exit")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	body := parseBody(t, `package x
+func f(n int) { for i := 0; i < n; i++ { println(i) }; println(9) }`)
+	cfg := buildCFG(body)
+	var head *Block
+	for _, blk := range cfg.Blocks {
+		if blk.Loop != nil {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatal("for loop must mark its head block")
+	}
+	if head.Cond == nil || len(head.Succs) != 2 {
+		t.Fatalf("loop head needs a condition and 2 successors, got cond=%v succs=%d", head.Cond, len(head.Succs))
+	}
+	// The body must loop back to the head.
+	if !reachable(head.Succs[0])[head] {
+		t.Fatal("loop body has no back edge to the head")
+	}
+	// The exit edge must reach Exit without re-entering the body.
+	if !reachable(head.Succs[1])[cfg.Exit] {
+		t.Fatal("loop exit edge does not reach Exit")
+	}
+}
+
+func TestCFGRangeHeadNodes(t *testing.T) {
+	body := parseBody(t, `package x
+func f(xs []int) { for _, v := range xs { println(v) } }`)
+	cfg := buildCFG(body)
+	var head *Block
+	for _, blk := range cfg.Blocks {
+		if blk.Loop != nil {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatal("range loop must mark its head block")
+	}
+	// The head evaluates only the ranged expression — never the body's
+	// statements (which would double-scan them through the head node).
+	for _, n := range head.Nodes {
+		if _, ok := n.(*ast.RangeStmt); ok {
+			t.Fatal("range head must not carry the whole RangeStmt")
+		}
+		ast.Inspect(n, func(in ast.Node) bool {
+			if _, ok := in.(*ast.CallExpr); ok {
+				t.Fatal("loop-body statement leaked into the head block")
+			}
+			return true
+		})
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	body := parseBody(t, `package x
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 1 {
+			continue
+		}
+		if i == 2 {
+			break
+		}
+		println(i)
+	}
+	println(9)
+}`)
+	cfg := buildCFG(body)
+	if !reachable(cfg.Entry)[cfg.Exit] {
+		t.Fatal("break must let the loop reach Exit")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	body := parseBody(t, `package x
+func f(n int) {
+	switch n {
+	case 1:
+		println(1)
+		fallthrough
+	case 2:
+		println(2)
+	default:
+		println(3)
+	}
+}`)
+	cfg := buildCFG(body)
+	// Find the block holding println(1); println(2)'s block must be
+	// reachable from it via the fallthrough edge.
+	find := func(arg string) *Block {
+		for _, blk := range cfg.Blocks {
+			for _, n := range blk.Nodes {
+				found := false
+				ast.Inspect(n, func(in ast.Node) bool {
+					if lit, ok := in.(*ast.BasicLit); ok && lit.Value == arg {
+						found = true
+					}
+					return true
+				})
+				if found {
+					return blk
+				}
+			}
+		}
+		return nil
+	}
+	one, two := find("1"), find("2")
+	if one == nil || two == nil {
+		t.Fatal("case bodies not placed")
+	}
+	if !reachable(one)[two] {
+		t.Fatal("fallthrough edge from case 1 to case 2 missing")
+	}
+}
+
+func TestCFGDefers(t *testing.T) {
+	body := parseBody(t, `package x
+func f() { defer println(1); defer println(2); println(3) }`)
+	cfg := buildCFG(body)
+	if len(cfg.Defers) != 2 {
+		t.Fatalf("want 2 collected defers, got %d", len(cfg.Defers))
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	body := parseBody(t, `package x
+func f(a, b chan int) {
+	select {
+	case v := <-a:
+		println(v)
+	case <-b:
+		return
+	}
+	println(9)
+}`)
+	cfg := buildCFG(body)
+	if !reachable(cfg.Entry)[cfg.Exit] {
+		t.Fatal("select arms must reach Exit")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	body := parseBody(t, `package x
+func f(n int) {
+retry:
+	n--
+	if n > 0 {
+		goto retry
+	}
+}`)
+	cfg := buildCFG(body)
+	live := reachable(cfg.Entry)
+	if !live[cfg.Exit] {
+		t.Fatal("goto loop must still reach Exit on the false edge")
+	}
+	// The goto must create a cycle: some reachable block reaches itself.
+	cyclic := false
+	for blk := range live {
+		for _, s := range blk.Succs {
+			if reachable(s)[blk] {
+				cyclic = true
+			}
+		}
+	}
+	if !cyclic {
+		t.Fatal("goto back edge missing")
+	}
+}

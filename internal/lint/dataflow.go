@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// This file holds the dataflow facts the flow-sensitive analyzers share:
+// storage roots, alias-set closures, and rank-taint closures. All facts
+// are flow-insensitive over-approximations computed per function body;
+// the CFG traversals in the analyzers supply the flow sensitivity.
+
+// rootObj resolves the storage root of an expression: the variable that
+// owns the memory e reads or writes. Indexing, slicing, dereferencing
+// and field selection all keep the root; anything else (calls, literals,
+// conversions) has none.
+func rootObj(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if o := p.Pkg.Info.Uses[x]; o != nil {
+				return o
+			}
+			return p.Pkg.Info.Defs[x]
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// A field selection roots at the field variable: two
+			// selections of the same field alias conservatively.
+			if sel, ok := p.Pkg.Info.Selections[x]; ok {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					return v
+				}
+				return nil
+			}
+			if o := p.Pkg.Info.Uses[x.Sel]; o != nil {
+				return o
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// aliasSource returns the root of an assignment RHS when assigning it
+// creates an alias of that root's storage: plain mentions, re-slices,
+// dereferences, and append over the same backing array (its first
+// argument). Calls and literals create fresh storage — no alias.
+func aliasSource(p *Pass, rhs ast.Expr) types.Object {
+	rhs = ast.Unparen(rhs)
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if isBuiltin(p, call, "append") && len(call.Args) > 0 {
+			return rootObj(p, call.Args[0])
+		}
+		return nil
+	}
+	return rootObj(p, rhs)
+}
+
+// aliasSet computes the flow-insensitive alias closure of seed within
+// body: every variable assigned (directly or transitively) storage
+// rooted at seed. includeElems additionally folds container elements in
+// — `s = append(s, x)` puts x's aliases into s — which is right for
+// request slices (waiting on the slice waits the element) and wrong for
+// byte buffers (appending copies bytes out), so callers choose.
+func aliasSet(p *Pass, body *ast.BlockStmt, seed types.Object, includeElems bool) map[types.Object]bool {
+	set := map[types.Object]bool{seed: true}
+	for changed := true; changed; {
+		changed = false
+		add := func(o types.Object) {
+			if o != nil && !set[o] {
+				set[o] = true
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					src := aliasSource(p, rhs)
+					elem := false
+					if src == nil || !set[src] {
+						if !includeElems {
+							continue
+						}
+						call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+						if !ok || !isBuiltin(p, call, "append") {
+							continue
+						}
+						for _, a := range call.Args[1:] {
+							if o := rootObj(p, a); o != nil && set[o] {
+								elem = true
+							}
+						}
+						if !elem {
+							continue
+						}
+					}
+					add(rootObj(p, n.Lhs[i]))
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if i >= len(n.Names) {
+						break
+					}
+					if src := aliasSource(p, v); src != nil && set[src] {
+						add(p.Pkg.Info.Defs[n.Names[i]])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return set
+}
+
+// isRankCall reports whether call invokes the runtime's Rank method.
+func isRankCall(p *Pass, call *ast.CallExpr) bool {
+	f := calleeOf(p, call)
+	return f != nil && f.Name() == "Rank" && pathContains(funcPkgPath(f), "internal/mpirt")
+}
+
+// exprMentionsRank reports whether e contains a Rank() call or a
+// rank-tainted identifier.
+func exprMentionsRank(p *Pass, taint map[types.Object]bool, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isRankCall(p, n) {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if o := p.Pkg.Info.Uses[n]; o != nil && taint[o] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rankTaint computes the closure of variables whose value derives from
+// the calling rank: assigned from an expression containing Rank() or an
+// already-tainted variable. Intra-procedural — a rank passed as a
+// parameter into a helper is not tracked across the call.
+func rankTaint(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	taint := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		add := func(o types.Object) {
+			if o != nil && !taint[o] {
+				taint[o] = true
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i < len(n.Lhs) && exprMentionsRank(p, taint, rhs) {
+						if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+							add(objOfIdent(p, id))
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if i < len(n.Names) && exprMentionsRank(p, taint, v) {
+						add(p.Pkg.Info.Defs[n.Names[i]])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return taint
+}
+
+// pureRankAliases returns the variables assigned exactly `x.Rank()` —
+// their value IS the calling rank, not merely derived from it. Used for
+// the self-send check, where arithmetic on the rank must not match.
+func pureRankAliases(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isRankCall(p, call) {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if o := objOfIdent(p, id); o != nil {
+					out[o] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// objOfIdent resolves an identifier to its object via Defs or Uses.
+func objOfIdent(p *Pass, id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Pkg.Info.Uses[id]
+}
+
+// exprText renders an expression to canonical source text, for
+// comparing peer expressions across branches.
+func exprText(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// forEachFuncBody applies fn to every function body in the package:
+// declared functions, methods, and function literals (each literal is
+// analyzed as its own function).
+func forEachFuncBody(p *Pass, fn func(*ast.BlockStmt)) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn(lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}

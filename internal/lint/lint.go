@@ -62,6 +62,23 @@ type Pass struct {
 	Pkg      *Package
 	diags    *[]Diagnostic
 	suppress map[string]map[int][]string // filename → line → directive words
+	// used records which directives actually suppressed a finding,
+	// shared by every pass over the package so a full-suite run can
+	// report the stale ones. Keyed filename → line → directive word.
+	used map[string]map[int]map[string]bool
+}
+
+func (p *Pass) markUsed(filename string, line int, word string) {
+	if p.used == nil {
+		return
+	}
+	if p.used[filename] == nil {
+		p.used[filename] = map[int]map[string]bool{}
+	}
+	if p.used[filename][line] == nil {
+		p.used[filename][line] = map[string]bool{}
+	}
+	p.used[filename][line][word] = true
 }
 
 // Report records a finding at pos unless a suppression directive
@@ -88,10 +105,12 @@ func (p *Pass) suppressed(pos token.Position) bool {
 	for _, line := range [2]int{pos.Line, pos.Line - 1} {
 		for _, word := range lines[line] {
 			if word == "ignore "+p.Analyzer.Name {
+				p.markUsed(pos.Filename, line, word)
 				return true
 			}
 			for _, d := range p.Analyzer.Directives {
 				if word == d {
+					p.markUsed(pos.Filename, line, word)
 					return true
 				}
 			}
@@ -141,18 +160,68 @@ func Analyzers() []*Analyzer {
 		ErrDisciplineAnalyzer,
 		TagDisciplineAnalyzer,
 		VTCleanAnalyzer,
+		BufInflightAnalyzer,
+		DeadlockShapeAnalyzer,
+		WaitCoverageAnalyzer,
+	}
+}
+
+// coversFullSuite reports whether the run includes every registered
+// analyzer — the precondition for judging a suppression stale.
+func coversFullSuite(analyzers []*Analyzer) bool {
+	have := map[string]bool{}
+	for _, a := range analyzers {
+		have[a.Name] = true
+	}
+	for _, a := range Analyzers() {
+		if !have[a.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// StaleDirectiveName is the pseudo-analyzer stale-suppression findings
+// are reported under.
+const StaleDirectiveName = "staledirective"
+
+// reportStaleDirectives emits a finding for every //lint: directive
+// that suppressed nothing across a full-suite run — a suppression that
+// outlived the finding it justified is review debt and must go.
+func reportStaleDirectives(idx map[string]map[int][]string, used map[string]map[int]map[string]bool, diags *[]Diagnostic) {
+	for filename, lines := range idx {
+		for line, words := range lines {
+			for _, word := range words {
+				if used[filename][line][word] {
+					continue
+				}
+				pos := token.Position{Filename: filename, Line: line}
+				*diags = append(*diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: StaleDirectiveName,
+					Message:  fmt.Sprintf("//lint:%s suppresses no finding — remove the stale directive", word),
+				})
+			}
+		}
 	}
 }
 
 // RunAnalyzers applies the given analyzers to every package and returns
-// all findings sorted by file, line, then analyzer.
+// all findings sorted by file, line, then analyzer. A run covering the
+// full suite additionally reports stale suppression directives (a
+// subset run cannot tell stale from not-exercised).
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	full := coversFullSuite(analyzers)
 	for _, pkg := range pkgs {
 		idx := directiveIndex(pkg)
+		used := map[string]map[int]map[string]bool{}
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, suppress: idx}
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, suppress: idx, used: used}
 			a.Run(pass)
+		}
+		if full {
+			reportStaleDirectives(idx, used, &diags)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -96,6 +96,9 @@ func TestGolden(t *testing.T) {
 		{"nbrallgather/internal/collective/errbad", "errdiscipline"},
 		{"nbrallgather/internal/collective/tagbad", "tagdiscipline"},
 		{"nbrallgather/internal/vtbad", "vtclean"},
+		{"nbrallgather/internal/collective/bufinflightbad", "bufinflight"},
+		{"nbrallgather/internal/collective/deadlockshapebad", "deadlockshape"},
+		{"nbrallgather/internal/collective/waitcoveragebad", "waitcoverage"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer, func(t *testing.T) {
@@ -174,6 +177,29 @@ func TestModuleClean(t *testing.T) {
 			t.Errorf("%s", d)
 		}
 		t.Fatalf("module has %d lint findings", len(diags))
+	}
+}
+
+// TestStaleDirectives pins the stale-suppression check: a full-suite
+// run flags the directive that suppresses nothing, spares the one that
+// fires, and a subset run stays silent (it cannot tell stale from
+// not-exercised).
+func TestStaleDirectives(t *testing.T) {
+	pkgs := loadFixtures(t)
+	pkg := findPkg(t, pkgs, "nbrallgather/internal/collective/stalebad")
+	diags := RunAnalyzers([]*Package{pkg}, Analyzers())
+	if len(diags) != 1 {
+		t.Fatalf("full suite: want exactly 1 finding, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != StaleDirectiveName {
+		t.Errorf("finding attributed to %q, want %q", d.Analyzer, StaleDirectiveName)
+	}
+	if !strings.Contains(d.Message, "//lint:ordered") {
+		t.Errorf("finding %q does not name the stale directive", d.Message)
+	}
+	if subset := RunAnalyzers([]*Package{pkg}, []*Analyzer{DeterminismAnalyzer}); len(subset) != 0 {
+		t.Errorf("subset run must not judge staleness, got %v", subset)
 	}
 }
 

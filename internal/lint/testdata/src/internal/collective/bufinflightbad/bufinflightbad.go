@@ -1,0 +1,73 @@
+// Package bufinflightbad exercises the bufinflight analyzer: every
+// class of buffer mutation inside an Isend's in-flight window, plus the
+// conforming shapes that must stay silent.
+package bufinflightbad
+
+import "nbrallgather/internal/mpirt"
+
+// WriteBeforeWait writes the send buffer while the Isend is in flight;
+// the write after the Wait is fine.
+func WriteBeforeWait(p *mpirt.Proc, tag int) {
+	buf := make([]byte, 8)
+	req := p.Isend(1, tag, len(buf), buf, nil)
+	buf[0] = 1 // want "write to buffer \"buf\" while its Isend is in flight"
+	req.Wait()
+	buf[1] = 2
+}
+
+// BranchWrite re-slices on one branch only — the hazard is
+// path-sensitive and still flagged.
+func BranchWrite(p *mpirt.Proc, tag int, cond bool) {
+	buf := make([]byte, 8)
+	req := p.Isend(1, tag, len(buf), buf, nil)
+	if cond {
+		buf = buf[:4] // want "re-sliced or reassigned while its Isend is in flight"
+	}
+	req.Wait()
+}
+
+// AliasWrite writes through a sub-slice alias of the in-flight buffer.
+func AliasWrite(p *mpirt.Proc, tag int) {
+	buf := make([]byte, 8)
+	view := buf[2:6]
+	req := p.Isend(1, tag, len(buf), buf, nil)
+	view[0] = 9 // want "write to buffer \"view\" while its Isend is in flight"
+	req.Wait()
+}
+
+// LoopGrow mutates the buffer in a loop that runs before the Wait.
+func LoopGrow(p *mpirt.Proc, tag, n int) {
+	buf := make([]byte, 8)
+	req := p.Isend(1, tag, len(buf), buf, nil)
+	for i := 0; i < n; i++ {
+		buf[i%8]++ // want "write to buffer \"buf\" while its Isend is in flight"
+	}
+	req.Wait()
+}
+
+// CopyInto overwrites the in-flight buffer with copy.
+func CopyInto(p *mpirt.Proc, tag int, src []byte) {
+	buf := make([]byte, 8)
+	req := p.Isend(1, tag, len(buf), buf, nil)
+	copy(buf, src) // want "copy into buffer \"buf\" while its Isend is in flight"
+	req.Wait()
+}
+
+// FanOut is the conforming pattern: all writes precede the sends and a
+// WaitAll over the collecting slice closes every window.
+func FanOut(p *mpirt.Proc, tag int, peers []int) {
+	buf := make([]byte, 8)
+	buf[0] = 1
+	var reqs []*mpirt.Request
+	for _, d := range peers {
+		reqs = append(reqs, p.Isend(d, tag, len(buf), buf, nil))
+	}
+	p.WaitAll(reqs...)
+	buf[0] = 2
+}
+
+// Handoff returns the request untouched: the caller inherits the
+// window, nothing to flag here.
+func Handoff(p *mpirt.Proc, tag int, buf []byte) *mpirt.Request {
+	return p.Isend(1, tag, len(buf), buf, nil)
+}

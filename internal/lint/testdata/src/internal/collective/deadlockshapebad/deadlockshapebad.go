@@ -1,0 +1,65 @@
+// Package deadlockshapebad exercises the deadlockshape analyzer: the
+// communication shapes that deadlock under rendezvous MPI semantics,
+// plus the correctly ordered shapes that must stay silent.
+package deadlockshapebad
+
+import "nbrallgather/internal/mpirt"
+
+// SymmetricSend has both branches of a rank-dependent conditional open
+// with a blocking Send to the same peer: every rank sends first, nobody
+// receives.
+func SymmetricSend(p *mpirt.Proc, peer, tag int, buf []byte) {
+	if p.Rank() < peer { // want "both branches of this rank-dependent conditional issue a blocking Send"
+		p.Send(peer, tag, len(buf), buf, nil)
+		p.Recv(peer, tag)
+	} else {
+		p.Send(peer, tag, len(buf), buf, nil)
+		p.Recv(peer, tag)
+	}
+}
+
+// SelfSend blocks forever: a rank cannot match its own send.
+func SelfSend(p *mpirt.Proc, tag int, buf []byte) {
+	p.Send(p.Rank(), tag, len(buf), buf, nil) // want "blocking Send to the caller's own rank"
+	me := p.Rank()
+	p.Send(me, tag, len(buf), buf, nil) // want "blocking Send to the caller's own rank"
+}
+
+// OneSidedBarrier lets only rank 0 reach the barrier: everyone else
+// never arrives.
+func OneSidedBarrier(p *mpirt.Proc) {
+	if p.Rank() == 0 {
+		p.Barrier() // want "collective reachable on only one branch"
+	}
+}
+
+// OrderedExchange is the correct shape: rank order decides who sends
+// first, so the send and receive always pair up.
+func OrderedExchange(p *mpirt.Proc, peer, tag int, buf []byte) {
+	if p.Rank() < peer {
+		p.Send(peer, tag, len(buf), buf, nil)
+		p.Recv(peer, tag)
+	} else {
+		p.Recv(peer, tag)
+		p.Send(peer, tag, len(buf), buf, nil)
+	}
+}
+
+// BothSidesBarrier keeps the collective on every path — rank-dependent
+// work around it is fine.
+func BothSidesBarrier(p *mpirt.Proc, half int) {
+	if p.Rank() < half {
+		p.Recv(mpirt.AnySource, 3)
+		p.Barrier()
+	} else {
+		p.Barrier()
+	}
+}
+
+// PeerSend sends to a derived peer, not the identity rank: arithmetic
+// on the rank must not trip the self-send check.
+func PeerSend(p *mpirt.Proc, tag int, buf []byte) {
+	peer := (p.Rank() + 1) % p.Size()
+	p.Send(peer, tag, len(buf), buf, nil)
+	p.Recv(mpirt.AnySource, tag)
+}

@@ -1,0 +1,94 @@
+// Package waitcoveragebad exercises the waitcoverage analyzer:
+// requests that miss a Wait on some path to return, plus the guarded
+// and loop-collected idioms that must stay silent.
+package waitcoveragebad
+
+import (
+	"errors"
+
+	"nbrallgather/internal/mpirt"
+)
+
+var errNotReady = errors.New("not ready")
+
+// MissedBranch waits on only one branch: the fall-through path returns
+// with the request pending.
+func MissedBranch(p *mpirt.Proc, tag int, fast bool) {
+	req := p.Irecv(1, tag) // want "not waited on every path to return"
+	if fast {
+		req.Wait()
+	}
+}
+
+// EarlyReturn leaks on the error path.
+func EarlyReturn(p *mpirt.Proc, tag int, ready bool) error {
+	req := p.Irecv(1, tag) // want "not waited on every path to return"
+	if !ready {
+		return errNotReady
+	}
+	req.Wait()
+	return nil
+}
+
+// Forgotten never waits at all: the nil check is not a completion.
+func Forgotten(p *mpirt.Proc, tag int, buf []byte) {
+	req := p.Isend(1, tag, len(buf), buf, nil) // want "not waited on every path to return"
+	if req == nil {
+		return
+	}
+	p.Recv(1, tag)
+}
+
+// LoopOverwrite reassigns the request each iteration with the previous
+// one still pending.
+func LoopOverwrite(p *mpirt.Proc, tag, n int) {
+	var req *mpirt.Request
+	for i := 0; i < n; i++ {
+		req = p.Irecv(i, tag) // want "may be overwritten before a Wait"
+	}
+	if req != nil {
+		req.Wait()
+	}
+}
+
+// Guarded is the conforming conditional idiom: creation implies
+// non-nil, the nil guard prunes the dead edge, every live path waits.
+func Guarded(p *mpirt.Proc, tag int, post bool) {
+	var req *mpirt.Request
+	if post {
+		req = p.Irecv(1, tag)
+	}
+	if req != nil {
+		req.Wait()
+	}
+}
+
+// Collected is the conforming fan-in idiom: requests accumulate into a
+// slice and a range loop waits every element.
+func Collected(p *mpirt.Proc, tag, n int) {
+	var reqs []*mpirt.Request
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, p.Irecv(i, tag))
+	}
+	for _, r := range reqs {
+		r.Wait()
+	}
+}
+
+// Rolling is clean: each iteration waits before the variable is reused.
+func Rolling(p *mpirt.Proc, tag, n int) {
+	for i := 0; i < n; i++ {
+		req := p.Irecv(i, tag)
+		req.Wait()
+	}
+}
+
+// DeferredWait is clean: the deferred wait runs on every exit path.
+func DeferredWait(p *mpirt.Proc, tag int, ready bool) error {
+	req := p.Irecv(1, tag)
+	defer req.Wait()
+	if !ready {
+		return errNotReady
+	}
+	return nil
+}

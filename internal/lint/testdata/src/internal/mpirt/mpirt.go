@@ -20,6 +20,9 @@ type Request struct{}
 // Wait blocks until the request completes.
 func (r *Request) Wait() Msg { return Msg{} }
 
+// WaitErr is Wait with the typed fail-stop error surface.
+func (r *Request) WaitErr() (Msg, error) { return Msg{}, nil }
+
 // Comm is a communicator stub.
 type Comm struct{}
 
@@ -37,6 +40,10 @@ func (p *Proc) Probe(src, tag int) bool                                  { retur
 
 func (p *Proc) SendErr(dst, tag, size int, data []byte, meta any) error { return nil }
 func (p *Proc) RecvErr(src, tag int) (Msg, error)                       { return Msg{}, nil }
+
+func (p *Proc) WaitAll(reqs ...*Request) {}
+func (p *Proc) Barrier()                 {}
+func (p *Proc) SyncResetTime()           {}
 
 func (p *Proc) Sub(c *Comm, tagShift int) *SubProc { return &SubProc{} }
 

@@ -1,0 +1,356 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WaitCoverageAnalyzer strengthens requestleak from "used somewhere ⇒
+// assume waited" to path-sensitive "waited on every path to return".
+// For each request creation site (an Isend/Irecv assigned to a
+// variable, or appended into a slice) it walks the CFG forward; a path
+// is discharged by a Wait/WaitErr/WaitAll covering the tracked value,
+// by the value escaping the function (return, store, call argument —
+// the caller inherits the obligation), or by a deferred wait (runs on
+// every exit). Reaching the function exit with the obligation live, or
+// overwriting the tracked variable before a wait, is reported at the
+// creation site.
+//
+// Two refinements keep the guarded-request idiom the collectives use
+// clean without suppressions:
+//
+//   - nil-guard pruning: after `req = p.Irecv(...)` the request is
+//     provably non-nil, so on a block branching on `req != nil` /
+//     `req == nil` only the consistent edge is followed;
+//   - loop-head discharge: entering a loop whose body waits the tracked
+//     value discharges the obligation optimistically. For a range over
+//     the tracked slice this is sound (an empty slice holds no pending
+//     requests); for other loops it assumes the loop body's wait
+//     executes for every pending element — the indexed-wait pattern.
+var WaitCoverageAnalyzer = &Analyzer{
+	Name: "waitcoverage",
+	Doc:  "flags requests not waited on every path to return",
+	Run:  runWaitCoverage,
+}
+
+func runWaitCoverage(p *Pass) {
+	forEachFuncBody(p, func(body *ast.BlockStmt) {
+		checkWaitCoverage(p, body)
+	})
+}
+
+// creation is one tracked request obligation: the statement minting the
+// request and the variable (or slice) it lands in.
+type creation struct {
+	stmt ast.Node
+	obj  types.Object
+}
+
+func checkWaitCoverage(p *Pass, body *ast.BlockStmt) {
+	cfg := buildCFG(body)
+	var created []creation
+	for _, blk := range cfg.Blocks {
+		for _, node := range blk.Nodes {
+			as, ok := node.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) || !rhsProducesRequest(p, rhs) {
+					continue
+				}
+				id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue // stores and blanks are requestleak's business
+				}
+				if o := objOfIdent(p, id); o != nil {
+					created = append(created, creation{stmt: node, obj: o})
+				}
+			}
+		}
+	}
+	for _, c := range created {
+		if deferredWait(p, cfg, c.obj) {
+			continue
+		}
+		traceWaitCoverage(p, cfg, c)
+	}
+}
+
+// deferredWait reports whether some defer in the function waits the
+// tracked value — deferred calls run on every exit path.
+func deferredWait(p *Pass, cfg *CFG, obj types.Object) bool {
+	for _, d := range cfg.Defers {
+		if callWaits(p, d.Call, obj) || litWaits(p, d.Call, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// litWaits reports whether a defer of a function literal waits obj.
+func litWaits(p *Pass, call *ast.CallExpr, obj types.Object) bool {
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok && callWaits(p, c, obj) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// callWaits reports whether call is a Wait/WaitErr on storage rooted at
+// obj, or a WaitAll taking it as an argument.
+func callWaits(p *Pass, call *ast.CallExpr, obj types.Object) bool {
+	f := calleeOf(p, call)
+	if f == nil || !pathContains(funcPkgPath(f), "internal/mpirt") {
+		return false
+	}
+	switch f.Name() {
+	case "Wait", "WaitErr":
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return rootObj(p, sel.X) == obj
+		}
+	case "WaitAll":
+		for _, a := range call.Args {
+			if rootObj(p, a) == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nodeWaits reports whether node contains a wait covering obj (or, for
+// a range statement head over obj, a wait of the range value variable
+// inside its body).
+func nodeWaits(p *Pass, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok && callWaits(p, c, obj) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// loopDischarges reports whether entering loop discharges the tracked
+// obligation: the loop body waits the tracked value directly, or the
+// loop ranges over the tracked slice and waits the element variable.
+func loopDischarges(p *Pass, loop ast.Stmt, obj types.Object) bool {
+	var loopBody *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		loopBody = l.Body
+	case *ast.RangeStmt:
+		loopBody = l.Body
+		if rootObj(p, l.X) == obj && l.Value != nil {
+			if vid, ok := l.Value.(*ast.Ident); ok {
+				if vo := p.Pkg.Info.Defs[vid]; vo != nil && nodeWaits(p, loopBody, vo) {
+					return true
+				}
+			}
+		}
+	default:
+		return false
+	}
+	return nodeWaits(p, loopBody, obj)
+}
+
+// nodeEscapes reports whether node transfers the obligation out of the
+// function or into another owner: returning the tracked value, passing
+// it to a call (other than append into itself or a wait), or assigning
+// it to another variable or location.
+func nodeEscapes(p *Pass, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if exprMentionsObj(p, r, obj) {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if callWaits(p, n, obj) {
+				return true
+			}
+			if isBuiltin(p, n, "append") && len(n.Args) > 0 && rootObj(p, n.Args[0]) == obj {
+				return true // growing the tracked slice keeps ownership
+			}
+			for _, a := range n.Args {
+				if o := rootObj(p, a); o == obj {
+					found = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !exprMentionsObj(p, rhs, obj) {
+					continue
+				}
+				// Appending into the tracked slice is accumulation, not a
+				// transfer; anything else hands the value to a new owner.
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok &&
+					isBuiltin(p, call, "append") && len(call.Args) > 0 &&
+					rootObj(p, call.Args[0]) == obj &&
+					i < len(n.Lhs) && rootObj(p, n.Lhs[i]) == obj {
+					continue
+				}
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprMentionsObj reports whether e mentions obj as an identifier that
+// is not merely a nil comparison.
+func exprMentionsObj(p *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && objOfIdent(p, id) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// nilGuard classifies a branch condition on the tracked object:
+// returns (isGuard, trueMeansNonNil).
+func nilGuard(p *Pass, cond ast.Expr, obj types.Object) (bool, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return false, false
+	}
+	var other ast.Expr
+	if rootObj(p, be.X) == obj {
+		other = be.Y
+	} else if rootObj(p, be.Y) == obj {
+		other = be.X
+	} else {
+		return false, false
+	}
+	if id, ok := ast.Unparen(other).(*ast.Ident); !ok || id.Name != "nil" {
+		return false, false
+	}
+	return true, be.Op == token.NEQ
+}
+
+// nodeOverwrites reports whether node reassigns the tracked variable
+// (losing the pending request) — append-into-self excluded.
+func nodeOverwrites(p *Pass, node ast.Node, obj types.Object) bool {
+	as, ok := node.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || objOfIdent(p, id) != obj {
+			continue
+		}
+		if i < len(as.Rhs) {
+			if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok &&
+				isBuiltin(p, call, "append") && len(call.Args) > 0 &&
+				rootObj(p, call.Args[0]) == obj {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// traceWaitCoverage walks the CFG forward from the creation statement.
+func traceWaitCoverage(p *Pass, cfg *CFG, c creation) {
+	blk, idx := cfg.FindStmt(c.stmt)
+	if blk == nil {
+		return
+	}
+	type item struct {
+		b *Block
+		i int
+	}
+	work := []item{{blk, idx + 1}}
+	seen := map[*Block]bool{}
+	reportedExit := false
+	reportedOverwrite := false
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		if it.b == cfg.Exit {
+			if !reportedExit {
+				reportedExit = true
+				p.Report(c.stmt.Pos(), "request %s is not waited on every path to return: a path reaches the end of the function with it pending", c.obj.Name())
+			}
+			continue
+		}
+		if it.i == 0 && it.b.Loop != nil && loopDischarges(p, it.b.Loop, c.obj) {
+			continue
+		}
+		ended := false
+		for i := it.i; i < len(it.b.Nodes); i++ {
+			node := it.b.Nodes[i]
+			if nodeWaits(p, node, c.obj) || nodeEscapes(p, node, c.obj) {
+				ended = true
+				break
+			}
+			if nodeOverwrites(p, node, c.obj) {
+				if !reportedOverwrite {
+					reportedOverwrite = true
+					p.Report(c.stmt.Pos(), "request %s may be overwritten before a Wait: a looped path reassigns it with the previous request still pending", c.obj.Name())
+				}
+				ended = true
+				break
+			}
+		}
+		if ended {
+			continue
+		}
+		succs := it.b.Succs
+		if it.b.Cond != nil && len(succs) >= 2 {
+			if guard, trueNonNil := nilGuard(p, it.b.Cond, c.obj); guard {
+				// The tracked request is non-nil from its creation onward:
+				// follow only the consistent edge.
+				if trueNonNil {
+					succs = succs[:1]
+				} else {
+					succs = succs[1:2]
+				}
+			}
+		}
+		for _, s := range succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, item{s, 0})
+			}
+		}
+	}
+}

@@ -150,17 +150,17 @@ type chaosRT struct {
 	// duplication, and slowdown draws. They must be independent
 	// streams: replay mode consumes no scheduling picks, and the fault
 	// sequence has to stay identical to the recorded run's anyway.
-	schedRNG  *rand.Rand
-	faultRNG  *rand.Rand
-	state     []chaosState
-	reqSrc    []int // posted receive source, valid in chaosRecvWait
-	reqTag    []int // posted receive tag, valid in chaosRecvWait
-	token     []chan chaosWake
+	schedRNG *rand.Rand
+	faultRNG *rand.Rand
+	state    []chaosState
+	reqSrc   []int // posted receive source, valid in chaosRecvWait
+	reqTag   []int // posted receive tag, valid in chaosRecvWait
+	token    []chan chaosWake
 	// wakeErr holds a pending error for a rank flipped runnable by a
 	// revocation while it was blocked in a receive; delivered with the
 	// rank's next resume.
-	wakeErr  []error
-	inflight []*flightMsg
+	wakeErr   []error
+	inflight  []*flightMsg
 	delivered map[delivKey]bool
 	sendSeq   []uint64
 	slow      []float64 // per-rank time multiplier, ≥ 1
@@ -538,6 +538,13 @@ func (p *Proc) chaosRecvErr(src, tag int) (Msg, error) {
 	cs.mu.Lock()
 	cs.reqSrc[p.rank], cs.reqTag[p.rank] = src, tag
 	cs.state[p.rank] = chaosRecvWait
+	// A wait-for cycle can only close when a rank blocks, and all chaos
+	// state is under cs.mu, so this single check at post time is exact.
+	// It sits at a deterministic position in the decision stream:
+	// record and replay prove the identical cycle.
+	if derr := cs.detectRecvCycleLocked(p.rank); derr != nil {
+		cs.rt.fail(derr)
+	}
 	cs.scheduleLocked()
 	cs.mu.Unlock()
 	w := p.chaosPark()

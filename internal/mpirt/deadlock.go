@@ -1,0 +1,209 @@
+package mpirt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the wait-for-graph deadlock detector. Every
+// blocked rank records the operation, peer, and tag it is waiting on;
+// a posted receive on a specific live source with no matching message
+// available contributes the edge rank → source to the wait-for graph.
+// Because each blocked rank has at most one outgoing edge the graph is
+// functional, so cycle detection is a pointer chase: the chase runs the
+// moment a rank blocks, which is the only instant a new cycle can form.
+// A proven cycle fails the run immediately at the current virtual time —
+// no wall-clock watchdog sample is needed — and, under the chaos
+// scheduler, at a deterministic position in the decision stream, so
+// record and replay report the identical cycle.
+
+// WaitEdge is one edge of a deadlock cycle: Rank is blocked in Op
+// waiting on Peer with the given tag.
+type WaitEdge struct {
+	Rank int
+	Op   string
+	Peer int
+	Tag  int
+}
+
+func (e WaitEdge) String() string {
+	return fmt.Sprintf("rank %d --%s(tag %d)--> rank %d", e.Rank, e.Op, e.Tag, e.Peer)
+}
+
+// DeadlockError is the failure reported when the wait-for graph proves
+// a deadlock: Cycle is the closed chain of blocked ranks (canonically
+// rotated so the smallest rank leads), VT the virtual time at which the
+// cycle closed, and Summary the full blocked-rank dump for context.
+// It unwraps to ErrDeadlock, so errors.Is(err, ErrDeadlock) matches.
+type DeadlockError struct {
+	Cycle   []WaitEdge
+	VT      float64
+	Summary string
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: proven wait-for cycle at vt %.6g: ", ErrDeadlock, e.VT)
+	for i, w := range e.Cycle {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(w.String())
+	}
+	if e.Summary != "" {
+		fmt.Fprintf(&b, " (%s)", e.Summary)
+	}
+	return b.String()
+}
+
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
+
+// SameCycle reports whether two deadlock errors prove the identical
+// cycle. Cycles are stored canonically, so this is a plain comparison.
+func (e *DeadlockError) SameCycle(o *DeadlockError) bool {
+	if o == nil || len(e.Cycle) != len(o.Cycle) {
+		return false
+	}
+	for i := range e.Cycle {
+		if e.Cycle[i] != o.Cycle[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// canonicalCycle rotates the cycle so the smallest rank leads, giving
+// every detection of the same cycle — across goroutine interleavings,
+// chaos seeds, and replays — one canonical representation.
+func canonicalCycle(cycle []WaitEdge) []WaitEdge {
+	if len(cycle) == 0 {
+		return cycle
+	}
+	min := 0
+	for i, e := range cycle {
+		if e.Rank < cycle[min].Rank {
+			min = i
+		}
+	}
+	out := make([]WaitEdge, 0, len(cycle))
+	out = append(out, cycle[min:]...)
+	out = append(out, cycle[:min]...)
+	return out
+}
+
+// recvEdge returns rank r's outgoing wait-for edge in threaded mode, or
+// ok=false when r is not provably stuck: not parked in a receive,
+// waiting on AnySource (any live peer could satisfy it), waiting on a
+// dead peer (the receive fails rather than blocks), or a matching
+// message is already queued. Takes boxes[r].mu; callers must hold no
+// box lock.
+func (rt *Runtime) recvEdge(r int) (WaitEdge, float64, bool) {
+	b := rt.boxes[r]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.waiter || b.wSrc == AnySource {
+		return WaitEdge{}, 0, false
+	}
+	if rt.deadMask[b.wSrc].Load() || rt.revoked.Load() {
+		return WaitEdge{}, 0, false
+	}
+	for _, m := range b.queue {
+		if m.Src == b.wSrc && (b.wTag == AnyTag || m.Tag == b.wTag) {
+			return WaitEdge{}, 0, false
+		}
+	}
+	return WaitEdge{Rank: r, Op: "recv", Peer: b.wSrc, Tag: b.wTag}, b.wVT, true
+}
+
+// detectRecvCycle chases the wait-for chain starting at rank start and
+// returns a proven deadlock, or nil. Called by a rank that has just
+// published its posted receive, before it parks: a new cycle must pass
+// through a newly blocked rank, so checking at block time catches every
+// cycle the moment it closes. Box locks are taken one at a time; a
+// second verification pass over the candidate cycle closes the window
+// in which an edge observed earlier could have been satisfied, since
+// only a cycle member, a revoke, or a rank death can unblock a member —
+// and the verify pass re-checks all three.
+func (rt *Runtime) detectRecvCycle(start int) *DeadlockError {
+	seen := make(map[int]int)
+	var path []WaitEdge
+	r := start
+	for {
+		if i, dup := seen[r]; dup {
+			path = path[i:] // the chain closed: keep only the cycle
+			break
+		}
+		e, _, ok := rt.recvEdge(r)
+		if !ok {
+			return nil
+		}
+		seen[r] = len(path)
+		path = append(path, e)
+		r = e.Peer
+	}
+	vt := 0.0
+	for _, e := range path {
+		e2, evt, ok := rt.recvEdge(e.Rank)
+		if !ok || e2 != e {
+			return nil
+		}
+		if evt > vt {
+			vt = evt
+		}
+	}
+	return &DeadlockError{Cycle: canonicalCycle(path), VT: vt}
+}
+
+// detectRecvCycleLocked is the chaos-mode detector. All scheduler state
+// is under cs.mu (held by the caller), so the check is atomic: rank r
+// is stuck iff it is recv-parked on a specific live source and no
+// undelivered in-flight copy matches (delivered duplicates only ever
+// get dropped, never delivered).
+func (cs *chaosRT) detectRecvCycleLocked(start int) *DeadlockError {
+	if cs.rt.revoked.Load() {
+		return nil
+	}
+	edge := func(r int) (WaitEdge, bool) {
+		if cs.state[r] != chaosRecvWait {
+			return WaitEdge{}, false
+		}
+		src, tag := cs.reqSrc[r], cs.reqTag[r]
+		if src == AnySource || cs.rt.deadMask[src].Load() {
+			return WaitEdge{}, false
+		}
+		for _, fm := range cs.inflight {
+			if fm.dst == r && fm.msg.Src == src && (tag == AnyTag || fm.msg.Tag == tag) &&
+				!cs.delivered[delivKey{fm.msg.Src, fm.sendSeq}] {
+				return WaitEdge{}, false
+			}
+		}
+		return WaitEdge{Rank: r, Op: "recv", Peer: src, Tag: tag}, true
+	}
+	seen := make(map[int]int)
+	var path []WaitEdge
+	r := start
+	for {
+		if i, dup := seen[r]; dup {
+			path = path[i:]
+			break
+		}
+		e, ok := edge(r)
+		if !ok {
+			return nil
+		}
+		seen[r] = len(path)
+		path = append(path, e)
+		r = e.Peer
+	}
+	vt := 0.0
+	for _, e := range path {
+		if pvt := cs.rt.procs[e.Rank].vt; pvt > vt {
+			vt = pvt
+		}
+	}
+	return &DeadlockError{
+		Cycle:   canonicalCycle(path),
+		VT:      vt,
+		Summary: cs.blockedSummaryLocked(),
+	}
+}

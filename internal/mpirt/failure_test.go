@@ -216,22 +216,27 @@ func TestBarrierDeadTolerant(t *testing.T) {
 
 // TestBlockedSummaryNamesPeers pins the deadlock diagnostics: the
 // error names each blocked rank's pending receive (peer and tag) and
-// lists dead ranks.
+// lists dead ranks. The blocked shape is an acyclic chain ending in a
+// barrier (0 waits on 1, 1 waits on 2, 2 in a barrier nobody else
+// joins), so it is the watchdog — not the wait-for-graph detector,
+// which only proves cycles — that reports it.
 func TestBlockedSummaryNamesPeers(t *testing.T) {
-	_, err := Run(Config{Cluster: failureCluster(), Ranks: 3, Kills: []Kill{{Rank: 2}}}, func(p *Proc) {
+	_, err := Run(Config{Cluster: failureCluster(), Ranks: 4, Kills: []Kill{{Rank: 3}}}, func(p *Proc) {
 		switch p.Rank() {
-		case 2:
+		case 3:
 			p.Send(0, 99, 1, []byte{1}, nil) // dies here
 		case 0:
 			p.Recv(1, 5)
 		case 1:
-			p.Recv(0, 6)
+			p.Recv(2, 6)
+		case 2:
+			p.Barrier()
 		}
 	})
 	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("expected deadlock, got %v", err)
 	}
-	for _, want := range []string{"rank 0: recv src=1 tag=5", "rank 1: recv src=0 tag=6", "dead ranks [2]"} {
+	for _, want := range []string{"rank 0: recv src=1 tag=5", "rank 1: recv src=2 tag=6", "rank 2: barrier", "dead ranks [3]"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("deadlock summary %q lacks %q", err, want)
 		}

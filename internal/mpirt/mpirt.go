@@ -178,8 +178,11 @@ type mailbox struct {
 	seq    uint64 // delivery counter, for the watchdog
 	waiter bool
 	// wSrc and wTag are the posted (source, tag) while waiter is set,
-	// for the watchdog's blocked summary.
+	// for the wait-for-graph detector and the blocked summary; wVT is
+	// the rank's virtual clock at post time (readable without touching
+	// the parked goroutine's Proc).
 	wSrc, wTag int
+	wVT        float64
 }
 
 // Runtime is the shared state of one execution.
@@ -480,6 +483,18 @@ func (rt *Runtime) watchdog(start time.Time, done <-chan struct{}) {
 		if live > 0 && blocked >= live && prog == lastProgress {
 			stale++
 			if stale >= 4 {
+				// Specific-source receive cycles are proven and reported
+				// the instant they form (detectRecvCycle at block time);
+				// the watchdog remains the backstop for AnySource waits,
+				// barrier/agreement stalls, and mixed shapes. If a cycle
+				// is nevertheless visible, report it as the proven form.
+				for r := 0; r < rt.n; r++ {
+					if derr := rt.detectRecvCycle(r); derr != nil {
+						derr.Summary = rt.blockedSummary()
+						rt.fail(derr)
+						return
+					}
+				}
 				rt.fail(fmt.Errorf("%w: %d live ranks all blocked (%s)",
 					ErrDeadlock, live, rt.blockedSummary()))
 				return
@@ -770,11 +785,16 @@ func (p *Proc) recvErr(src, tag int) (Msg, error) {
 			Msg: fmt.Sprintf("invalid source rank %d", src)})
 	}
 	box := p.rt.boxes[p.rank]
+	// checked guards the wait-for-graph probe: one cycle chase per
+	// posted receive, run after this rank publishes its wait so that
+	// concurrent probes on other ranks can observe the closing edge.
+	checked := false
 	box.mu.Lock()
 	for {
 		for i, m := range box.queue {
 			if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
 				box.queue = append(box.queue[:i], box.queue[i+1:]...)
+				box.waiter = false
 				box.mu.Unlock()
 				p.rt.progress.Add(1)
 				p.vt = math.Max(p.vt, m.arrival) + p.rt.model.RecvOverhead()
@@ -782,20 +802,24 @@ func (p *Proc) recvErr(src, tag int) (Msg, error) {
 			}
 		}
 		if p.rt.aborted.Load() {
+			box.waiter = false
 			box.mu.Unlock()
 			panic(errAborted)
 		}
 		if p.rt.revoked.Load() {
+			box.waiter = false
 			box.mu.Unlock()
 			return Msg{}, &CommRevokedError{}
 		}
 		if src != AnySource && p.rt.deadMask[src].Load() {
+			box.waiter = false
 			box.mu.Unlock()
 			p.chargeDetect(src)
 			return Msg{}, &RankFailedError{Rank: src}
 		}
 		if src == AnySource {
 			if d := p.rt.firstDeadPeer(p.rank); d >= 0 {
+				box.waiter = false
 				box.mu.Unlock()
 				p.chargeDetect(d)
 				return Msg{}, &RankFailedError{Rank: d}
@@ -803,6 +827,22 @@ func (p *Proc) recvErr(src, tag int) (Msg, error) {
 		}
 		box.waiter = true
 		box.wSrc, box.wTag = src, tag
+		box.wVT = p.vt
+		if !checked && src != AnySource {
+			// The wait is now published; chase the wait-for chain with no
+			// box lock held, then re-scan the queue — a delivery may have
+			// landed during the unlocked window. waiter stays set across
+			// the re-scan so a concurrent chase on another rank still sees
+			// this edge; whichever rank publishes last proves the cycle.
+			checked = true
+			box.mu.Unlock()
+			if derr := p.rt.detectRecvCycle(p.rank); derr != nil {
+				derr.Summary = p.rt.blockedSummary()
+				p.rt.fail(derr)
+			}
+			box.mu.Lock()
+			continue
+		}
 		p.rt.blocked.Add(1)
 		box.cond.Wait()
 		p.rt.blocked.Add(-1)

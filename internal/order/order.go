@@ -21,7 +21,7 @@ func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
 		return nil
 	}
 	keys := make([]K, 0, len(m))
-	for k := range m { //lint:ordered — normalised by the sort below
+	for k := range m {
 		keys = append(keys, k)
 	}
 	slices.Sort(keys)
@@ -38,7 +38,7 @@ func SortedKeysFunc[K comparable, V any](m map[K]V, less func(a, b K) bool) []K 
 		return nil
 	}
 	keys := make([]K, 0, len(m))
-	for k := range m { //lint:ordered — normalised by the sort below
+	for k := range m {
 		keys = append(keys, k)
 	}
 	slices.SortFunc(keys, func(a, b K) int {
