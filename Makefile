@@ -15,8 +15,8 @@ vet:
 	$(GO) vet ./...
 
 # Static invariant analyzers (DESIGN.md §8): determinism, requestleak,
-# errdiscipline, tagdiscipline, vtclean, plus the dataflow-powered
-# bufinflight, deadlockshape and waitcoverage; full-suite runs also
+# errdiscipline, tagdiscipline, vtclean, bufferpool, plus the dataflow-
+# powered bufinflight, deadlockshape and waitcoverage; full-suite runs also
 # flag stale suppression directives. Exit 1 = findings, 2 = tool error.
 lint:
 	$(GO) run ./cmd/nbr-lint -dir .
@@ -50,11 +50,14 @@ faults:
 fuzz:
 	$(GO) test -fuzz=FuzzReadMatrixMarket -fuzztime=20s ./internal/sparse
 
-# One benchmark per paper table/figure plus ablations (CI scale), and
-# the machine-readable snapshot consumed by tooling.
+# One benchmark per paper table/figure plus ablations (CI scale), the
+# mpirt hot-path micro-benchmarks, and the machine-readable snapshot
+# consumed by the perf-regression harness (ns/op + allocs/op per hot
+# path; diff it across PRs).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
-	$(GO) run ./cmd/nbr-bench -json results/BENCH_pr2.json
+	$(GO) test -bench=. -benchmem ./internal/mpirt/
+	$(GO) run ./cmd/nbr-bench -json results/BENCH_pr5.json -micro
 
 # Regenerate the experiment outputs in results/ (~15 min at medium scale).
 repro:

@@ -50,6 +50,7 @@ func measure(b *testing.B, c nbr.Cluster, op nbr.Op, m int) nbr.MeasureResult {
 // BenchmarkFig2PerfModel evaluates the Section V analytical model over
 // the full Fig. 2 grid (pure math; regenerates the figure's surfaces).
 func BenchmarkFig2PerfModel(b *testing.B) {
+	b.ReportAllocs()
 	p := perfmodel.NiagaraModel(2160, 18)
 	sizes := harness.MsgSizes(8, 4<<20)
 	var pts []perfmodel.Fig2Point
@@ -76,6 +77,7 @@ func BenchmarkFig4RandomSparseLatency(b *testing.B) {
 			op   nbr.Op
 		}{{"naive", nbr.NewNaive(g)}, {"dh", dh}} {
 			b.Run(fmt.Sprintf("%s/m=%d", tc.name, m), func(b *testing.B) {
+				b.ReportAllocs()
 				var last nbr.MeasureResult
 				for i := 0; i < b.N; i++ {
 					last = measure(b, c, tc.op, m)
@@ -102,6 +104,7 @@ func BenchmarkFig5SpeedupScaling(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("ranks=%d", c.Ranks()), func(b *testing.B) {
+			b.ReportAllocs()
 			var sDH, sCN float64
 			for i := 0; i < b.N; i++ {
 				naive := measure(b, c, nbr.NewNaive(g), 1024)
@@ -133,6 +136,7 @@ func BenchmarkFig6Moore(b *testing.B) {
 		}
 		for _, m := range []int{4 << 10, 256 << 10} {
 			b.Run(fmt.Sprintf("%s/m=%d", shape, m), func(b *testing.B) {
+				b.ReportAllocs()
 				var s float64
 				for i := 0; i < b.N; i++ {
 					naive := measure(b, c, nbr.NewNaive(g), m)
@@ -162,6 +166,7 @@ func BenchmarkFig7SpMM(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(nm.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			var s float64
 			for i := 0; i < b.N; i++ {
 				naive := benchSpMMOnce(b, c, kern, nbr.NewNaive(g))
@@ -195,6 +200,7 @@ func BenchmarkFig8Overhead(b *testing.B) {
 	c := benchCluster()
 	for _, d := range []float64{0.1, 0.5} {
 		b.Run(fmt.Sprintf("delta=%.1f", d), func(b *testing.B) {
+			b.ReportAllocs()
 			var rows []harness.OverheadRow
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -212,6 +218,7 @@ func BenchmarkFig8Overhead(b *testing.B) {
 // BenchmarkTableIIGeneration regenerates the Table II stand-in
 // matrices.
 func BenchmarkTableIIGeneration(b *testing.B) {
+	b.ReportAllocs()
 	var nnz int
 	for i := 0; i < b.N; i++ {
 		nnz = 0
@@ -229,6 +236,7 @@ func BenchmarkAblationPatternBuilder(b *testing.B) {
 	c := nbr.Niagara(4, 6)
 	g := benchGraph(b, c, 0.3)
 	b.Run("central", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := nbr.BuildPattern(g, c.L()); err != nil {
 				b.Fatal(err)
@@ -236,6 +244,7 @@ func BenchmarkAblationPatternBuilder(b *testing.B) {
 		}
 	})
 	b.Run("distributed", func(b *testing.B) {
+		b.ReportAllocs()
 		var sim float64
 		for i := 0; i < b.N; i++ {
 			_, rep, err := nbr.BuildPatternDistributed(nbr.RunConfig{Cluster: c, Phantom: true}, g)
@@ -263,6 +272,7 @@ func BenchmarkAblationAgentPolicy(b *testing.B) {
 		}
 		op := nbr.NewDistanceHalvingFromPattern(pat)
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var last nbr.MeasureResult
 			for i := 0; i < b.N; i++ {
 				last = measure(b, c, op, 2048)
@@ -285,6 +295,7 @@ func BenchmarkAblationStopThreshold(b *testing.B) {
 		}
 		op := nbr.NewDistanceHalvingFromPattern(pat)
 		b.Run(fmt.Sprintf("L=%d", l), func(b *testing.B) {
+			b.ReportAllocs()
 			var last nbr.MeasureResult
 			for i := 0; i < b.N; i++ {
 				last = measure(b, c, op, 2048)
@@ -309,6 +320,7 @@ func BenchmarkAblationFlatNetwork(b *testing.B) {
 		params nbr.NetParams
 	}{{"niagara", nbr.NiagaraNetParams()}, {"flat", nbr.UniformNetParams()}} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var s float64
 			for i := 0; i < b.N; i++ {
 				cfg := nbr.MeasureConfig{Cluster: c, Params: tc.params, MsgSize: 2048, Trials: 1, Phantom: true}
@@ -350,6 +362,7 @@ func BenchmarkExtAllgatherv(b *testing.B) {
 		op   nbr.VOp
 	}{{"naive", nbr.NewNaive(g)}, {"dh", dh}} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var sim float64
 			for i := 0; i < b.N; i++ {
 				_, err := mpirt.Run(mpirt.Config{Cluster: c, Phantom: true, WallLimit: time.Minute}, func(p *mpirt.Proc) {
@@ -383,6 +396,7 @@ func BenchmarkExtAlltoall(b *testing.B) {
 		op   nbr.AOp
 	}{{"naive", nbr.NewNaiveAlltoall(g)}, {"dh", dh}} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var sim float64
 			var msgs int64
 			for i := 0; i < b.N; i++ {
@@ -424,6 +438,7 @@ func BenchmarkAblationCNGrouping(b *testing.B) {
 		op   nbr.Op
 	}{{"consecutive", cons}, {"affinity", aff}} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var last nbr.MeasureResult
 			for i := 0; i < b.N; i++ {
 				last = measure(b, c, tc.op, 2048)
@@ -459,6 +474,7 @@ func BenchmarkAblationLeaderBased(b *testing.B) {
 	}
 	for _, m := range []int{2048, 256 << 10} {
 		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
 			var sDH, sLB1, sLB4 float64
 			for i := 0; i < b.N; i++ {
 				naive := measure(b, c, nbr.NewNaive(g), m)
@@ -481,6 +497,7 @@ func BenchmarkPatternBuildScaling(b *testing.B) {
 		c := nbr.Niagara(nodes, 6)
 		g := benchGraph(b, c, 0.3)
 		b.Run(fmt.Sprintf("ranks=%d", c.Ranks()), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := nbr.BuildPattern(g, c.L()); err != nil {
 					b.Fatal(err)
@@ -495,6 +512,7 @@ func BenchmarkPatternBuildScaling(b *testing.B) {
 func BenchmarkRuntimeP2P(b *testing.B) {
 	c := nbr.Niagara(1, 2)
 	b.Run("pingpong", func(b *testing.B) {
+		b.ReportAllocs()
 		_, err := nbr.Run(nbr.RunConfig{Cluster: c, WallLimit: 5 * time.Minute}, func(p *nbr.Proc) {
 			for i := 0; i < b.N; i++ {
 				switch p.Rank() {

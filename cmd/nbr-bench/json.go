@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -11,6 +13,7 @@ import (
 	"nbrallgather/internal/collective"
 	"nbrallgather/internal/harness"
 	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/sweep"
 	"nbrallgather/internal/topology"
 	"nbrallgather/internal/vgraph"
 )
@@ -59,6 +62,9 @@ type benchDoc struct {
 	Seed     int64           `json:"seed"`
 	Fig4     []benchCell     `json:"fig4"`
 	Recovery []benchRecovery `json:"recovery"`
+	// Micro holds the mpirt hot-path micro-benchmarks (-micro);
+	// ns/op and allocs/op straight from testing.Benchmark.
+	Micro []microBench `json:"micro,omitempty"`
 }
 
 var (
@@ -66,38 +72,58 @@ var (
 	jsonMsgSizes  = []int{1 << 10, 1 << 16}
 )
 
-func runJSON(out io.Writer, path string, c topology.Cluster, trials int, seed int64, wall time.Duration) error {
+func runJSON(out io.Writer, path string, c topology.Cluster, trials int, seed int64, wall time.Duration, micro bool) error {
 	doc := benchDoc{
-		Schema:  "nbr-bench/pr2",
+		Schema:  "nbr-bench/pr5",
 		Cluster: c.String(),
 		Ranks:   c.Ranks(),
 		Trials:  trials,
 		Seed:    seed,
 	}
+	// Fig. 4 cells run concurrently on the sweep pool; printing and the
+	// doc rows happen afterwards in cell order, so the report is
+	// byte-identical to the sequential loop.
+	type fig4Cell struct {
+		g *vgraph.Graph
+		d float64
+		m int
+	}
+	var fig4Cells []fig4Cell
 	for _, d := range jsonDensities {
 		g, err := vgraph.ErdosRenyi(c.Ranks(), d, seed+int64(d*1000))
 		if err != nil {
 			return err
 		}
 		for _, m := range jsonMsgSizes {
-			cfg := harness.Config{Cluster: c, MsgSize: m, Trials: trials, Phantom: true, WallLimit: wall}
-			cmp, err := harness.Compare(cfg, g, fmt.Sprintf("delta=%g", d))
-			if err != nil {
-				return err
-			}
-			cell := func(algo string, k int, r harness.Result) benchCell {
-				return benchCell{
-					Density: d, MsgBytes: m, Algo: algo, CNK: k,
-					TimeS: r.Mean, Msgs: r.MsgsPerTrial, Bytes: r.BytesPerTrial,
-				}
-			}
-			doc.Fig4 = append(doc.Fig4,
-				cell("naive", 0, cmp.Naive),
-				cell("distance-halving", 0, cmp.DH),
-				cell("common-neighbor", cmp.CNK, cmp.CN))
-			fmt.Fprintf(out, "fig4 delta=%g m=%d: naive %.3gs, dh %.3gs, cn(k=%d) %.3gs\n",
-				d, m, cmp.Naive.Mean, cmp.DH.Mean, cmp.CNK, cmp.CN.Mean)
+			fig4Cells = append(fig4Cells, fig4Cell{g, d, m})
 		}
+	}
+	cmps, err := sweep.Map(context.Background(), len(fig4Cells), func(i int) (harness.Comparison, error) {
+		fc := fig4Cells[i]
+		cfg := harness.Config{Cluster: c, MsgSize: fc.m, Trials: trials, Phantom: true, WallLimit: wall}
+		return harness.Compare(cfg, fc.g, fmt.Sprintf("delta=%g", fc.d))
+	})
+	if err != nil {
+		var agg *sweep.Error
+		if errors.As(err, &agg) {
+			err = agg.First().Err
+		}
+		return err
+	}
+	for i, cmp := range cmps {
+		fc := fig4Cells[i]
+		cell := func(algo string, k int, r harness.Result) benchCell {
+			return benchCell{
+				Density: fc.d, MsgBytes: fc.m, Algo: algo, CNK: k,
+				TimeS: r.Mean, Msgs: r.MsgsPerTrial, Bytes: r.BytesPerTrial,
+			}
+		}
+		doc.Fig4 = append(doc.Fig4,
+			cell("naive", 0, cmp.Naive),
+			cell("distance-halving", 0, cmp.DH),
+			cell("common-neighbor", cmp.CNK, cmp.CN))
+		fmt.Fprintf(out, "fig4 delta=%g m=%d: naive %.3gs, dh %.3gs, cn(k=%d) %.3gs\n",
+			fc.d, fc.m, cmp.Naive.Mean, cmp.DH.Mean, cmp.CNK, cmp.CN.Mean)
 	}
 
 	// Recovery overhead: one mid-schedule crash per self-healing
@@ -113,11 +139,22 @@ func runJSON(out io.Writer, path string, c topology.Cluster, trials int, seed in
 	}
 	kill := mpirt.Kill{Rank: c.Ranks() / 2, AfterOps: 4}
 	cfg := harness.Config{Cluster: c, MsgSize: recMsg, Phantom: true, WallLimit: wall}
-	for _, op := range ops {
-		res, err := harness.MeasureRecovery(cfg, op, kill)
+	recs, err := sweep.Map(context.Background(), len(ops), func(i int) (harness.RecoveryResult, error) {
+		res, err := harness.MeasureRecovery(cfg, ops[i], kill)
 		if err != nil {
-			return fmt.Errorf("recovery %s: %w", op.Name(), err)
+			return res, fmt.Errorf("recovery %s: %w", ops[i].Name(), err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		var agg *sweep.Error
+		if errors.As(err, &agg) {
+			err = agg.First().Err
+		}
+		return err
+	}
+	for i, res := range recs {
+		op := ops[i]
 		doc.Recovery = append(doc.Recovery, benchRecovery{
 			Algo: op.Name(), Density: recDensity, MsgBytes: recMsg,
 			VictimRank: kill.Rank,
@@ -127,6 +164,10 @@ func runJSON(out io.Writer, path string, c topology.Cluster, trials int, seed in
 			DetectTimeS: res.DetectTime, Repair: res.Repair,
 		})
 		fmt.Fprintf(out, "recovery %s: %s\n", op.Name(), res)
+	}
+
+	if micro {
+		doc.Micro = runMicro(out)
 	}
 
 	if dir := filepath.Dir(path); dir != "." && dir != "" {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"nbrallgather/internal/harness"
+	"nbrallgather/internal/prof"
 	"nbrallgather/internal/topology"
 )
 
@@ -45,6 +46,8 @@ func run(args []string, out io.Writer) error {
 	wall := fs.Duration("wall", 10*time.Minute, "wall-clock budget per measurement")
 	scatter := fs.Bool("scatter", false, "scatter nodes across Dragonfly+ groups (the batch-scheduler placement the paper's jobs got); matters for structured topologies")
 	jsonPath := fs.String("json", "", "write the machine-readable benchmark (per-algorithm Fig. 4 cells plus fail-stop recovery overhead) to this path and exit")
+	micro := fs.Bool("micro", false, "with -json, include the mpirt hot-path micro-benchmarks (match, pool, barrier, allgather step)")
+	pf := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,54 +62,63 @@ func run(args []string, out io.Writer) error {
 		return c
 	}
 
-	if *jsonPath != "" {
-		return runJSON(out, *jsonPath, place(topology.Niagara(*nodes, *rps)), *trials, *seed, *wall)
+	return pf.Wrap(func() error {
+		return runFigs(out, place, *fig, *nodes, *rps, *trials, *seed, *full, *csv, *minMsg, *maxMsg, *wall, *jsonPath, *micro)
+	})
+}
+
+func runFigs(out io.Writer, place func(topology.Cluster) topology.Cluster, fig, nodes, rps, trials int, seed int64, full, csv bool, minMsg, maxMsg int, wall time.Duration, jsonPath string, micro bool) error {
+	if jsonPath != "" {
+		return runJSON(out, jsonPath, place(topology.Niagara(nodes, rps)), trials, seed, wall, micro)
+	}
+	if micro {
+		return fmt.Errorf("-micro requires -json")
 	}
 
-	run4 := *fig == 0 || *fig == 4
-	run5 := *fig == 0 || *fig == 5
-	run6 := *fig == 0 || *fig == 6
+	run4 := fig == 0 || fig == 4
+	run5 := fig == 0 || fig == 5
+	run6 := fig == 0 || fig == 6
 
 	if run4 {
-		c := place(topology.Niagara(*nodes, *rps))
+		c := place(topology.Niagara(nodes, rps))
 		fmt.Fprintf(out, "Fig. 4 cluster: %s\n", c)
 		rows, err := harness.RandomSparseSweep(c, harness.PaperDensities,
-			harness.MsgSizes(*minMsg, *maxMsg), *trials, *seed, *wall)
-		if err := report(out, rows, err, *csv, "Fig. 4 — Random Sparse Graph latency"); err != nil {
+			harness.MsgSizes(minMsg, maxMsg), trials, seed, wall)
+		if err := report(out, rows, err, csv, "Fig. 4 — Random Sparse Graph latency"); err != nil {
 			return err
 		}
 	}
 	if run5 {
-		scales := []int{*nodes / 4, *nodes / 2, *nodes}
-		if *full {
+		scales := []int{nodes / 4, nodes / 2, nodes}
+		if full {
 			scales = []int{15, 30, 60}
 		}
 		for _, nn := range scales {
 			if nn < 1 {
 				continue
 			}
-			c := place(topology.Niagara(nn, *rps))
+			c := place(topology.Niagara(nn, rps))
 			fmt.Fprintf(out, "Fig. 5 cluster: %s\n", c)
 			rows, err := harness.RandomSparseSweep(c, harness.PaperDensities,
-				harness.MsgSizes(*minMsg, *maxMsg), *trials, *seed, *wall)
-			if err := report(out, rows, err, *csv, fmt.Sprintf("Fig. 5 — speedup scaling, %d ranks", c.Ranks())); err != nil {
+				harness.MsgSizes(minMsg, maxMsg), trials, seed, wall)
+			if err := report(out, rows, err, csv, fmt.Sprintf("Fig. 5 — speedup scaling, %d ranks", c.Ranks())); err != nil {
 				return err
 			}
 		}
 	}
 	if run6 {
-		mooreNodes, mooreRPS := *nodes, *rps
-		if *full {
+		mooreNodes, mooreRPS := nodes, rps
+		if full {
 			mooreNodes, mooreRPS = 64, 16
 		}
 		c := place(topology.Niagara(mooreNodes, mooreRPS))
 		fmt.Fprintf(out, "Fig. 6 cluster: %s\n", c)
 		sizes := []int{4 << 10, 256 << 10, 4 << 20}
-		if !*full {
+		if !full {
 			sizes = []int{4 << 10, 256 << 10}
 		}
-		rows, err := harness.MooreSweep(c, harness.PaperMooreShapes, sizes, *trials, *wall)
-		if err := report(out, rows, err, *csv, "Fig. 6 — Moore neighborhoods"); err != nil {
+		rows, err := harness.MooreSweep(c, harness.PaperMooreShapes, sizes, trials, wall)
+		if err := report(out, rows, err, csv, "Fig. 6 — Moore neighborhoods"); err != nil {
 			return err
 		}
 	}

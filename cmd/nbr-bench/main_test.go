@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -40,5 +42,29 @@ func TestRunBadFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-no-such-flag"}, &out); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestProfilingFlags runs a small figure with -cpuprofile/-memprofile
+// and checks both profiles land on disk non-empty (pprof's proto
+// encoding; contents are opaque here).
+func TestProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	err := run([]string{"-fig", "4", "-nodes", "2", "-rps", "2", "-trials", "1", "-max-msg", "256",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
 	}
 }

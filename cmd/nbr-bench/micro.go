@@ -1,0 +1,189 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/tags"
+	"nbrallgather/internal/topology"
+)
+
+// The -micro section times the runtime hot paths every simulated
+// experiment sits on — point-to-point matching, the payload pool via
+// its public Send/Recv/Release path, the barrier, and one end-to-end
+// neighborhood-exchange step — using testing.Benchmark so the numbers
+// are the same ns/op + allocs/op the `go test -bench` suite reports.
+// The perf-regression harness diffs these fields across PRs; the P2P
+// rows are expected to hold 0 allocs/op.
+
+type microBench struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func microCfg(nodes, rps int) mpirt.Config {
+	return mpirt.Config{Cluster: topology.Niagara(nodes, rps), WallLimit: 5 * time.Minute}
+}
+
+// runMicro executes the hot-path micro-benchmarks and prints one line
+// per row in input order.
+func runMicro(out io.Writer) []microBench {
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"p2p/sendrecv", microSendRecv},
+		{"p2p/match-indexed", microMatchIndexed},
+		{"p2p/match-wildcard", microMatchWildcard},
+		{"pool/payload-roundtrip", microPoolRoundtrip},
+		{"collective/barrier", microBarrier},
+		{"collective/allgather-step", microAllgatherStep},
+	}
+	rows := make([]microBench, 0, len(benches))
+	for _, tc := range benches {
+		r := testing.Benchmark(tc.fn)
+		row := microBench{
+			Name:        tc.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(out, "micro %-26s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+	}
+	return rows
+}
+
+// microSendRecv is the raw eager round trip between two ranks.
+func microSendRecv(b *testing.B) {
+	b.ReportAllocs()
+	payload := make([]byte, 64)
+	if _, err := mpirt.Run(microCfg(1, 2), func(p *mpirt.Proc) {
+		for i := 0; i < b.N; i++ {
+			switch p.Rank() {
+			case 0:
+				p.Send(1, tags.BenchPing, len(payload), payload, nil)
+				m := p.Recv(1, tags.BenchPong)
+				m.Release()
+			case 1:
+				m := p.Recv(0, tags.BenchPing)
+				m.Release()
+				p.Send(0, tags.BenchPong, len(payload), payload, nil)
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// microMatchIndexed receives around a 64-message backlog parked on
+// other (src, tag) match lists — O(1) with the indexed mailbox.
+func microMatchIndexed(b *testing.B) {
+	b.ReportAllocs()
+	const backlog = 64
+	if _, err := mpirt.Run(microCfg(1, 2), func(p *mpirt.Proc) {
+		switch p.Rank() {
+		case 0:
+			for t := 0; t < backlog; t++ {
+				p.Send(1, tags.BenchParked+t, 8, nil, nil)
+			}
+			for i := 0; i < b.N; i++ {
+				p.Send(1, tags.BenchPing, 8, nil, nil)
+				p.Recv(1, tags.BenchPong)
+			}
+		case 1:
+			for i := 0; i < b.N; i++ {
+				p.Recv(0, tags.BenchPing)
+				p.Send(0, tags.BenchPong, 8, nil, nil)
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// microMatchWildcard is the AnySource/AnyTag scan path.
+func microMatchWildcard(b *testing.B) {
+	b.ReportAllocs()
+	if _, err := mpirt.Run(microCfg(1, 2), func(p *mpirt.Proc) {
+		for i := 0; i < b.N; i++ {
+			rot := i % 7
+			switch p.Rank() {
+			case 0:
+				p.Send(1, tags.BenchRotBase+rot, 8, nil, nil)
+				p.Recv(1, tags.BenchPong)
+			case 1:
+				p.Recv(mpirt.AnySource, mpirt.AnyTag)
+				p.Send(0, tags.BenchPong, 8, nil, nil)
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// microPoolRoundtrip cycles a mid-size payload through the pool via
+// the public path: eager snapshot on Send, Release on receipt.
+func microPoolRoundtrip(b *testing.B) {
+	b.ReportAllocs()
+	payload := make([]byte, 1500)
+	if _, err := mpirt.Run(microCfg(1, 2), func(p *mpirt.Proc) {
+		for i := 0; i < b.N; i++ {
+			switch p.Rank() {
+			case 0:
+				p.Send(1, tags.BenchPing, len(payload), payload, nil)
+				m := p.Recv(1, tags.BenchPong)
+				m.Release()
+			case 1:
+				m := p.Recv(0, tags.BenchPing)
+				m.Release()
+				p.Send(0, tags.BenchPong, len(payload), payload, nil)
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// microBarrier is the full-communicator barrier on two nodes.
+func microBarrier(b *testing.B) {
+	b.ReportAllocs()
+	if _, err := mpirt.Run(microCfg(2, 4), func(p *mpirt.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Barrier()
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// microAllgatherStep is the per-step shape of the halving schedule:
+// send a block to the next rank, receive from the previous one, merge.
+func microAllgatherStep(b *testing.B) {
+	b.ReportAllocs()
+	const m = 1024
+	if _, err := mpirt.Run(microCfg(1, 4), func(p *mpirt.Proc) {
+		n := p.Size()
+		r := p.Rank()
+		sbuf := make([]byte, m)
+		rbuf := make([]byte, m)
+		next, prev := (r+1)%n, (r+n-1)%n
+		for i := 0; i < b.N; i++ {
+			req := p.Irecv(prev, tags.BenchStep)
+			p.Send(next, tags.BenchStep, m, sbuf, nil)
+			msg := req.Wait()
+			copy(rbuf, msg.Data)
+			msg.Release()
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

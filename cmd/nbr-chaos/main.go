@@ -30,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -40,6 +41,8 @@ import (
 
 	"nbrallgather/internal/conformance"
 	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/prof"
+	sweeppkg "nbrallgather/internal/sweep"
 	"nbrallgather/internal/trace"
 )
 
@@ -63,6 +66,7 @@ func run(args []string, out io.Writer) error {
 	dump := fs.Bool("dump", false, "with -replay, print the recorded decision schedule")
 	list := fs.Bool("list", false, "list the conformance matrix cases and exit")
 	verbose := fs.Bool("v", false, "per-seed progress")
+	pf := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,35 +76,37 @@ func run(args []string, out io.Writer) error {
 		mk = mpirt.ScheduleOnly
 	}
 
-	if *faults {
-		return runFaults(out, *caseName, *killSpec, *seeds, *seedBase, *replay, mk, *list, *dump, *verbose)
-	}
-	if *killSpec != "" {
-		return fmt.Errorf("-kill requires -faults")
-	}
-
-	cases, err := conformance.Matrix()
-	if err != nil {
-		return err
-	}
-	if *list {
-		for _, c := range cases {
-			fmt.Fprintln(out, c.Name)
+	return pf.Wrap(func() error {
+		if *faults {
+			return runFaults(out, *caseName, *killSpec, *seeds, *seedBase, *replay, mk, *list, *dump, *verbose)
 		}
-		return nil
-	}
-	if *caseName != "" {
-		c, err := conformance.FindCase(*caseName)
+		if *killSpec != "" {
+			return fmt.Errorf("-kill requires -faults")
+		}
+
+		cases, err := conformance.Matrix()
 		if err != nil {
 			return err
 		}
-		cases = []conformance.Case{c}
-	}
+		if *list {
+			for _, c := range cases {
+				fmt.Fprintln(out, c.Name)
+			}
+			return nil
+		}
+		if *caseName != "" {
+			c, err := conformance.FindCase(*caseName)
+			if err != nil {
+				return err
+			}
+			cases = []conformance.Case{c}
+		}
 
-	if *replay >= 0 {
-		return replaySeed(out, cases, *replay, mk, *dump)
-	}
-	return sweep(out, cases, *seeds, *seedBase, mk, *verbose)
+		if *replay >= 0 {
+			return replaySeed(out, cases, *replay, mk, *dump)
+		}
+		return sweep(out, cases, *seeds, *seedBase, mk, *verbose)
+	})
 }
 
 func sweep(out io.Writer, cases []conformance.Case, nseeds int, base int64, mk func(int64) *mpirt.Chaos, verbose bool) error {
@@ -269,11 +275,18 @@ func runFaults(out io.Writer, caseName, killSpec string, nseeds int, base, repla
 	}
 	fmt.Fprintf(out, "fail-stop sweep: %d cases × %d seeds (seeds %d..%d)\n",
 		len(cases), nseeds, base, base+int64(nseeds)-1)
+	// Cases within a seed are independent simulations; run them on the
+	// sweep pool and collect failures in case order so the report is
+	// byte-identical to a serial loop.
 	var failures []conformance.FailStopFailure
 	for i, seed := range seeds {
-		for _, c := range cases {
-			if err := runCase(c, seed, mk(seed)); err != nil {
-				failures = append(failures, conformance.FailStopFailure{Case: c, Seed: seed, Err: err})
+		_, err := sweeppkg.Map(context.Background(), len(cases), func(j int) (struct{}, error) {
+			return struct{}{}, runCase(cases[j], seed, mk(seed))
+		})
+		var agg *sweeppkg.Error
+		if errors.As(err, &agg) {
+			for _, it := range agg.Items {
+				failures = append(failures, conformance.FailStopFailure{Case: cases[it.Index], Seed: seed, Err: it.Err})
 			}
 		}
 		if verbose || i == len(seeds)-1 {

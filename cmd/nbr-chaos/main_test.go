@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -117,5 +119,29 @@ func TestReplayTripleRejectsDivergentCycle(t *testing.T) {
 	err := replayTriple(&out, "fake-case", 1, runOnce, false)
 	if err == nil || !strings.Contains(err.Error(), "did not reproduce the deadlock cycle") {
 		t.Fatalf("want cycle-divergence error, got %v", err)
+	}
+}
+
+// TestProfilingFlags sweeps one case over one seed with
+// -cpuprofile/-memprofile and checks both profiles land on disk
+// non-empty.
+func TestProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	err := run([]string{"-case", "2n2s3l/er35/dh/allgather", "-seeds", "1",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
 	}
 }

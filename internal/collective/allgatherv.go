@@ -93,6 +93,7 @@ func (a *Naive) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []byte) {
 		if !p.Phantom() {
 			copy(rbuf[pos:pos+counts[u]], msg.Data)
 		}
+		msg.Release()
 		pos += counts[u]
 	}
 }
@@ -170,6 +171,7 @@ func (a *DistanceHalving) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf
 					pos += counts[src]
 				}
 			}
+			msg.Release()
 		}
 		for _, src := range s.SelfCopies {
 			deliverToSelf(src)
@@ -217,6 +219,7 @@ func (a *DistanceHalving) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf
 			panic(fmt.Sprintf("collective: rank %d final message from %d size %d != %d",
 				r, msg.Src, msg.Size, pos))
 		}
+		msg.Release()
 	}
 }
 
@@ -240,6 +243,10 @@ func (a *CommonNeighbor) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf 
 		}
 	}
 	groupData := map[int][]byte{r: sbuf}
+	// shareMsgs keeps the received share messages alive while
+	// groupData aliases their payloads; they are released after the
+	// delivery sends have snapshotted everything they need.
+	shareMsgs := make([]mpirt.Msg, 0, len(plan.Group)-1)
 	gi := 0
 	for _, g := range plan.Group {
 		if g == r {
@@ -253,6 +260,7 @@ func (a *CommonNeighbor) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf 
 		if !phantom {
 			groupData[msg.Src] = msg.Data
 		}
+		shareMsgs = append(shareMsgs, msg)
 	}
 
 	reqs := make([]*mpirt.Request, 0, len(plan.RecvFrom))
@@ -274,6 +282,9 @@ func (a *CommonNeighbor) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf 
 		p.ChargeCopy(size)
 		p.Send(fs.Dst, tags.CNDeliv, size, tmp, fs.Sources)
 	}
+	for i := range shareMsgs {
+		shareMsgs[i].Release()
+	}
 	for _, req := range reqs {
 		msg := req.Wait()
 		sources := msg.Meta.([]int)
@@ -289,5 +300,6 @@ func (a *CommonNeighbor) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf 
 			pos += counts[src]
 			p.ChargeCopy(counts[src])
 		}
+		msg.Release()
 	}
 }

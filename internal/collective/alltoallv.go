@@ -119,6 +119,7 @@ func (a *NaiveAlltoall) RunAV(p mpirt.Endpoint, sbuf []byte, counts CountFunc, r
 		if !p.Phantom() {
 			copy(rbuf[rpos:rpos+c], msg.Data)
 		}
+		msg.Release()
 		rpos += c
 	}
 }
@@ -202,6 +203,9 @@ func (a *DistanceHalvingAlltoall) RunAV(p mpirt.Endpoint, sbuf []byte, counts Co
 					deliverLocal(e, data)
 					continue
 				}
+				// held retains an alias into msg.Data across later
+				// steps, so this message is deliberately not Released;
+				// its buffer falls to the garbage collector instead.
 				held[e] = data
 			}
 			if msg.Size != apos {
@@ -261,5 +265,6 @@ func (a *DistanceHalvingAlltoall) RunAV(p mpirt.Endpoint, sbuf []byte, counts Co
 		if msg.Size != fpos {
 			panic(fmt.Sprintf("collective: rank %d final alltoallv size %d != %d", r, msg.Size, fpos))
 		}
+		msg.Release()
 	}
 }

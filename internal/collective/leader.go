@@ -324,6 +324,9 @@ func (a *LeaderBased) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []b
 		p.Send(l, tags.LBGather, counts[r], sbuf, nil)
 	}
 	nodeData := map[int][]byte{r: sbuf}
+	// gatherMsgs keeps gathered messages alive while nodeData aliases
+	// their payloads; released after the leader-exchange sends.
+	gatherMsgs := make([]mpirt.Msg, 0, len(gatherReqs))
 	for i, req := range gatherReqs {
 		msg := req.Wait()
 		u := plan.gatherFrom[i]
@@ -333,6 +336,7 @@ func (a *LeaderBased) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []b
 		if !phantom {
 			nodeData[u] = msg.Data
 		}
+		gatherMsgs = append(gatherMsgs, msg)
 	}
 	// Phase 2: leader exchange.
 	for _, ns := range plan.nodeSends {
@@ -347,8 +351,14 @@ func (a *LeaderBased) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []b
 		p.ChargeCopy(size)
 		p.Send(ns.Dst, tags.LBNode, size, payload, ns.Sources)
 	}
-	// remote[src] holds payloads received from other nodes' leaders.
+	for i := range gatherMsgs {
+		gatherMsgs[i].Release()
+	}
+	// remote[src] holds payloads received from other nodes' leaders;
+	// nodeMsgs keeps those messages alive until the distribution phase
+	// has copied every aliased segment out.
 	remote := map[int][]byte{}
+	nodeMsgs := make([]mpirt.Msg, 0, len(nodeReqs))
 	for _, req := range nodeReqs {
 		msg := req.Wait()
 		sources := msg.Meta.([]int)
@@ -362,6 +372,7 @@ func (a *LeaderBased) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []b
 		if msg.Size != pos {
 			panic(fmt.Sprintf("collective: leader %d node message size %d != %d", r, msg.Size, pos))
 		}
+		nodeMsgs = append(nodeMsgs, msg)
 	}
 	// Phase 3: distribution to members (and to the leader itself).
 	for _, d := range plan.distribute {
@@ -384,6 +395,9 @@ func (a *LeaderBased) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []b
 		put(src, data)
 		p.ChargeCopy(counts[src])
 	}
+	for i := range nodeMsgs {
+		nodeMsgs[i].Release()
+	}
 	for _, req := range distReqs {
 		msg := req.Wait()
 		sources := msg.Meta.([]int)
@@ -397,6 +411,7 @@ func (a *LeaderBased) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []b
 			put(src, data)
 			p.ChargeCopy(counts[src])
 		}
+		msg.Release()
 	}
 	for i, req := range directReqs {
 		msg := req.Wait()
@@ -409,5 +424,6 @@ func (a *LeaderBased) RunV(p mpirt.Endpoint, sbuf []byte, counts []int, rbuf []b
 			data = msg.Data
 		}
 		put(u, data)
+		msg.Release()
 	}
 }

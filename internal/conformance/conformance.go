@@ -11,12 +11,15 @@ package conformance
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
 
 	"nbrallgather/internal/collective"
 	"nbrallgather/internal/mpirt"
 	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/sweep"
 	"nbrallgather/internal/topology"
 	"nbrallgather/internal/vgraph"
 )
@@ -167,12 +170,21 @@ func RunCase(c Case, chaos *mpirt.Chaos) error {
 // configuration with mk (e.g. mpirt.DefaultChaos). progress, when
 // non-nil, is called after each completed seed with the running
 // failure count.
+//
+// Cases within a seed run concurrently on a sweep worker pool (every
+// case is an independent simulation); failures are collected in case
+// order and progress still fires once per seed, so the output is
+// byte-identical to the sequential loop.
 func Sweep(cases []Case, seeds []int64, mk func(int64) *mpirt.Chaos, progress func(done int, failures int)) []Failure {
 	var failures []Failure
 	for i, seed := range seeds {
-		for _, c := range cases {
-			if err := RunCase(c, mk(seed)); err != nil {
-				failures = append(failures, Failure{Case: c, Seed: seed, Err: err})
+		_, err := sweep.Map(context.Background(), len(cases), func(j int) (struct{}, error) {
+			return struct{}{}, RunCase(cases[j], mk(seed))
+		})
+		var agg *sweep.Error
+		if errors.As(err, &agg) {
+			for _, it := range agg.Items {
+				failures = append(failures, Failure{Case: cases[it.Index], Seed: seed, Err: it.Err})
 			}
 		}
 		if progress != nil {

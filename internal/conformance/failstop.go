@@ -11,6 +11,8 @@
 package conformance
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -18,6 +20,7 @@ import (
 	"nbrallgather/internal/collective"
 	"nbrallgather/internal/mpirt"
 	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/sweep"
 	"nbrallgather/internal/vgraph"
 )
 
@@ -344,16 +347,23 @@ func diffBuf(got, want []byte) error {
 
 // FailStopSweep runs every fail-stop case under every seed. mk builds
 // each seed's chaos configuration (nil chaos = threaded execution).
+// Like Sweep, cases within a seed run concurrently on a sweep worker
+// pool with failures collected in case order, so parallelism never
+// changes the report.
 func FailStopSweep(cases []FailStopCase, seeds []int64, mk func(int64) *mpirt.Chaos, progress func(done, failures int)) []FailStopFailure {
 	var failures []FailStopFailure
 	for i, seed := range seeds {
-		for _, c := range cases {
+		_, err := sweep.Map(context.Background(), len(cases), func(j int) (struct{}, error) {
 			var chaos *mpirt.Chaos
 			if mk != nil {
 				chaos = mk(seed)
 			}
-			if err := RunFailStopCase(c, seed, chaos); err != nil {
-				failures = append(failures, FailStopFailure{Case: c, Seed: seed, Err: err})
+			return struct{}{}, RunFailStopCase(cases[j], seed, chaos)
+		})
+		var agg *sweep.Error
+		if errors.As(err, &agg) {
+			for _, it := range agg.Items {
+				failures = append(failures, FailStopFailure{Case: cases[it.Index], Seed: seed, Err: it.Err})
 			}
 		}
 		if progress != nil {

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -9,9 +11,41 @@ import (
 	"nbrallgather/internal/pattern"
 	"nbrallgather/internal/sparse"
 	"nbrallgather/internal/spmm"
+	"nbrallgather/internal/sweep"
 	"nbrallgather/internal/topology"
 	"nbrallgather/internal/vgraph"
 )
+
+// prefixOnErr converts a sweep.Map result into the sequential loop's
+// rows-so-far contract: on failure it returns the rows before the
+// first failed cell together with that cell's error — exactly what a
+// serial loop that stops at the first error would have returned.
+func prefixOnErr[T any](rows []T, err error) ([]T, error) {
+	var agg *sweep.Error
+	if errors.As(err, &agg) {
+		first := agg.First()
+		return rows[:first.Index], first.Err
+	}
+	return rows, err
+}
+
+// compareCell is one (graph, label, message size) cell of a figure
+// sweep, ready to run independently on the sweep pool.
+type compareCell struct {
+	g     *vgraph.Graph
+	label string
+	m     int
+}
+
+// runCompareCells measures every cell concurrently and returns the
+// rows in cell order.
+func runCompareCells(c topology.Cluster, cells []compareCell, trials int, wall time.Duration) ([]Comparison, error) {
+	rows, err := sweep.Map(context.Background(), len(cells), func(i int) (Comparison, error) {
+		cfg := Config{Cluster: c, MsgSize: cells[i].m, Trials: trials, Phantom: true, WallLimit: wall}
+		return Compare(cfg, cells[i].g, cells[i].label)
+	})
+	return prefixOnErr(rows, err)
+}
 
 // sparseTableII is indirected for tests that substitute smaller
 // matrices.
@@ -35,22 +69,17 @@ func MsgSizes(lo, hi int) []int {
 // over the given cluster. One graph per density (fixed seed), as in the
 // paper's per-job topology.
 func RandomSparseSweep(c topology.Cluster, deltas []float64, sizes []int, trials int, seed int64, wall time.Duration) ([]Comparison, error) {
-	var rows []Comparison
+	var cells []compareCell
 	for _, d := range deltas {
 		g, err := vgraph.ErdosRenyi(c.Ranks(), d, seed+int64(d*1000))
 		if err != nil {
 			return nil, err
 		}
 		for _, m := range sizes {
-			cfg := Config{Cluster: c, MsgSize: m, Trials: trials, Phantom: true, WallLimit: wall}
-			row, err := Compare(cfg, g, fmt.Sprintf("δ=%.2f", d))
-			if err != nil {
-				return rows, err
-			}
-			rows = append(rows, row)
+			cells = append(cells, compareCell{g, fmt.Sprintf("δ=%.2f", d), m})
 		}
 	}
-	return rows, nil
+	return runCompareCells(c, cells, trials, wall)
 }
 
 // MooreShape is one Moore-neighborhood configuration of Fig. 6.
@@ -78,26 +107,31 @@ var PaperMooreSizes = []int{4 << 10, 256 << 10, 4 << 20}
 // MooreSweep runs the Fig. 6 experiment over the given shapes and
 // message sizes.
 func MooreSweep(c topology.Cluster, shapes []MooreShape, sizes []int, trials int, wall time.Duration) ([]Comparison, error) {
-	var rows []Comparison
+	// Graph construction is cheap and sequential; a shape whose grid
+	// doesn't fit still yields the completed cells of earlier shapes,
+	// as the serial loop did.
+	var cells []compareCell
+	var buildErr error
 	for _, s := range shapes {
 		dims, err := vgraph.MooreDims(c.Ranks(), s.D)
 		if err != nil {
-			return rows, err
+			buildErr = err
+			break
 		}
 		g, err := vgraph.Moore(dims, s.R)
 		if err != nil {
-			return rows, err
+			buildErr = err
+			break
 		}
 		for _, m := range sizes {
-			cfg := Config{Cluster: c, MsgSize: m, Trials: trials, Phantom: true, WallLimit: wall}
-			row, err := Compare(cfg, g, s.String())
-			if err != nil {
-				return rows, err
-			}
-			rows = append(rows, row)
+			cells = append(cells, compareCell{g, s.String(), m})
 		}
 	}
-	return rows, nil
+	rows, err := runCompareCells(c, cells, trials, wall)
+	if err != nil {
+		return rows, err
+	}
+	return rows, buildErr
 }
 
 // SpMMResult is one Fig. 7 cell: kernel time (communication + local
@@ -155,51 +189,56 @@ func SpMMSweep(c topology.Cluster, denseWidth, trials int, seed int64, wall time
 // SpMMSweepMatrices runs the Fig. 7 experiment over an explicit matrix
 // set (e.g. real MatrixMarket files).
 func SpMMSweepMatrices(c topology.Cluster, mats []sparse.NamedMatrix, denseWidth, trials int, wall time.Duration) ([]SpMMResult, error) {
-	var rows []SpMMResult
-	for _, nm := range mats {
-		kr, err := spmm.New(nm.M, denseWidth, c.Ranks())
-		if err != nil {
-			return rows, err
-		}
-		g := kr.Graph()
-		row := SpMMResult{
-			Matrix: nm.Name, Structure: nm.Structure,
-			Rows: nm.M.Rows, NNZ: nm.M.NNZ(),
-			GraphDeg: g.AvgOutDegree(), MsgBytes: kr.MsgBytes(),
-		}
-		naive := collective.NewNaive(g)
-		if row.Naive, err = measureSpMM(c, kr, naive, trials, wall); err != nil {
-			return rows, fmt.Errorf("spmm %s naive: %w", nm.Name, err)
-		}
-		dh, err := collective.NewDistanceHalving(g, c.L())
-		if err != nil {
-			return rows, err
-		}
-		if row.DH, err = measureSpMM(c, kr, dh, trials, wall); err != nil {
-			return rows, fmt.Errorf("spmm %s dh: %w", nm.Name, err)
-		}
-		best := Result{Mean: 1e300}
-		for _, k := range CNGroupSizes {
-			if k > g.N() {
-				continue
-			}
-			cn, err := collective.NewCommonNeighborAffinity(g, k)
-			if err != nil {
-				return rows, err
-			}
-			res, err := measureSpMM(c, kr, cn, trials, wall)
-			if err != nil {
-				return rows, fmt.Errorf("spmm %s cn(K=%d): %w", nm.Name, k, err)
-			}
-			if res.Mean < best.Mean {
-				best = res
-				row.CNK = k
-			}
-		}
-		row.CN = best
-		rows = append(rows, row)
+	rows, err := sweep.Map(context.Background(), len(mats), func(i int) (SpMMResult, error) {
+		return spmmCell(c, mats[i], denseWidth, trials, wall)
+	})
+	return prefixOnErr(rows, err)
+}
+
+// spmmCell measures one Fig. 7 matrix: the per-matrix body of the
+// sequential sweep, extracted so matrices run concurrently.
+func spmmCell(c topology.Cluster, nm sparse.NamedMatrix, denseWidth, trials int, wall time.Duration) (SpMMResult, error) {
+	kr, err := spmm.New(nm.M, denseWidth, c.Ranks())
+	if err != nil {
+		return SpMMResult{}, err
 	}
-	return rows, nil
+	g := kr.Graph()
+	row := SpMMResult{
+		Matrix: nm.Name, Structure: nm.Structure,
+		Rows: nm.M.Rows, NNZ: nm.M.NNZ(),
+		GraphDeg: g.AvgOutDegree(), MsgBytes: kr.MsgBytes(),
+	}
+	naive := collective.NewNaive(g)
+	if row.Naive, err = measureSpMM(c, kr, naive, trials, wall); err != nil {
+		return SpMMResult{}, fmt.Errorf("spmm %s naive: %w", nm.Name, err)
+	}
+	dh, err := collective.NewDistanceHalving(g, c.L())
+	if err != nil {
+		return SpMMResult{}, err
+	}
+	if row.DH, err = measureSpMM(c, kr, dh, trials, wall); err != nil {
+		return SpMMResult{}, fmt.Errorf("spmm %s dh: %w", nm.Name, err)
+	}
+	best := Result{Mean: 1e300}
+	for _, k := range CNGroupSizes {
+		if k > g.N() {
+			continue
+		}
+		cn, err := collective.NewCommonNeighborAffinity(g, k)
+		if err != nil {
+			return SpMMResult{}, err
+		}
+		res, err := measureSpMM(c, kr, cn, trials, wall)
+		if err != nil {
+			return SpMMResult{}, fmt.Errorf("spmm %s cn(K=%d): %w", nm.Name, k, err)
+		}
+		if res.Mean < best.Mean {
+			best = res
+			row.CNK = k
+		}
+	}
+	row.CN = best
+	return row, nil
 }
 
 // OverheadRow is one Fig. 8 cell: pattern-creation cost at one density.
@@ -220,34 +259,39 @@ func (r OverheadRow) Ratio() float64 { return r.DHTime / r.CNTime }
 // pattern-creation cost of Distance Halving versus the Common Neighbor
 // algorithm (K = 4, representative) across densities.
 func OverheadSweep(c topology.Cluster, deltas []float64, seed int64, wall time.Duration) ([]OverheadRow, error) {
-	var rows []OverheadRow
-	for _, d := range deltas {
-		g, err := vgraph.ErdosRenyi(c.Ranks(), d, seed+int64(d*1000))
-		if err != nil {
-			return rows, err
-		}
-		dhPat, dhRep, err := pattern.BuildDistributed(mpirt.Config{Cluster: c, Phantom: true, WallLimit: wall}, g)
-		if err != nil {
-			return rows, fmt.Errorf("overhead δ=%v dh: %w", d, err)
-		}
-		cnPat, err := collective.BuildCNAffinity(g, 4)
-		if err != nil {
-			return rows, err
-		}
-		cnRep, err := mpirt.Run(mpirt.Config{Cluster: c, Phantom: true, WallLimit: wall}, func(p *mpirt.Proc) {
-			collective.BuildCNAffinityRank(p, cnPat)
-		})
-		if err != nil {
-			return rows, fmt.Errorf("overhead δ=%v cn: %w", d, err)
-		}
-		rows = append(rows, OverheadRow{
-			Delta:       d,
-			DHTime:      dhRep.Time,
-			CNTime:      cnRep.Time,
-			DHMsgs:      dhRep.Msgs(),
-			CNMsgs:      cnRep.Msgs(),
-			SuccessRate: dhPat.Stats.SuccessRate(),
-		})
+	rows, err := sweep.Map(context.Background(), len(deltas), func(i int) (OverheadRow, error) {
+		return overheadCell(c, deltas[i], seed, wall)
+	})
+	return prefixOnErr(rows, err)
+}
+
+// overheadCell builds both patterns for one density and reports their
+// distributed construction cost.
+func overheadCell(c topology.Cluster, d float64, seed int64, wall time.Duration) (OverheadRow, error) {
+	g, err := vgraph.ErdosRenyi(c.Ranks(), d, seed+int64(d*1000))
+	if err != nil {
+		return OverheadRow{}, err
 	}
-	return rows, nil
+	dhPat, dhRep, err := pattern.BuildDistributed(mpirt.Config{Cluster: c, Phantom: true, WallLimit: wall}, g)
+	if err != nil {
+		return OverheadRow{}, fmt.Errorf("overhead δ=%v dh: %w", d, err)
+	}
+	cnPat, err := collective.BuildCNAffinity(g, 4)
+	if err != nil {
+		return OverheadRow{}, err
+	}
+	cnRep, err := mpirt.Run(mpirt.Config{Cluster: c, Phantom: true, WallLimit: wall}, func(p *mpirt.Proc) {
+		collective.BuildCNAffinityRank(p, cnPat)
+	})
+	if err != nil {
+		return OverheadRow{}, fmt.Errorf("overhead δ=%v cn: %w", d, err)
+	}
+	return OverheadRow{
+		Delta:       d,
+		DHTime:      dhRep.Time,
+		CNTime:      cnRep.Time,
+		DHMsgs:      dhRep.Msgs(),
+		CNMsgs:      cnRep.Msgs(),
+		SuccessRate: dhPat.Stats.SuccessRate(),
+	}, nil
 }

@@ -102,6 +102,9 @@ func runRecoveryOnce(cfg Config, op collective.VOp, kills []mpirt.Kill) (float64
 	var t float64
 	var res *collective.FTResult
 	var mu sync.Mutex
+	// Buffers are pre-allocated per rank (see rankBuffers) so the timed
+	// region starts at SyncResetTime with no allocation noise.
+	sbufs, rbufs := rankBuffers(g, cfg.MsgSize, cfg.Phantom)
 	rep, err := mpirt.Run(mpirt.Config{
 		Cluster:   cfg.Cluster,
 		Params:    cfg.Params,
@@ -111,16 +114,8 @@ func runRecoveryOnce(cfg Config, op collective.VOp, kills []mpirt.Kill) (float64
 		Kills:     kills,
 	}, func(p *mpirt.Proc) {
 		r := p.Rank()
-		var sbuf, rbuf []byte
-		if !p.Phantom() {
-			sbuf = make([]byte, cfg.MsgSize)
-			for i := range sbuf {
-				sbuf[i] = byte(r + i)
-			}
-			rbuf = make([]byte, g.InDegree(r)*cfg.MsgSize)
-		}
 		p.SyncResetTime()
-		fr, ferr := collective.RunFTV(p, op, sbuf, counts, rbuf)
+		fr, ferr := collective.RunFTV(p, op, sbufs[r], counts, rbufs[r])
 		if ferr != nil {
 			panic(fmt.Sprintf("harness: rank %d recovery: %v", r, ferr))
 		}

@@ -84,6 +84,10 @@ func Measure(cfg Config, op collective.Op) (Result, error) {
 		return Result{}, fmt.Errorf("harness: message size %d must be positive", cfg.MsgSize)
 	}
 	times := make([]float64, trials)
+	// Per-rank payload buffers are allocated before the runtime starts
+	// so the measured region (and every trial iteration) does no buffer
+	// allocation work; phantom runs carry nil buffers.
+	sbufs, rbufs := rankBuffers(g, cfg.MsgSize, cfg.Phantom)
 	rep, err := mpirt.Run(mpirt.Config{
 		Cluster:   cfg.Cluster,
 		Params:    cfg.Params,
@@ -92,17 +96,9 @@ func Measure(cfg Config, op collective.Op) (Result, error) {
 		Chaos:     cfg.Chaos,
 	}, func(p *mpirt.Proc) {
 		r := p.Rank()
-		var sbuf, rbuf []byte
-		if !p.Phantom() {
-			sbuf = make([]byte, cfg.MsgSize)
-			for i := range sbuf {
-				sbuf[i] = byte(r + i)
-			}
-			rbuf = make([]byte, g.InDegree(r)*cfg.MsgSize)
-		}
 		for tr := 0; tr < trials; tr++ {
 			p.SyncResetTime()
-			op.Run(p, sbuf, cfg.MsgSize, rbuf)
+			op.Run(p, sbufs[r], cfg.MsgSize, rbufs[r])
 			t := p.CollectiveTime()
 			if r == 0 {
 				times[tr] = t
@@ -120,6 +116,28 @@ func Measure(cfg Config, op collective.Op) (Result, error) {
 	res.MaxRankMsgs = rep.MaxRankMsgs
 	res.Wall = rep.Wall
 	return res, nil
+}
+
+// rankBuffers pre-allocates every rank's send and receive buffer with
+// the deterministic byte(r+i) fill. Phantom runs get nil buffers: the
+// runtime moves no payload bytes, so allocating them would only skew
+// the wall clock.
+func rankBuffers(g *vgraph.Graph, msgSize int, phantom bool) (sbufs, rbufs [][]byte) {
+	n := g.N()
+	sbufs = make([][]byte, n)
+	rbufs = make([][]byte, n)
+	if phantom {
+		return sbufs, rbufs
+	}
+	for r := 0; r < n; r++ {
+		sbuf := make([]byte, msgSize)
+		for i := range sbuf {
+			sbuf[i] = byte(r + i)
+		}
+		sbufs[r] = sbuf
+		rbufs[r] = make([]byte, g.InDegree(r)*msgSize)
+	}
+	return sbufs, rbufs
 }
 
 func stats(xs []float64) Result {

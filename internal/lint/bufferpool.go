@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// BufferPoolAnalyzer keeps buffer recycling centralized. The runtime's
+// payload pool (internal/mpirt/pool.go) is the module's single
+// sync.Pool site: its ownership contract — one Msg owns a pooled
+// buffer until Release, Data capacity-capped at Size — is what makes
+// recycling invisible to determinism and to the race detector. An
+// ad-hoc sync.Pool elsewhere reintroduces exactly the aliasing and
+// lifetime hazards that contract rules out, without any analyzer
+// understanding its ownership story. New pooling needs must route
+// through mpirt (or claim a reviewed //lint:ignore bufferpool).
+var BufferPoolAnalyzer = &Analyzer{
+	Name: "bufferpool",
+	Doc:  "flags sync.Pool use outside the runtime's payload pool (internal/mpirt/pool.go)",
+	Run:  runBufferPool,
+}
+
+func runBufferPool(p *Pass) {
+	p.inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Pool" {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := p.Pkg.Info.Uses[ident].(*types.PkgName)
+		if !ok || pkgName.Imported().Path() != "sync" {
+			return true
+		}
+		pos := p.Pkg.Fset.Position(sel.Pos())
+		if pathContains(p.Pkg.Path, "internal/mpirt") && filepath.Base(pos.Filename) == "pool.go" {
+			return true
+		}
+		p.Report(sel.Pos(), "sync.Pool outside the runtime payload pool: buffer recycling lives in internal/mpirt/pool.go behind Msg.Release, whose ownership contract keeps reuse invisible to determinism; pool through mpirt instead")
+		return true
+	})
+}

@@ -163,6 +163,7 @@ func Analyzers() []*Analyzer {
 		BufInflightAnalyzer,
 		DeadlockShapeAnalyzer,
 		WaitCoverageAnalyzer,
+		BufferPoolAnalyzer,
 	}
 }
 

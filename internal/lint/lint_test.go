@@ -99,6 +99,7 @@ func TestGolden(t *testing.T) {
 		{"nbrallgather/internal/collective/bufinflightbad", "bufinflight"},
 		{"nbrallgather/internal/collective/deadlockshapebad", "deadlockshape"},
 		{"nbrallgather/internal/collective/waitcoveragebad", "waitcoverage"},
+		{"nbrallgather/internal/collective/poolbad", "bufferpool"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer, func(t *testing.T) {

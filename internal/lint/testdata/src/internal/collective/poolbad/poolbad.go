@@ -1,0 +1,40 @@
+// Package poolbad exercises the bufferpool analyzer: every shape of
+// ad-hoc sync.Pool use outside internal/mpirt/pool.go, plus the legal
+// sync primitives that must stay silent.
+package poolbad
+
+import "sync"
+
+// bufPool is the classic ad-hoc buffer pool the analyzer exists to
+// stop: declared as a package variable.
+var bufPool = sync.Pool{ // want "sync.Pool outside the runtime payload pool"
+	New: func() any { return make([]byte, 4096) },
+}
+
+// GetBuf draws from it.
+func GetBuf() []byte {
+	return bufPool.Get().([]byte)
+}
+
+// localPool declares one inside a function body.
+func localPool() *sync.Pool { // want "sync.Pool outside the runtime payload pool"
+	p := &sync.Pool{New: func() any { return new(int) }} // want "sync.Pool outside the runtime payload pool"
+	return p
+}
+
+// structField smuggles one in as a struct field type.
+type structField struct {
+	pool sync.Pool // want "sync.Pool outside the runtime payload pool"
+}
+
+// OtherSyncIsFine: the analyzer targets Pool specifically, not the
+// sync package.
+func OtherSyncIsFine() {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	mu.Lock()
+	mu.Unlock()
+	wg.Wait()
+	var once sync.Once
+	once.Do(func() {})
+}

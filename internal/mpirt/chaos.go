@@ -159,13 +159,49 @@ type chaosRT struct {
 	// wakeErr holds a pending error for a rank flipped runnable by a
 	// revocation while it was blocked in a receive; delivered with the
 	// rank's next resume.
-	wakeErr   []error
-	inflight  []*flightMsg
+	wakeErr []error
+	// inflight holds the undelivered copies per destination rank, in
+	// send order (so for one sender, sendSeq is nondecreasing along a
+	// list). Keeping the pool destination-indexed lets every
+	// scheduling decision touch only the lists of recv-blocked ranks
+	// instead of rescanning a single global slice per candidate.
+	inflight  [][]*flightMsg
+	inflightN int
 	delivered map[delivKey]bool
 	sendSeq   []uint64
 	slow      []float64 // per-rank time multiplier, ≥ 1
 	replayPos int
 	decisions int
+	// scheduling scratch, reused across decisions to keep the serial
+	// scheduler allocation-free: opts is the candidate list, seenSrc
+	// marks senders already offering a deliverable copy to the rank
+	// under consideration, touched records which marks to clear.
+	opts    []chaosOption
+	seenSrc []bool
+	touched []int
+	// cycleScratch is the deadlock detector's chase buffer (serial use
+	// under mu).
+	cycleScratch []WaitEdge
+	// flightFree recycles flightMsg containers between deliveries.
+	flightFree []*flightMsg
+}
+
+// newFlightLocked draws a flightMsg container from the freelist.
+func (cs *chaosRT) newFlightLocked(m *Msg, dst int, seq uint64, dup bool) *flightMsg {
+	if n := len(cs.flightFree); n > 0 {
+		fm := cs.flightFree[n-1]
+		cs.flightFree = cs.flightFree[:n-1]
+		*fm = flightMsg{msg: m, dst: dst, sendSeq: seq, dup: dup}
+		return fm
+	}
+	return &flightMsg{msg: m, dst: dst, sendSeq: seq, dup: dup}
+}
+
+// freeFlightLocked recycles a container once its message has been
+// handed off (or its duplicate dropped).
+func (cs *chaosRT) freeFlightLocked(fm *flightMsg) {
+	fm.msg = nil
+	cs.flightFree = append(cs.flightFree, fm)
 }
 
 // newChaosRT initialises chaos state for n ranks. Slow-rank assignment
@@ -181,9 +217,11 @@ func newChaosRT(rt *Runtime, cfg Chaos) *chaosRT {
 		reqTag:    make([]int, rt.n),
 		token:     make([]chan chaosWake, rt.n),
 		wakeErr:   make([]error, rt.n),
+		inflight:  make([][]*flightMsg, rt.n),
 		delivered: make(map[delivKey]bool),
 		sendSeq:   make([]uint64, rt.n),
 		slow:      make([]float64, rt.n),
+		seenSrc:   make([]bool, rt.n),
 	}
 	for r := 0; r < rt.n; r++ {
 		cs.state[r] = chaosRunnable
@@ -214,7 +252,7 @@ func (cs *chaosRT) start() {
 type chaosOption struct {
 	kind uint8 // optResume, optDeliver or optFail
 	rank int
-	fi   int // in-flight index, valid for optDeliver
+	fi   int // index into inflight[rank], valid for optDeliver
 	src  int // dead peer, valid for optFail
 }
 
@@ -234,7 +272,7 @@ func (cs *chaosRT) scheduleLocked() {
 		if cs.rt.aborted.Load() {
 			return
 		}
-		var opts []chaosOption
+		opts := cs.opts[:0]
 		finished := 0
 		for r, st := range cs.state {
 			switch st {
@@ -245,28 +283,28 @@ func (cs *chaosRT) scheduleLocked() {
 				// sender that match the posted receive, only the earliest
 				// may be delivered. Cross-sender order stays fully
 				// adversarial (that is the AnySource race under test).
+				// Each destination list keeps send order, so one sender's
+				// copies appear in nondecreasing sendSeq order and the
+				// earliest deliverable copy per sender is simply the first
+				// matching one — the same winner, emitted in the same
+				// order, as a quadratic earliest-of-sender scan.
 				deliverable := false
-				for i, fm := range cs.inflight {
-					if fm.dst != r || !chaosMatch(cs.reqSrc[r], cs.reqTag[r], fm.msg) {
+				for i, fm := range cs.inflight[r] {
+					if !chaosMatch(cs.reqSrc[r], cs.reqTag[r], fm.msg) {
 						continue
 					}
-					earliest := true
-					for j, other := range cs.inflight {
-						if j == i || other.dst != r || other.msg.Src != fm.msg.Src ||
-							!chaosMatch(cs.reqSrc[r], cs.reqTag[r], other.msg) {
-							continue
-						}
-						if other.sendSeq < fm.sendSeq ||
-							(other.sendSeq == fm.sendSeq && j < i) {
-							earliest = false
-							break
-						}
+					if cs.seenSrc[fm.msg.Src] {
+						continue
 					}
-					if earliest {
-						deliverable = true
-						opts = append(opts, chaosOption{kind: optDeliver, rank: r, fi: i})
-					}
+					cs.seenSrc[fm.msg.Src] = true
+					cs.touched = append(cs.touched, fm.msg.Src)
+					deliverable = true
+					opts = append(opts, chaosOption{kind: optDeliver, rank: r, fi: i})
 				}
+				for _, s := range cs.touched {
+					cs.seenSrc[s] = false
+				}
+				cs.touched = cs.touched[:0]
 				// Failure notification options. A receive posted to a
 				// dead source may be failed even while a matching message
 				// is still in flight — the adversarial message-lost-at-
@@ -286,6 +324,7 @@ func (cs *chaosRT) scheduleLocked() {
 				finished++
 			}
 		}
+		cs.opts = opts // retain the scratch capacity across decisions
 		if len(opts) == 0 {
 			if finished == cs.rt.n {
 				return // run complete
@@ -327,8 +366,8 @@ func (cs *chaosRT) scheduleLocked() {
 			cs.token[pick.rank] <- chaosWake{err: &RankFailedError{Rank: pick.src}}
 			return
 		}
-		fm := cs.inflight[pick.fi]
-		cs.removeInflightLocked(pick.fi)
+		fm := cs.inflight[pick.rank][pick.fi]
+		cs.removeInflightLocked(pick.rank, pick.fi)
 		key := delivKey{fm.msg.Src, fm.sendSeq}
 		if cs.delivered[key] {
 			// A duplicate of an already-delivered message: drop it and
@@ -337,6 +376,7 @@ func (cs *chaosRT) scheduleLocked() {
 				Kind: trace.DecisionDropDup, Rank: pick.rank,
 				Src: fm.msg.Src, Tag: fm.msg.Tag, SendSeq: fm.sendSeq, Size: fm.msg.Size,
 			})
+			cs.freeFlightLocked(fm)
 			continue
 		}
 		cs.delivered[key] = true
@@ -345,7 +385,9 @@ func (cs *chaosRT) scheduleLocked() {
 			Src: fm.msg.Src, Tag: fm.msg.Tag, SendSeq: fm.sendSeq, Size: fm.msg.Size,
 		})
 		cs.state[pick.rank] = chaosRunning
-		cs.token[pick.rank] <- chaosWake{msg: fm.msg}
+		msg := fm.msg
+		cs.freeFlightLocked(fm)
+		cs.token[pick.rank] <- chaosWake{msg: msg}
 		return
 	}
 }
@@ -389,7 +431,7 @@ func (cs *chaosRT) replayPickLocked(opts []chaosOption) (chaosOption, bool) {
 			if o.kind != optDeliver {
 				continue
 			}
-			fm := cs.inflight[o.fi]
+			fm := cs.inflight[o.rank][o.fi]
 			if o.rank == d.Rank && fm.msg.Src == d.Src && fm.sendSeq == d.SendSeq {
 				return o, true
 			}
@@ -406,8 +448,10 @@ func (cs *chaosRT) recordLocked(d trace.Decision) {
 	}
 }
 
-func (cs *chaosRT) removeInflightLocked(i int) {
-	cs.inflight = append(cs.inflight[:i], cs.inflight[i+1:]...)
+func (cs *chaosRT) removeInflightLocked(dst, i int) {
+	fl := cs.inflight[dst]
+	cs.inflight[dst] = append(fl[:i], fl[i+1:]...)
+	cs.inflightN--
 }
 
 // chaosMatch mirrors the mailbox (source, tag) matching rules.
@@ -456,7 +500,7 @@ func (cs *chaosRT) blockedSummaryLocked() string {
 	if dead := cs.rt.deadRanksOf(); len(dead) > 0 {
 		parts = append(parts, fmt.Sprintf("dead ranks %v", dead))
 	}
-	parts = append(parts, fmt.Sprintf("%d in flight", len(cs.inflight)))
+	parts = append(parts, fmt.Sprintf("%d in flight", cs.inflightN))
 	return strings.Join(parts, "; ")
 }
 
@@ -516,9 +560,11 @@ func (cs *chaosRT) chaosSendFaults(scale float64) (backoffTime, spike float64) {
 func (cs *chaosRT) chaosEnqueue(src, dst int, m *Msg) {
 	seq := cs.sendSeq[src]
 	cs.sendSeq[src]++
-	cs.inflight = append(cs.inflight, &flightMsg{msg: m, dst: dst, sendSeq: seq})
+	cs.inflight[dst] = append(cs.inflight[dst], cs.newFlightLocked(m, dst, seq, false))
+	cs.inflightN++
 	if cs.cfg.DupProb > 0 && cs.faultRNG.Float64() < cs.cfg.DupProb {
-		cs.inflight = append(cs.inflight, &flightMsg{msg: m, dst: dst, sendSeq: seq, dup: true})
+		cs.inflight[dst] = append(cs.inflight[dst], cs.newFlightLocked(m, dst, seq, true))
+		cs.inflightN++
 	}
 }
 
@@ -574,8 +620,8 @@ func (p *Proc) chaosProbe(src, tag int) bool {
 	cs := p.rt.chaos
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	for _, fm := range cs.inflight {
-		if fm.dst == p.rank && chaosMatch(src, tag, fm.msg) &&
+	for _, fm := range cs.inflight[p.rank] {
+		if chaosMatch(src, tag, fm.msg) &&
 			!cs.delivered[delivKey{fm.msg.Src, fm.sendSeq}] {
 			return true
 		}

@@ -107,10 +107,8 @@ func (rt *Runtime) recvEdge(r int) (WaitEdge, float64, bool) {
 	if rt.deadMask[b.wSrc].Load() || rt.revoked.Load() {
 		return WaitEdge{}, 0, false
 	}
-	for _, m := range b.queue {
-		if m.Src == b.wSrc && (b.wTag == AnyTag || m.Tag == b.wTag) {
-			return WaitEdge{}, 0, false
-		}
+	if b.matchesLocked(b.wSrc, b.wTag) {
+		return WaitEdge{}, 0, false
 	}
 	return WaitEdge{Rank: r, Op: "recv", Peer: b.wSrc, Tag: b.wTag}, b.wVT, true
 }
@@ -124,20 +122,30 @@ func (rt *Runtime) recvEdge(r int) (WaitEdge, float64, bool) {
 // in which an edge observed earlier could have been satisfied, since
 // only a cycle member, a revoke, or a rank death can unblock a member —
 // and the verify pass re-checks all three.
-func (rt *Runtime) detectRecvCycle(start int) *DeadlockError {
-	seen := make(map[int]int)
-	var path []WaitEdge
+// scratch is the caller's reusable chase buffer: the chase runs on
+// every posted receive, so it must not allocate on the (overwhelmingly
+// common) no-cycle path. Revisit detection is a linear scan of the
+// path — wait-for chains are at most n long and almost always 1–2.
+func (rt *Runtime) detectRecvCycle(start int, scratch *[]WaitEdge) *DeadlockError {
+	path := (*scratch)[:0]
 	r := start
 	for {
-		if i, dup := seen[r]; dup {
-			path = path[i:] // the chain closed: keep only the cycle
+		cyc := -1
+		for i := range path {
+			if path[i].Rank == r {
+				cyc = i // the chain closed: keep only the cycle
+				break
+			}
+		}
+		if cyc >= 0 {
+			path = path[cyc:]
 			break
 		}
 		e, _, ok := rt.recvEdge(r)
 		if !ok {
+			*scratch = path
 			return nil
 		}
-		seen[r] = len(path)
 		path = append(path, e)
 		r = e.Peer
 	}
@@ -145,6 +153,7 @@ func (rt *Runtime) detectRecvCycle(start int) *DeadlockError {
 	for _, e := range path {
 		e2, evt, ok := rt.recvEdge(e.Rank)
 		if !ok || e2 != e {
+			*scratch = path
 			return nil
 		}
 		if evt > vt {
@@ -171,27 +180,35 @@ func (cs *chaosRT) detectRecvCycleLocked(start int) *DeadlockError {
 		if src == AnySource || cs.rt.deadMask[src].Load() {
 			return WaitEdge{}, false
 		}
-		for _, fm := range cs.inflight {
-			if fm.dst == r && fm.msg.Src == src && (tag == AnyTag || fm.msg.Tag == tag) &&
+		for _, fm := range cs.inflight[r] {
+			if fm.msg.Src == src && (tag == AnyTag || fm.msg.Tag == tag) &&
 				!cs.delivered[delivKey{fm.msg.Src, fm.sendSeq}] {
 				return WaitEdge{}, false
 			}
 		}
 		return WaitEdge{Rank: r, Op: "recv", Peer: src, Tag: tag}, true
 	}
-	seen := make(map[int]int)
-	var path []WaitEdge
+	// cs.cycleScratch is safe to reuse here: execution is serial and
+	// the whole detector runs under cs.mu.
+	path := cs.cycleScratch[:0]
 	r := start
 	for {
-		if i, dup := seen[r]; dup {
-			path = path[i:]
+		cyc := -1
+		for i := range path {
+			if path[i].Rank == r {
+				cyc = i
+				break
+			}
+		}
+		if cyc >= 0 {
+			path = path[cyc:]
 			break
 		}
 		e, ok := edge(r)
 		if !ok {
+			cs.cycleScratch = path
 			return nil
 		}
-		seen[r] = len(path)
 		path = append(path, e)
 		r = e.Peer
 	}

@@ -64,6 +64,12 @@ type Msg struct {
 	Meta any
 
 	arrival float64
+	// pooled, when non-nil, is the size-classed pool buffer backing
+	// Data; Release returns it (see pool.go for the ownership rules).
+	pooled *pbuf
+	// seq is the mailbox enqueue stamp: wildcard receives take the
+	// minimum across match lists, reproducing single-queue FIFO order.
+	seq uint64
 }
 
 // Config describes one runtime execution.
@@ -171,18 +177,119 @@ func (r *Report) OffSocketMsgs() int64 {
 		r.MsgsByDist[topology.DistGlobal]
 }
 
+// matchKey indexes a mailbox match list by exact (source, tag).
+type matchKey struct{ src, tag int }
+
+// msgFIFO is one (src, tag) match list: a slice-backed FIFO whose
+// storage is reused once drained, so steady-state traffic on a key
+// enqueues and dequeues without allocating.
+type msgFIFO struct {
+	q    []*Msg
+	head int
+}
+
+func (f *msgFIFO) empty() bool { return f.head == len(f.q) }
+func (f *msgFIFO) peek() *Msg  { return f.q[f.head] }
+
+func (f *msgFIFO) pop() *Msg {
+	m := f.q[f.head]
+	f.q[f.head] = nil
+	f.head++
+	if f.head == len(f.q) {
+		f.q = f.q[:0]
+		f.head = 0
+	}
+	return m
+}
+
+// mailbox holds one rank's pending messages, indexed by (src, tag) so
+// a specific receive matches in O(1) instead of rescanning a single
+// linear queue on every wakeup. Wildcard (AnySource/AnyTag) receives
+// fall back to scanning the match lists and taking the earliest
+// enqueue stamp, which reproduces the old single-queue FIFO selection
+// exactly — independent of map iteration order. Empty lists stay in
+// the map (the key population is bounded by the tag registry), so a
+// busy key reaches a steady state with no map churn at all.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []*Msg
-	seq    uint64 // delivery counter, for the watchdog
-	waiter bool
-	// wSrc and wTag are the posted (source, tag) while waiter is set,
-	// for the wait-for-graph detector and the blocked summary; wVT is
-	// the rank's virtual clock at post time (readable without touching
-	// the parked goroutine's Proc).
+	mu    sync.Mutex
+	cond  *sync.Cond
+	lists map[matchKey]*msgFIFO
+	count int    // queued messages across all lists
+	enq   uint64 // enqueue stamp source for Msg.seq
+	// waiter marks a rank parked in recvErr; wSrc and wTag are the
+	// posted (source, tag) while waiter is set, for the wait-for-graph
+	// detector and the blocked summary; wVT is the rank's virtual
+	// clock at post time (readable without touching the parked
+	// goroutine's Proc).
+	waiter     bool
 	wSrc, wTag int
 	wVT        float64
+}
+
+// enqueueLocked stamps m and appends it to its match list.
+func (b *mailbox) enqueueLocked(m *Msg) {
+	b.enq++
+	m.seq = b.enq
+	k := matchKey{m.Src, m.Tag}
+	f := b.lists[k]
+	if f == nil {
+		if b.lists == nil {
+			b.lists = make(map[matchKey]*msgFIFO)
+		}
+		f = &msgFIFO{}
+		b.lists[k] = f
+	}
+	f.q = append(f.q, m)
+	b.count++
+}
+
+// takeLocked removes and returns the earliest-enqueued message
+// matching (src, tag), or nil when none is queued.
+func (b *mailbox) takeLocked(src, tag int) *Msg {
+	if b.count == 0 {
+		return nil
+	}
+	if src != AnySource && tag != AnyTag {
+		f := b.lists[matchKey{src, tag}]
+		if f == nil || f.empty() {
+			return nil
+		}
+		b.count--
+		return f.pop()
+	}
+	var best *msgFIFO
+	for k, f := range b.lists {
+		if f.empty() || (src != AnySource && k.src != src) || (tag != AnyTag && k.tag != tag) {
+			continue
+		}
+		if best == nil || f.peek().seq < best.peek().seq {
+			best = f
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	b.count--
+	return best.pop()
+}
+
+// matchesLocked reports whether a message matching (src, tag) is
+// queued, without removing it.
+func (b *mailbox) matchesLocked(src, tag int) bool {
+	if b.count == 0 {
+		return false
+	}
+	if src != AnySource && tag != AnyTag {
+		f := b.lists[matchKey{src, tag}]
+		return f != nil && !f.empty()
+	}
+	for k, f := range b.lists {
+		if f.empty() || (src != AnySource && k.src != src) || (tag != AnyTag && k.tag != tag) {
+			continue
+		}
+		return true
+	}
+	return false
 }
 
 // Runtime is the shared state of one execution.
@@ -257,6 +364,11 @@ type Proc struct {
 	detectTime float64
 	detections int64
 	ftEpoch    int
+
+	// cycleScratch is this rank's wait-for-graph chase buffer, reused
+	// across posted receives so the block-time cycle probe is
+	// allocation-free.
+	cycleScratch []WaitEdge
 }
 
 // Run executes body on cfg.Ranks goroutine ranks and returns the
@@ -488,8 +600,9 @@ func (rt *Runtime) watchdog(start time.Time, done <-chan struct{}) {
 				// the watchdog remains the backstop for AnySource waits,
 				// barrier/agreement stalls, and mixed shapes. If a cycle
 				// is nevertheless visible, report it as the proven form.
+				var scratch []WaitEdge
 				for r := 0; r < rt.n; r++ {
-					if derr := rt.detectRecvCycle(r); derr != nil {
+					if derr := rt.detectRecvCycle(r, &scratch); derr != nil {
 						derr.Summary = rt.blockedSummary()
 						rt.fail(derr)
 						return
@@ -630,12 +743,16 @@ func (p *Proc) sendErr(dst, tag, size int, data []byte, meta any) error {
 		p.chargeDetect(dst)
 		return &RankFailedError{Rank: dst}
 	}
+	var pooled *pbuf
 	if p.rt.cfg.Phantom {
 		data = nil
 	} else if data != nil {
 		// Eager protocol: snapshot the payload so the sender may reuse
 		// its buffer immediately, as MPI guarantees after send returns.
-		cp := make([]byte, size)
+		// The snapshot comes from the size-classed pool; the receiving
+		// collective hands it back via Msg.Release.
+		var cp []byte
+		pooled, cp = allocPayload(size)
 		copy(cp, data)
 		data = cp
 	}
@@ -666,21 +783,23 @@ func (p *Proc) sendErr(dst, tag, size int, data []byte, meta any) error {
 		})
 	}
 
-	m := &Msg{Src: p.rank, Tag: tag, Size: size, Data: data, Meta: meta, arrival: arrival}
 	if cs := p.rt.chaos; cs != nil {
 		// Chaos mode: the message enters the scheduler's in-flight pool
 		// (possibly duplicated) instead of the destination mailbox; a
-		// later delivery decision releases it.
+		// later delivery decision releases it. The container is not
+		// recycled — duplicated in-flight copies share this one *Msg.
+		m := &Msg{Src: p.rank, Tag: tag, Size: size, Data: data, Meta: meta, arrival: arrival, pooled: pooled}
 		cs.mu.Lock()
 		cs.chaosEnqueue(p.rank, dst, m)
 		cs.mu.Unlock()
 		p.rt.progress.Add(1)
 		return nil
 	}
+	m := msgPool.Get().(*Msg)
+	*m = Msg{Src: p.rank, Tag: tag, Size: size, Data: data, Meta: meta, arrival: arrival, pooled: pooled}
 	box := p.rt.boxes[dst]
 	box.mu.Lock()
-	box.queue = append(box.queue, m)
-	box.seq++
+	box.enqueueLocked(m)
 	box.cond.Broadcast()
 	box.mu.Unlock()
 	p.rt.progress.Add(1)
@@ -697,8 +816,10 @@ type Request struct {
 	// tagShift is subtracted from the delivered Msg.Tag for SubProc
 	// requests (the posted tag was shifted into the comm's epoch).
 	tagShift int
-	msg      *Msg
-	done     bool
+	// msg holds the delivered message by value once done, so repeated
+	// Waits return it without a per-request heap copy.
+	msg  Msg
+	done bool
 }
 
 // Isend starts a nonblocking send. In this eager runtime the transfer
@@ -731,10 +852,7 @@ func (r *Request) Wait() Msg {
 // when the operation can no longer complete.
 func (r *Request) WaitErr() (Msg, error) {
 	if r.done {
-		if r.msg != nil {
-			return *r.msg, nil
-		}
-		return Msg{}, nil
+		return r.msg, nil
 	}
 	m, err := r.p.recvErr(r.src, r.tag)
 	if err != nil {
@@ -744,7 +862,7 @@ func (r *Request) WaitErr() (Msg, error) {
 		m.Src = r.comm.NewRank(m.Src)
 		m.Tag -= r.tagShift
 	}
-	r.msg = &m
+	r.msg = m
 	r.done = true
 	return m, nil
 }
@@ -791,15 +909,18 @@ func (p *Proc) recvErr(src, tag int) (Msg, error) {
 	checked := false
 	box.mu.Lock()
 	for {
-		for i, m := range box.queue {
-			if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
-				box.queue = append(box.queue[:i], box.queue[i+1:]...)
-				box.waiter = false
-				box.mu.Unlock()
-				p.rt.progress.Add(1)
-				p.vt = math.Max(p.vt, m.arrival) + p.rt.model.RecvOverhead()
-				return *m, nil
-			}
+		// Indexed matching: a specific (src, tag) receive is one map
+		// lookup, and a wakeup re-checks only that list instead of
+		// rescanning a whole queue from zero.
+		if m := box.takeLocked(src, tag); m != nil {
+			box.waiter = false
+			box.mu.Unlock()
+			p.rt.progress.Add(1)
+			p.vt = math.Max(p.vt, m.arrival) + p.rt.model.RecvOverhead()
+			out := *m
+			*m = Msg{}
+			msgPool.Put(m)
+			return out, nil
 		}
 		if p.rt.aborted.Load() {
 			box.waiter = false
@@ -836,7 +957,7 @@ func (p *Proc) recvErr(src, tag int) (Msg, error) {
 			// this edge; whichever rank publishes last proves the cycle.
 			checked = true
 			box.mu.Unlock()
-			if derr := p.rt.detectRecvCycle(p.rank); derr != nil {
+			if derr := p.rt.detectRecvCycle(p.rank, &p.cycleScratch); derr != nil {
 				derr.Summary = p.rt.blockedSummary()
 				p.rt.fail(derr)
 			}
@@ -862,12 +983,7 @@ func (p *Proc) Probe(src, tag int) bool {
 	box := p.rt.boxes[p.rank]
 	box.mu.Lock()
 	defer box.mu.Unlock()
-	for _, m := range box.queue {
-		if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
-			return true
-		}
-	}
-	return false
+	return box.matchesLocked(src, tag)
 }
 
 // Barrier synchronises all ranks. On release every rank's virtual clock

@@ -88,6 +88,18 @@ const (
 	CNAffNote  = 73000
 )
 
+// Micro-benchmark traffic (cmd/nbr-bench -micro and the mpirt
+// bench suite). The benchmarks never run inside a collective, but
+// their tags still get a registered block so the discipline holds
+// module-wide.
+const (
+	BenchPing    = 80000
+	BenchPong    = 80001
+	BenchStep    = 80002
+	BenchParked  = 81000 // + index: parked backlog, never received
+	BenchRotBase = 82000 // + i%7: wildcard-receive rotation
+)
+
 // FTShift returns the tag-space shift of one fail-stop attempt: every
 // fault-tolerant collective invocation (epoch ≥ 1) and every recovery
 // round within it gets a disjoint tag epoch, so re-runs can never
