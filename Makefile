@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif test race cover bench chaos faults fuzz repro examples clean
+.PHONY: all build vet lint lint-sarif test race cover bench chaos faults fuzz mega repro examples clean
 
 all: build lint test
 
@@ -35,20 +35,31 @@ cover:
 	$(GO) test -cover ./...
 
 # Differential conformance sweep: every algorithm × collective under
-# adversarial schedules and injected faults (the acceptance run).
+# adversarial schedules and injected faults, run on BOTH execution
+# engines with shared seeds — equal buffers, bit-identical decision
+# schedules, virtual times and detection totals (the acceptance run).
 chaos:
-	$(GO) run ./cmd/nbr-chaos -seeds 50
+	$(GO) run ./cmd/nbr-chaos -engine both -seeds 10
 
 # Fail-stop sweep: the whole fail-stop case family (every algorithm ×
-# crash-before/mid/agent/leader/multi/raw) across 10 seeds. Failing
-# seeds print a `nbr-chaos -faults -case ... -replay N` reproduce line.
+# crash-before/mid/agent/leader/multi/raw) across 10 seeds on both
+# engines. Failing seeds print a `nbr-chaos -faults -case ... -replay N`
+# reproduce line.
 faults:
-	$(GO) run ./cmd/nbr-chaos -faults -seeds 10
+	$(GO) run ./cmd/nbr-chaos -faults -engine both -seeds 10
 
-# Brief fuzz of the MatrixMarket parser (longer runs: go test -fuzz
-# with -fuzztime of your choice).
+# Brief fuzz of the MatrixMarket parser and the cross-engine
+# divergence oracle (longer runs: go test -fuzz with -fuzztime of your
+# choice).
 fuzz:
 	$(GO) test -fuzz=FuzzReadMatrixMarket -fuzztime=20s ./internal/sparse
+	$(GO) test -fuzz=FuzzEngineDivergence -fuzztime=20s ./internal/conformance
+
+# Mega-scale sweep: ≥100k ranks of Moore neighborhood with phantom
+# payloads on the event engine, heap statistics included (budget a few
+# GB of RAM and tens of minutes on a laptop core).
+mega:
+	$(GO) run ./cmd/nbr-bench -mega -json results/BENCH_pr6.json
 
 # One benchmark per paper table/figure plus ablations (CI scale), the
 # mpirt hot-path micro-benchmarks, and the machine-readable snapshot

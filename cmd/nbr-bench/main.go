@@ -47,6 +47,9 @@ func run(args []string, out io.Writer) error {
 	scatter := fs.Bool("scatter", false, "scatter nodes across Dragonfly+ groups (the batch-scheduler placement the paper's jobs got); matters for structured topologies")
 	jsonPath := fs.String("json", "", "write the machine-readable benchmark (per-algorithm Fig. 4 cells plus fail-stop recovery overhead) to this path and exit")
 	micro := fs.Bool("micro", false, "with -json, include the mpirt hot-path micro-benchmarks (match, pool, barrier, allgather step)")
+	mega := fs.Bool("mega", false, "with -json, run the mega-scale phantom sweep (event engine, Moore neighborhood over -mega-ranks ranks) instead of the figure benchmarks")
+	megaRanks := fs.Int("mega-ranks", 102400, "communicator size for -mega (multiple of 64)")
+	megaMsg := fs.Int("mega-msg", 4096, "per-rank payload size in bytes for -mega")
 	pf := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +66,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	return pf.Wrap(func() error {
+		if *mega {
+			return runMega(out, *jsonPath, *megaRanks, *megaMsg, *wall)
+		}
 		return runFigs(out, place, *fig, *nodes, *rps, *trials, *seed, *full, *csv, *minMsg, *maxMsg, *wall, *jsonPath, *micro)
 	})
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,6 +36,53 @@ func TestRunSingleFigureCSV(t *testing.T) {
 	}
 	if s := out.String(); strings.Contains(s, "Fig. 5") || strings.Contains(s, "Fig. 6") {
 		t.Errorf("-fig 4 ran other figures:\n%s", s)
+	}
+}
+
+// TestRunMega drives the mega-scale sweep at a toy size (1024 ranks)
+// and checks the JSON snapshot carries one row per algorithm with
+// non-zero traffic and memory statistics.
+func TestRunMega(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mega.json")
+	var out bytes.Buffer
+	err := run([]string{"-mega", "-mega-ranks", "1024", "-json", path}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	var doc megaDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	if doc.Schema != "nbr-bench/pr6-mega" || doc.Engine != "event" || doc.Ranks != 1024 {
+		t.Errorf("snapshot header wrong: %+v", doc)
+	}
+	if len(doc.Rows) != 3 {
+		t.Fatalf("want 3 algorithm rows, got %d", len(doc.Rows))
+	}
+	for _, row := range doc.Rows {
+		if row.TimeS <= 0 || row.Msgs <= 0 || row.Bytes <= 0 {
+			t.Errorf("row %s has empty measurement: %+v", row.Algo, row)
+		}
+		if row.Mem.AllocBytes == 0 {
+			t.Errorf("row %s recorded no allocation churn", row.Algo)
+		}
+	}
+}
+
+// TestRunMegaRejectsBadShape pins the flag contract: -mega needs -json
+// and a rank count the 64-rank nodes can host exactly.
+func TestRunMegaRejectsBadShape(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mega"}, &out); err == nil {
+		t.Error("-mega without -json accepted")
+	}
+	if err := run([]string{"-mega", "-mega-ranks", "100", "-json", filepath.Join(t.TempDir(), "m.json")}, &out); err == nil {
+		t.Error("non-multiple-of-64 rank count accepted")
 	}
 }
 

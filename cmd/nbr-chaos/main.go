@@ -27,6 +27,16 @@
 // schedule ("rank@afterOps" or "rank@afterOps@vt", comma-separated):
 //
 //	nbr-chaos -faults -case failstop/2n2s3l/er35/cn/allgatherv/mid -replay 0 -kill 5@3,1@0
+//
+// Execution engine selection: -engine threaded (default), -engine
+// event (the serial calendar-queue engine), or -engine both, which
+// runs every (case, seed) pair on both engines and additionally
+// demands bit-identical decision schedules, virtual times, and
+// detection totals across them (the cross-engine differential oracle):
+//
+//	nbr-chaos -engine both -seeds 10
+//	nbr-chaos -faults -engine both -seeds 10
+//	nbr-chaos -engine both -case 2n2s3l/er35/dh/allgather -replay 17
 package main
 
 import (
@@ -66,8 +76,14 @@ func run(args []string, out io.Writer) error {
 	dump := fs.Bool("dump", false, "with -replay, print the recorded decision schedule")
 	list := fs.Bool("list", false, "list the conformance matrix cases and exit")
 	verbose := fs.Bool("v", false, "per-seed progress")
+	engineFlag := fs.String("engine", "", "execution engine: threaded, event, or both (cross-engine differential); default threaded or $NBR_MPIRT_ENGINE")
 	pf := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	eng, both, err := parseEngineFlag(*engineFlag)
+	if err != nil {
 		return err
 	}
 
@@ -78,7 +94,7 @@ func run(args []string, out io.Writer) error {
 
 	return pf.Wrap(func() error {
 		if *faults {
-			return runFaults(out, *caseName, *killSpec, *seeds, *seedBase, *replay, mk, *list, *dump, *verbose)
+			return runFaults(out, *caseName, *killSpec, *seeds, *seedBase, *replay, mk, eng, both, *list, *dump, *verbose)
 		}
 		if *killSpec != "" {
 			return fmt.Errorf("-kill requires -faults")
@@ -103,13 +119,26 @@ func run(args []string, out io.Writer) error {
 		}
 
 		if *replay >= 0 {
-			return replaySeed(out, cases, *replay, mk, *dump)
+			return replaySeed(out, cases, *replay, mk, eng, both, *dump)
 		}
-		return sweep(out, cases, *seeds, *seedBase, mk, *verbose)
+		return sweep(out, cases, *seeds, *seedBase, mk, eng, both, *verbose)
 	})
 }
 
-func sweep(out io.Writer, cases []conformance.Case, nseeds int, base int64, mk func(int64) *mpirt.Chaos, verbose bool) error {
+// parseEngineFlag resolves -engine into a pinned engine or the
+// cross-engine differential mode.
+func parseEngineFlag(s string) (mpirt.Engine, bool, error) {
+	if s == "both" {
+		return mpirt.EngineDefault, true, nil
+	}
+	eng, err := mpirt.ParseEngine(s)
+	if err != nil {
+		return mpirt.EngineDefault, false, fmt.Errorf("-engine: %w", err)
+	}
+	return eng, false, nil
+}
+
+func sweep(out io.Writer, cases []conformance.Case, nseeds int, base int64, mk func(int64) *mpirt.Chaos, eng mpirt.Engine, both, verbose bool) error {
 	if nseeds < 1 {
 		return fmt.Errorf("-seeds %d must be positive", nseeds)
 	}
@@ -117,16 +146,29 @@ func sweep(out io.Writer, cases []conformance.Case, nseeds int, base int64, mk f
 	for i := range seeds {
 		seeds[i] = base + int64(i)
 	}
-	fmt.Fprintf(out, "sweeping %d cases × %d seeds (seeds %d..%d)\n",
-		len(cases), nseeds, base, base+int64(nseeds)-1)
+	mode := "sweeping"
+	if both {
+		mode = "differential-sweeping (threaded vs event)"
+	}
+	fmt.Fprintf(out, "%s %d cases × %d seeds (seeds %d..%d)\n",
+		mode, len(cases), nseeds, base, base+int64(nseeds)-1)
 	progress := func(done, failures int) {
 		if verbose || done == len(seeds) {
 			fmt.Fprintf(out, "  seed %d/%d done, %d failures\n", done, len(seeds), failures)
 		}
 	}
-	failures := conformance.Sweep(cases, seeds, mk, progress)
+	var failures []conformance.Failure
+	if both {
+		failures = conformance.DiffSweep(cases, seeds, mk, progress)
+	} else {
+		failures = conformance.SweepOn(eng, cases, seeds, mk, progress)
+	}
 	if len(failures) == 0 {
-		fmt.Fprintf(out, "PASS: %d runs byte-identical under adversarial schedules\n", len(cases)*nseeds)
+		if both {
+			fmt.Fprintf(out, "PASS: %d runs byte-identical under adversarial schedules on both engines\n", len(cases)*nseeds)
+		} else {
+			fmt.Fprintf(out, "PASS: %d runs byte-identical under adversarial schedules\n", len(cases)*nseeds)
+		}
 		return nil
 	}
 	for _, f := range failures {
@@ -135,42 +177,70 @@ func sweep(out io.Writer, cases []conformance.Case, nseeds int, base int64, mk f
 	return fmt.Errorf("%d of %d runs failed", len(failures), len(cases)*nseeds)
 }
 
-func replaySeed(out io.Writer, cases []conformance.Case, seed int64, mk func(int64) *mpirt.Chaos, dump bool) error {
+func replaySeed(out io.Writer, cases []conformance.Case, seed int64, mk func(int64) *mpirt.Chaos, eng mpirt.Engine, both bool, dump bool) error {
 	for _, c := range cases {
-		runOnce := func(replayFrom *trace.Schedule) (*trace.Schedule, error) {
-			ch := mk(seed)
-			s := trace.NewSchedule()
-			ch.Record = s
-			ch.Replay = replayFrom
-			err := conformance.RunCase(c, ch)
-			return s, err
+		runOn := func(e mpirt.Engine) func(*trace.Schedule) (*trace.Schedule, error) {
+			return func(replayFrom *trace.Schedule) (*trace.Schedule, error) {
+				ch := mk(seed)
+				s := trace.NewSchedule()
+				ch.Record = s
+				ch.Replay = replayFrom
+				_, err := conformance.RunCaseOn(e, c, ch)
+				return s, err
+			}
 		}
-		if err := replayTriple(out, c.Name, seed, runOnce, dump); err != nil {
+		if !both {
+			if _, err := replayTriple(out, c.Name, seed, runOn(eng), dump); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := replayBoth(out, c.Name, seed, runOn, dump); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// replayBoth runs the replay contract on each engine and then demands
+// the two engines' recorded schedules agree bit for bit.
+func replayBoth(out io.Writer, name string, seed int64, runOn func(mpirt.Engine) func(*trace.Schedule) (*trace.Schedule, error), dump bool) error {
+	var scheds [2]*trace.Schedule
+	for i, e := range []mpirt.Engine{mpirt.EngineThreaded, mpirt.EngineEvent} {
+		fmt.Fprintf(out, "[%s] ", e)
+		s, err := replayTriple(out, name, seed, runOn(e), dump && i == 0)
+		if err != nil {
+			return err
+		}
+		scheds[i] = s
+	}
+	if scheds[0].Hash() != scheds[1].Hash() {
+		return fmt.Errorf("%s seed %d: engines diverge at decision %d — cross-engine determinism broken",
+			name, seed, scheds[0].Diverge(scheds[1]))
+	}
+	fmt.Fprintf(out, "cross-engine: schedules identical (%016x)\n", scheds[0].Hash())
+	return nil
+}
+
 // replayTriple implements the determinism contract shared by matrix
 // and fail-stop replays: record twice, compare hashes, then force the
 // first schedule back through the scheduler and demand equality.
-func replayTriple(out io.Writer, name string, seed int64, runOnce func(*trace.Schedule) (*trace.Schedule, error), dump bool) error {
+func replayTriple(out io.Writer, name string, seed int64, runOnce func(*trace.Schedule) (*trace.Schedule, error), dump bool) (*trace.Schedule, error) {
 	s1, err1 := runOnce(nil)
 	s2, err2 := runOnce(nil)
 	if (err1 == nil) != (err2 == nil) {
-		return fmt.Errorf("%s seed %d: nondeterministic outcome: %v vs %v", name, seed, err1, err2)
+		return nil, fmt.Errorf("%s seed %d: nondeterministic outcome: %v vs %v", name, seed, err1, err2)
 	}
 	if s1.Hash() != s2.Hash() {
-		return fmt.Errorf("%s seed %d: schedules diverge at decision %d — determinism broken",
+		return nil, fmt.Errorf("%s seed %d: schedules diverge at decision %d — determinism broken",
 			name, seed, s1.Diverge(s2))
 	}
 	s3, err3 := runOnce(s1)
 	if err3 != nil && err1 == nil {
-		return fmt.Errorf("%s seed %d: forced replay failed: %v", name, seed, err3)
+		return nil, fmt.Errorf("%s seed %d: forced replay failed: %v", name, seed, err3)
 	}
 	if !s1.Equal(s3) {
-		return fmt.Errorf("%s seed %d: forced replay produced a different schedule (diverge at %d)",
+		return nil, fmt.Errorf("%s seed %d: forced replay produced a different schedule (diverge at %d)",
 			name, seed, s1.Diverge(s3))
 	}
 
@@ -195,7 +265,7 @@ func replayTriple(out io.Writer, name string, seed int64, runOnce func(*trace.Sc
 			}
 			var d3 *mpirt.DeadlockError
 			if !errors.As(err3, &d3) || !d1.SameCycle(d3) {
-				return fmt.Errorf("%s seed %d: forced replay did not reproduce the deadlock cycle (%v vs %v)",
+				return nil, fmt.Errorf("%s seed %d: forced replay did not reproduce the deadlock cycle (%v vs %v)",
 					name, seed, err1, err3)
 			}
 			fmt.Fprintln(out, "  replay reproduced the identical cycle")
@@ -203,15 +273,15 @@ func replayTriple(out io.Writer, name string, seed int64, runOnce func(*trace.Sc
 	}
 	if dump {
 		if err := s1.Write(out); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return s1, nil
 }
 
 // runFaults drives the fail-stop family: list, sweep, or replay, with
 // an optional ad-hoc kill schedule.
-func runFaults(out io.Writer, caseName, killSpec string, nseeds int, base, replay int64, mk func(int64) *mpirt.Chaos, list, dump, verbose bool) error {
+func runFaults(out io.Writer, caseName, killSpec string, nseeds int, base, replay int64, mk func(int64) *mpirt.Chaos, eng mpirt.Engine, both, list, dump, verbose bool) error {
 	cases, err := conformance.FailStopMatrix()
 	if err != nil {
 		return err
@@ -237,11 +307,13 @@ func runFaults(out io.Writer, caseName, killSpec string, nseeds int, base, repla
 		return fmt.Errorf("-kill requires -case (an ad-hoc schedule applies to one case)")
 	}
 
-	runCase := func(c conformance.FailStopCase, seed int64, ch *mpirt.Chaos) error {
+	runCase := func(e mpirt.Engine, c conformance.FailStopCase, seed int64, ch *mpirt.Chaos) error {
 		if kills != nil {
-			return conformance.RunFailStopCaseKills(c, ch, kills)
+			_, err := conformance.RunFailStopCaseKillsOn(e, c, ch, kills)
+			return err
 		}
-		return conformance.RunFailStopCase(c, seed, ch)
+		_, err := conformance.RunFailStopCaseOn(e, c, seed, ch)
+		return err
 	}
 
 	if replay >= 0 {
@@ -251,15 +323,23 @@ func runFaults(out io.Writer, caseName, killSpec string, nseeds int, base, repla
 				ks = conformance.FailStopKills(c, replay)
 			}
 			fmt.Fprintf(out, "%s: kill schedule %s\n", c.Name, formatKills(ks))
-			runOnce := func(replayFrom *trace.Schedule) (*trace.Schedule, error) {
-				ch := mk(replay)
-				s := trace.NewSchedule()
-				ch.Record = s
-				ch.Replay = replayFrom
-				err := runCase(c, replay, ch)
-				return s, err
+			runOn := func(e mpirt.Engine) func(*trace.Schedule) (*trace.Schedule, error) {
+				return func(replayFrom *trace.Schedule) (*trace.Schedule, error) {
+					ch := mk(replay)
+					s := trace.NewSchedule()
+					ch.Record = s
+					ch.Replay = replayFrom
+					err := runCase(e, c, replay, ch)
+					return s, err
+				}
 			}
-			if err := replayTriple(out, c.Name, replay, runOnce, dump); err != nil {
+			if !both {
+				if _, err := replayTriple(out, c.Name, replay, runOn(eng), dump); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := replayBoth(out, c.Name, replay, runOn, dump); err != nil {
 				return err
 			}
 		}
@@ -273,24 +353,48 @@ func runFaults(out io.Writer, caseName, killSpec string, nseeds int, base, repla
 	for i := range seeds {
 		seeds[i] = base + int64(i)
 	}
-	fmt.Fprintf(out, "fail-stop sweep: %d cases × %d seeds (seeds %d..%d)\n",
-		len(cases), nseeds, base, base+int64(nseeds)-1)
+	mode := "fail-stop sweep"
+	if both {
+		mode = "fail-stop differential sweep (threaded vs event)"
+	}
+	fmt.Fprintf(out, "%s: %d cases × %d seeds (seeds %d..%d)\n",
+		mode, len(cases), nseeds, base, base+int64(nseeds)-1)
 	// Cases within a seed are independent simulations; run them on the
 	// sweep pool and collect failures in case order so the report is
 	// byte-identical to a serial loop.
 	var failures []conformance.FailStopFailure
-	for i, seed := range seeds {
-		_, err := sweeppkg.Map(context.Background(), len(cases), func(j int) (struct{}, error) {
-			return struct{}{}, runCase(cases[j], seed, mk(seed))
-		})
-		var agg *sweeppkg.Error
-		if errors.As(err, &agg) {
-			for _, it := range agg.Items {
-				failures = append(failures, conformance.FailStopFailure{Case: cases[it.Index], Seed: seed, Err: it.Err})
+	if both && kills == nil {
+		progress := func(done, nfail int) {
+			if verbose || done == len(seeds) {
+				fmt.Fprintf(out, "  seed %d/%d done, %d failures\n", done, len(seeds), nfail)
 			}
 		}
-		if verbose || i == len(seeds)-1 {
-			fmt.Fprintf(out, "  seed %d/%d done, %d failures\n", i+1, len(seeds), len(failures))
+		failures = conformance.DiffFailStopSweep(cases, seeds, mk, progress)
+	} else {
+		for i, seed := range seeds {
+			_, err := sweeppkg.Map(context.Background(), len(cases), func(j int) (struct{}, error) {
+				if both {
+					// Ad-hoc kills with -engine both: run each engine and
+					// demand agreeing outcomes (the seed-derived path above
+					// additionally compares schedules and reports).
+					errT := runCase(mpirt.EngineThreaded, cases[j], seed, mk(seed))
+					errE := runCase(mpirt.EngineEvent, cases[j], seed, mk(seed))
+					if (errT == nil) != (errE == nil) {
+						return struct{}{}, fmt.Errorf("engines disagree: threaded %v, event %v", errT, errE)
+					}
+					return struct{}{}, errT
+				}
+				return struct{}{}, runCase(eng, cases[j], seed, mk(seed))
+			})
+			var agg *sweeppkg.Error
+			if errors.As(err, &agg) {
+				for _, it := range agg.Items {
+					failures = append(failures, conformance.FailStopFailure{Case: cases[it.Index], Seed: seed, Err: it.Err})
+				}
+			}
+			if verbose || i == len(seeds)-1 {
+				fmt.Fprintf(out, "  seed %d/%d done, %d failures\n", i+1, len(seeds), len(failures))
+			}
 		}
 	}
 	if len(failures) == 0 {

@@ -81,7 +81,7 @@ func TestReplayTriplePrintsDeadlockCycle(t *testing.T) {
 		return trace.NewSchedule(), derr
 	}
 	var out bytes.Buffer
-	if err := replayTriple(&out, "fake-case", 1, runOnce, false); err != nil {
+	if _, err := replayTriple(&out, "fake-case", 1, runOnce, false); err != nil {
 		t.Fatalf("replayTriple: %v\n%s", err, out.String())
 	}
 	for _, want := range []string{
@@ -116,9 +116,40 @@ func TestReplayTripleRejectsDivergentCycle(t *testing.T) {
 		return trace.NewSchedule(), &mpirt.DeadlockError{Cycle: cycle, VT: 3}
 	}
 	var out bytes.Buffer
-	err := replayTriple(&out, "fake-case", 1, runOnce, false)
+	_, err := replayTriple(&out, "fake-case", 1, runOnce, false)
 	if err == nil || !strings.Contains(err.Error(), "did not reproduce the deadlock cycle") {
 		t.Fatalf("want cycle-divergence error, got %v", err)
+	}
+}
+
+// TestRunEngineBoth drives the cross-engine differential modes from
+// the command line: a two-seed matrix sweep, a one-seed fail-stop
+// sweep, and a replay that must report identical schedules.
+func TestRunEngineBoth(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-engine", "both", "-seeds", "2"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "on both engines") {
+		t.Errorf("differential sweep did not report both-engine PASS:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-faults", "-engine", "both", "-seeds", "1"}, &out); err != nil {
+		t.Fatalf("faults run: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-engine", "both", "-case", "2n2s3l/er35/dh/allgather", "-replay", "3"}, &out); err != nil {
+		t.Fatalf("replay run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "cross-engine: schedules identical") {
+		t.Errorf("replay did not confirm cross-engine identity:\n%s", out.String())
+	}
+}
+
+func TestRunEngineRejectsUnknown(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-engine", "quantum"}, &out); err == nil {
+		t.Fatal("unknown engine accepted")
 	}
 }
 

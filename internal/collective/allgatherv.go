@@ -2,6 +2,7 @@ package collective
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"nbrallgather/internal/mpirt"
 	"nbrallgather/internal/pattern"
@@ -69,6 +70,34 @@ func uniformCounts(n, m int) []int {
 		c[i] = m
 	}
 	return c
+}
+
+// ucCache memoises one shared uniform-counts slice per algorithm
+// instance. Every rank's Run materialises the same n-entry slice and
+// every RunV treats it as read-only, so the ranks can share a single
+// copy; without the cache the per-rank O(n) allocation dominates the
+// whole run at mega scale (100k ranks × 100k entries ≈ 80 GB of
+// churn). Racing first calls may each build a slice and the last
+// store wins — the contents are identical either way, so sharing is
+// a pure memory optimisation with no behavioural effect.
+type ucCache struct {
+	p atomic.Pointer[ucEntry]
+}
+
+type ucEntry struct {
+	m      int
+	counts []int
+}
+
+// get returns a shared counts slice of n entries all equal to m.
+// Callers must not mutate it.
+func (c *ucCache) get(n, m int) []int {
+	if e := c.p.Load(); e != nil && e.m == m && len(e.counts) == n {
+		return e.counts
+	}
+	e := &ucEntry{m: m, counts: uniformCounts(n, m)}
+	c.p.Store(e)
+	return e.counts
 }
 
 // RunV implements VOp for the naive algorithm.

@@ -141,6 +141,7 @@ func (p *CNPattern) Validate() error {
 type CommonNeighbor struct {
 	g   *vgraph.Graph
 	pat *CNPattern
+	uc  ucCache
 }
 
 // NewCommonNeighbor builds the CN pattern for group size k and binds
@@ -169,7 +170,7 @@ func (a *CommonNeighbor) Pattern() *CNPattern { return a.pat }
 // RunV (allgatherv.go).
 func (a *CommonNeighbor) Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte) {
 	checkUniform(m)
-	a.RunV(p, sbuf, uniformCounts(a.g.N(), m), rbuf)
+	a.RunV(p, sbuf, a.uc.get(a.g.N(), m), rbuf)
 }
 
 // BuildCNRank models one rank's share of the Common Neighbor pattern

@@ -52,7 +52,8 @@ func checkUniform(m int) {
 
 // Naive is the direct point-to-point algorithm (default Open MPI).
 type Naive struct {
-	g *vgraph.Graph
+	g  *vgraph.Graph
+	uc ucCache
 }
 
 // NewNaive binds the naive algorithm to a graph.
@@ -68,7 +69,7 @@ func (a *Naive) Graph() *vgraph.Graph { return a.g }
 // incoming neighbor, wait all.
 func (a *Naive) Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte) {
 	checkUniform(m)
-	a.RunV(p, sbuf, uniformCounts(a.g.N(), m), rbuf)
+	a.RunV(p, sbuf, a.uc.get(a.g.N(), m), rbuf)
 }
 
 // DistanceHalving is the paper's algorithm bound to a prebuilt
@@ -76,6 +77,7 @@ func (a *Naive) Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte) {
 type DistanceHalving struct {
 	g   *vgraph.Graph
 	pat *pattern.Pattern
+	uc  ucCache
 }
 
 // NewDistanceHalving builds the communication pattern centrally for
@@ -111,5 +113,5 @@ func (a *DistanceHalving) Pattern() *pattern.Pattern { return a.pat }
 // the uniform allgather is its counts[i] = m special case.
 func (a *DistanceHalving) Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte) {
 	checkUniform(m)
-	a.RunV(p, sbuf, uniformCounts(a.g.N(), m), rbuf)
+	a.RunV(p, sbuf, a.uc.get(a.g.N(), m), rbuf)
 }

@@ -30,6 +30,7 @@ type LeaderBased struct {
 	// shrunken-communicator placement after fail-stop recovery.
 	place []int
 	plan  []lbPlan
+	uc    ucCache
 }
 
 // lbPlan is one rank's precomputed role.
@@ -275,7 +276,7 @@ func (a *LeaderBased) Graph() *vgraph.Graph { return a.g }
 // Run implements Op; the general path is RunV.
 func (a *LeaderBased) Run(p mpirt.Endpoint, sbuf []byte, m int, rbuf []byte) {
 	checkUniform(m)
-	a.RunV(p, sbuf, uniformCounts(a.g.N(), m), rbuf)
+	a.RunV(p, sbuf, a.uc.get(a.g.N(), m), rbuf)
 }
 
 // RunV implements VOp: direct intra-node edges, gather to the routed

@@ -155,15 +155,22 @@ func FindCase(name string) (Case, error) {
 // (nil = plain scheduling) and returns an error describing the first
 // conformance violation, if any.
 func RunCase(c Case, chaos *mpirt.Chaos) error {
+	_, err := RunCaseOn(mpirt.EngineDefault, c, chaos)
+	return err
+}
+
+// RunCaseOn is RunCase pinned to an execution engine, returning the
+// run report so differential callers can compare traffic counts,
+// virtual times, and detection totals across engines.
+func RunCaseOn(eng mpirt.Engine, c Case, chaos *mpirt.Chaos) (*mpirt.Report, error) {
 	if c.Coll == CollPattern {
-		return runPatternCase(c, chaos)
+		return runPatternCase(c, chaos, eng)
 	}
 	body, err := caseBody(c)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	_, err = mpirt.Run(mpirt.Config{Cluster: c.Cluster, Chaos: chaos}, body)
-	return err
+	return mpirt.Run(mpirt.Config{Cluster: c.Cluster, Chaos: chaos, Engine: eng}, body)
 }
 
 // Sweep runs every case under every seed, building each seed's chaos
@@ -176,10 +183,16 @@ func RunCase(c Case, chaos *mpirt.Chaos) error {
 // order and progress still fires once per seed, so the output is
 // byte-identical to the sequential loop.
 func Sweep(cases []Case, seeds []int64, mk func(int64) *mpirt.Chaos, progress func(done int, failures int)) []Failure {
+	return SweepOn(mpirt.EngineDefault, cases, seeds, mk, progress)
+}
+
+// SweepOn is Sweep pinned to an execution engine.
+func SweepOn(eng mpirt.Engine, cases []Case, seeds []int64, mk func(int64) *mpirt.Chaos, progress func(done int, failures int)) []Failure {
 	var failures []Failure
 	for i, seed := range seeds {
 		_, err := sweep.Map(context.Background(), len(cases), func(j int) (struct{}, error) {
-			return struct{}{}, RunCase(cases[j], mk(seed))
+			_, err := RunCaseOn(eng, cases[j], mk(seed))
+			return struct{}{}, err
 		})
 		var agg *sweep.Error
 		if errors.As(err, &agg) {
@@ -463,41 +476,41 @@ func uniform(n, m int) []int {
 // reordering path) under chaos and demands the proposer-optimal
 // outcome: plan-identical to the central builder, regardless of
 // schedule.
-func runPatternCase(c Case, chaos *mpirt.Chaos) error {
+func runPatternCase(c Case, chaos *mpirt.Chaos, eng mpirt.Engine) (*mpirt.Report, error) {
 	central, err := pattern.Build(c.Graph, c.Cluster.L())
 	if err != nil {
-		return err
+		return nil, err
 	}
-	dist, _, err := pattern.BuildDistributed(mpirt.Config{Cluster: c.Cluster, Phantom: true, Chaos: chaos}, c.Graph)
+	dist, rep, err := pattern.BuildDistributed(mpirt.Config{Cluster: c.Cluster, Phantom: true, Chaos: chaos, Engine: eng}, c.Graph)
 	if err != nil {
-		return fmt.Errorf("distributed build: %w", err)
+		return nil, fmt.Errorf("distributed build: %w", err)
 	}
 	if err := dist.Validate(); err != nil {
-		return fmt.Errorf("distributed pattern invalid: %w", err)
+		return nil, fmt.Errorf("distributed pattern invalid: %w", err)
 	}
 	for r := range central.Plans {
 		cp, dp := central.Plans[r], dist.Plans[r]
 		if len(cp.Steps) != len(dp.Steps) {
-			return fmt.Errorf("rank %d: central has %d steps, distributed %d", r, len(cp.Steps), len(dp.Steps))
+			return nil, fmt.Errorf("rank %d: central has %d steps, distributed %d", r, len(cp.Steps), len(dp.Steps))
 		}
 		for i := range cp.Steps {
 			if cp.Steps[i].Agent != dp.Steps[i].Agent || cp.Steps[i].Origin != dp.Steps[i].Origin {
-				return fmt.Errorf("rank %d step %d: central (agent=%d origin=%d) != distributed (agent=%d origin=%d)",
+				return nil, fmt.Errorf("rank %d step %d: central (agent=%d origin=%d) != distributed (agent=%d origin=%d)",
 					r, i, cp.Steps[i].Agent, cp.Steps[i].Origin, dp.Steps[i].Agent, dp.Steps[i].Origin)
 			}
 		}
 		if !reflect.DeepEqual(cp.FinalSends, dp.FinalSends) {
-			return fmt.Errorf("rank %d final sends differ under adversarial schedule", r)
+			return nil, fmt.Errorf("rank %d final sends differ under adversarial schedule", r)
 		}
 		if !reflect.DeepEqual(cp.FinalRecvs, dp.FinalRecvs) {
-			return fmt.Errorf("rank %d final recvs differ under adversarial schedule", r)
+			return nil, fmt.Errorf("rank %d final recvs differ under adversarial schedule", r)
 		}
 		if !reflect.DeepEqual(cp.BufSources, dp.BufSources) {
-			return fmt.Errorf("rank %d buffer sources differ under adversarial schedule", r)
+			return nil, fmt.Errorf("rank %d buffer sources differ under adversarial schedule", r)
 		}
 	}
 	if central.Stats != dist.Stats {
-		return fmt.Errorf("pattern stats differ: central %+v, distributed %+v", central.Stats, dist.Stats)
+		return nil, fmt.Errorf("pattern stats differ: central %+v, distributed %+v", central.Stats, dist.Stats)
 	}
-	return nil
+	return rep, nil
 }

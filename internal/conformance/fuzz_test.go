@@ -1,0 +1,126 @@
+package conformance
+
+import (
+	"errors"
+	"testing"
+
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/trace"
+	"nbrallgather/internal/vgraph"
+)
+
+// FuzzEngineDivergence derives a small cluster, a random neighborhood
+// graph, an algorithm × collective pair, a scheduling mode, and an
+// optional kill from the fuzz input, runs the case on both execution
+// engines, and fails on any cross-engine divergence: one engine
+// passing where the other fails, unequal traffic censuses on
+// deterministic programs, or unequal chaos decision schedules /
+// virtual times. Inputs where both engines reject or fail identically
+// are consistent by definition and are not divergences. Seeds run in
+// the normal suite; `make fuzz` explores further.
+func FuzzEngineDivergence(f *testing.F) {
+	f.Add(uint8(2), uint8(1), uint8(2), uint8(3), uint8(128), uint8(0), uint8(2), uint8(0), int64(7))
+	f.Add(uint8(3), uint8(2), uint8(1), uint8(9), uint8(200), uint8(2), uint8(1), uint8(0), int64(1))
+	f.Add(uint8(1), uint8(2), uint8(3), uint8(5), uint8(90), uint8(6), uint8(0), uint8(0), int64(0))
+	f.Add(uint8(2), uint8(2), uint8(2), uint8(1), uint8(255), uint8(4), uint8(2), uint8(3), int64(42))
+	f.Add(uint8(3), uint8(1), uint8(3), uint8(7), uint8(60), uint8(1), uint8(1), uint8(5), int64(13))
+
+	combos := []struct{ algo, coll string }{
+		{AlgoNaive, CollAllgather}, {AlgoCN, CollAllgather}, {AlgoDH, CollAllgather},
+		{AlgoLeader, CollAllgather}, {AlgoNaive, CollAllgatherv}, {AlgoDH, CollAllgatherv},
+		{AlgoNaive, CollAlltoall}, {AlgoDH, CollAlltoallv}, {AlgoDH, CollPattern},
+	}
+
+	f.Fuzz(func(t *testing.T, nodes, socks, rps, gseed, pb, combo, mode, kill uint8, seed int64) {
+		cluster := topology.Cluster{
+			Nodes:          1 + int(nodes)%3,
+			SocketsPerNode: 1 + int(socks)%2,
+			RanksPerSocket: 1 + int(rps)%3,
+		}
+		if cluster.Nodes > 1 {
+			cluster.NodesPerGroup = 1 + int(gseed)%cluster.Nodes
+		}
+		n := cluster.Ranks()
+		if n < 2 {
+			return
+		}
+		g, err := vgraph.ErdosRenyi(n, 0.15+0.8*float64(pb)/255, 1+int64(gseed))
+		if err != nil {
+			return
+		}
+		co := combos[int(combo)%len(combos)]
+		c := Case{Name: "fuzz", Cluster: cluster, Graph: g, Algo: co.algo, Coll: co.coll, M: 7}
+
+		var mk func(int64) *mpirt.Chaos
+		switch mode % 3 {
+		case 1:
+			mk = mpirt.ScheduleOnly
+		case 2:
+			mk = mpirt.DefaultChaos
+		}
+
+		run := func(eng mpirt.Engine) (*mpirt.Report, *trace.Schedule, error) {
+			var chaos *mpirt.Chaos
+			var rec *trace.Schedule
+			if mk != nil {
+				chaos = mk(seed)
+				rec = trace.NewSchedule()
+				chaos.Record = rec
+			}
+			var rep *mpirt.Report
+			if kill != 0 {
+				fc := FailStopCase{
+					Name:    "fuzz",
+					Base:    c,
+					Kind:    KindMid,
+					Recover: kill%2 == 0,
+				}
+				kills := []mpirt.Kill{{Rank: int(kill) % n, AfterOps: int(kill) / 16}}
+				rep, err = RunFailStopCaseKillsOn(eng, fc, chaos, kills)
+			} else {
+				rep, err = RunCaseOn(eng, c, chaos)
+			}
+			return rep, rec, err
+		}
+		repT, recT, errT := run(mpirt.EngineThreaded)
+		repE, recE, errE := run(mpirt.EngineEvent)
+
+		switch {
+		case errT != nil && errE != nil:
+			// Consistent rejection or consistent failure: only a
+			// deadlock pair must agree on the proven cycle.
+			var dT, dE *mpirt.DeadlockError
+			if errors.As(errT, &dT) && errors.As(errE, &dE) && !dT.SameCycle(dE) {
+				t.Fatalf("deadlock cycles diverge:\nthreaded %v\nevent    %v", dT.Cycle, dE.Cycle)
+			}
+			return
+		case (errT == nil) != (errE == nil):
+			t.Fatalf("engines disagree on outcome:\nthreaded err=%v\nevent err=%v", errT, errE)
+		}
+		if repT == nil || repE == nil {
+			return
+		}
+		// Kills without chaos leave traffic host-order-dependent; every
+		// other configuration must agree on the census.
+		if kill == 0 || mk != nil {
+			if repT.MsgsByDist != repE.MsgsByDist || repT.BytesByDist != repE.BytesByDist {
+				t.Fatalf("traffic diverges:\nthreaded %v %v\nevent    %v %v",
+					repT.MsgsByDist, repT.BytesByDist, repE.MsgsByDist, repE.BytesByDist)
+			}
+		}
+		if mk != nil {
+			if recT.Hash() != recE.Hash() {
+				t.Fatalf("chaos schedules diverge at decision %d (threaded %d decisions, event %d)",
+					recT.Diverge(recE), recT.Len(), recE.Len())
+			}
+			if repT.Time != repE.Time {
+				t.Fatalf("virtual time diverges: threaded %g, event %g", repT.Time, repE.Time)
+			}
+			if repT.Detections != repE.Detections || repT.DetectTime != repE.DetectTime {
+				t.Fatalf("detection totals diverge: threaded (%d, %g), event (%d, %g)",
+					repT.Detections, repT.DetectTime, repE.Detections, repE.DetectTime)
+			}
+		}
+	})
+}

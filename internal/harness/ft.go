@@ -112,6 +112,7 @@ func runRecoveryOnce(cfg Config, op collective.VOp, kills []mpirt.Kill) (float64
 		WallLimit: cfg.WallLimit,
 		Chaos:     cfg.Chaos,
 		Kills:     kills,
+		Engine:    cfg.Engine,
 	}, func(p *mpirt.Proc) {
 		r := p.Rank()
 		p.SyncResetTime()

@@ -43,6 +43,11 @@ type Config struct {
 	// knob for robustness studies: how much do latency spikes, retries
 	// and slow ranks cost each algorithm?
 	Chaos *mpirt.Chaos
+	// Engine selects the mpirt execution engine (threaded
+	// goroutine-per-rank or the serial event loop); the zero value
+	// defers to the NBR_MPIRT_ENGINE environment knob, then the
+	// threaded default.
+	Engine mpirt.Engine
 }
 
 // Result summarises one measurement.
@@ -94,6 +99,7 @@ func Measure(cfg Config, op collective.Op) (Result, error) {
 		Phantom:   cfg.Phantom,
 		WallLimit: cfg.WallLimit,
 		Chaos:     cfg.Chaos,
+		Engine:    cfg.Engine,
 	}, func(p *mpirt.Proc) {
 		r := p.Rank()
 		for tr := 0; tr < trials; tr++ {

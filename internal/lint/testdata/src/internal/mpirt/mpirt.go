@@ -44,6 +44,8 @@ func (p *Proc) RecvErr(src, tag int) (Msg, error)                       { return
 func (p *Proc) WaitAll(reqs ...*Request) {}
 func (p *Proc) Barrier()                 {}
 func (p *Proc) SyncResetTime()           {}
+func (p *Proc) Yield()                   {}
+func (p *Proc) VT() float64              { return 0 }
 
 func (p *Proc) Sub(c *Comm, tagShift int) *SubProc { return &SubProc{} }
 

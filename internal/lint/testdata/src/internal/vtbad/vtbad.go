@@ -3,7 +3,11 @@
 // finding.
 package vtbad
 
-import "time"
+import (
+	"time"
+
+	"nbrallgather/internal/mpirt"
+)
 
 // Clocky collects the host-clock violation classes.
 func Clocky() time.Duration {
@@ -13,6 +17,25 @@ func Clocky() time.Duration {
 	defer t.Stop()
 	<-time.After(time.Millisecond) // want "time.After reads the host clock"
 	return time.Since(start)       // want "time.Since reads the host clock"
+}
+
+// PollHostClock is the event-engine anti-pattern: pacing a Probe poll
+// loop with host sleeps. On the serial event engine a host sleep
+// blocks the single event loop and stalls every rank; the loop must
+// advance the virtual clock with Proc.Yield instead.
+func PollHostClock(p *mpirt.Proc) {
+	for !p.Probe(0, 1) {
+		time.Sleep(time.Microsecond) // want "time.Sleep reads the host clock"
+	}
+}
+
+// PollYield is the engine-safe version of the same loop: Proc.Yield
+// reschedules the rank one virtual-time tick later on either engine,
+// and the analyzer has nothing to say about it.
+func PollYield(p *mpirt.Proc) {
+	for !p.Probe(0, 1) {
+		p.Yield()
+	}
 }
 
 // DurationsOnly shows that duration arithmetic and constants are legal

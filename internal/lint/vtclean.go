@@ -10,7 +10,11 @@ import (
 // independent and replayable; host time is legitimate only at the
 // edges (CLI drivers, the benchmark harness, the watchdog that guards
 // the host process itself — the latter inside the runtime, annotated
-// with //lint:wallclock).
+// with //lint:wallclock). The rule matters doubly on the serial event
+// engine, where a host sleep does not just skew one rank's results but
+// blocks the single event loop for every rank: code waiting for
+// simulated progress must advance the virtual clock (Proc.Yield), not
+// the host one.
 var VTCleanAnalyzer = &Analyzer{
 	Name:       "vtclean",
 	Doc:        "flags host-clock use outside the designated wall-clock packages",

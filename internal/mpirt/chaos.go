@@ -184,6 +184,11 @@ type chaosRT struct {
 	cycleScratch []WaitEdge
 	// flightFree recycles flightMsg containers between deliveries.
 	flightFree []*flightMsg
+	// loop, when non-nil, marks the event engine hosting the decision
+	// loop on the Run goroutine (chaosRT.runLoop): yielding ranks nudge
+	// it through this cap-1 channel instead of deciding inline. Nil on
+	// the threaded engine.
+	loop chan struct{}
 }
 
 // newFlightLocked draws a flightMsg container from the freelist.
@@ -263,14 +268,17 @@ const (
 )
 
 // scheduleLocked makes one scheduling decision and wakes the chosen
-// rank. It must run with cs.mu held by the rank that just yielded the
-// token (or by Run at start-up). When every live rank is blocked in a
-// receive with no deliverable message, it fails the run with a
-// deadlock error — exact detection, no watchdog heuristics needed.
-func (cs *chaosRT) scheduleLocked() {
+// rank, reporting whether a token was handed out (false: the run
+// completed, deadlocked, or aborted). It must run with cs.mu held —
+// by the rank that just yielded the token (threaded engine), by Run
+// at start-up, or by the hosted decision loop (event engine). When
+// every live rank is blocked in a receive with no deliverable
+// message, it fails the run with a deadlock error — exact detection,
+// no watchdog heuristics needed.
+func (cs *chaosRT) scheduleLocked() bool {
 	for {
 		if cs.rt.aborted.Load() {
-			return
+			return false
 		}
 		opts := cs.opts[:0]
 		finished := 0
@@ -327,10 +335,10 @@ func (cs *chaosRT) scheduleLocked() {
 		cs.opts = opts // retain the scratch capacity across decisions
 		if len(opts) == 0 {
 			if finished == cs.rt.n {
-				return // run complete
+				return false // run complete
 			}
 			cs.rt.fail(fmt.Errorf("%w: %s", ErrDeadlock, cs.blockedSummaryLocked()))
-			return
+			return false
 		}
 
 		var pick chaosOption
@@ -338,7 +346,7 @@ func (cs *chaosRT) scheduleLocked() {
 			var ok bool
 			pick, ok = cs.replayPickLocked(opts)
 			if !ok {
-				return // replayPickLocked failed the run
+				return false // replayPickLocked failed the run
 			}
 		} else {
 			pick = opts[cs.schedRNG.Intn(len(opts))]
@@ -356,7 +364,7 @@ func (cs *chaosRT) scheduleLocked() {
 			cs.recordLocked(trace.Decision{Kind: kind, Rank: pick.rank})
 			cs.state[pick.rank] = chaosRunning
 			cs.token[pick.rank] <- chaosWake{err: werr}
-			return
+			return true
 		}
 		if pick.kind == optFail {
 			cs.recordLocked(trace.Decision{
@@ -364,7 +372,7 @@ func (cs *chaosRT) scheduleLocked() {
 			})
 			cs.state[pick.rank] = chaosRunning
 			cs.token[pick.rank] <- chaosWake{err: &RankFailedError{Rank: pick.src}}
-			return
+			return true
 		}
 		fm := cs.inflight[pick.rank][pick.fi]
 		cs.removeInflightLocked(pick.rank, pick.fi)
@@ -388,7 +396,46 @@ func (cs *chaosRT) scheduleLocked() {
 		msg := fm.msg
 		cs.freeFlightLocked(fm)
 		cs.token[pick.rank] <- chaosWake{msg: msg}
+		return true
+	}
+}
+
+// yieldLocked hands scheduling control onward after the calling rank
+// blocked or finished. On the threaded engine the yielding rank makes
+// the next decision inline; on the event engine the decision loop is
+// hosted on the Run goroutine, so the yield just nudges it. The
+// decision logic, RNG draws, and token protocol are shared either
+// way — which is what keeps chaos schedules bit-equal across engines.
+// The nudge is non-blocking on a cap-1 channel: the serial token
+// protocol guarantees at most one un-consumed yield, and after an
+// abort the loop is gone.
+func (cs *chaosRT) yieldLocked() {
+	if cs.loop != nil {
+		select {
+		case cs.loop <- struct{}{}:
+		default:
+		}
 		return
+	}
+	cs.scheduleLocked()
+}
+
+// runLoop is the event engine's chaos driver: make one decision, wait
+// for the woken rank to yield the token back, repeat. Returns when
+// the run completes, deadlocks, or aborts.
+func (cs *chaosRT) runLoop() {
+	for {
+		cs.mu.Lock()
+		woke := cs.scheduleLocked()
+		cs.mu.Unlock()
+		if !woke {
+			return
+		}
+		select {
+		case <-cs.loop:
+		case <-cs.rt.failedCh:
+			return
+		}
 	}
 }
 
@@ -529,7 +576,7 @@ func (p *Proc) chaosFinish() {
 	cs := p.rt.chaos
 	cs.mu.Lock()
 	cs.state[p.rank] = chaosFinished
-	cs.scheduleLocked()
+	cs.yieldLocked()
 	cs.mu.Unlock()
 }
 
@@ -591,7 +638,7 @@ func (p *Proc) chaosRecvErr(src, tag int) (Msg, error) {
 	if derr := cs.detectRecvCycleLocked(p.rank); derr != nil {
 		cs.rt.fail(derr)
 	}
-	cs.scheduleLocked()
+	cs.yieldLocked()
 	cs.mu.Unlock()
 	w := p.chaosPark()
 	if w.err != nil {
@@ -645,7 +692,7 @@ func (p *Proc) chaosReduceMax(v float64) float64 {
 		cs.mu.Unlock()
 	} else {
 		cs.state[p.rank] = chaosBarrierWait
-		cs.scheduleLocked()
+		cs.yieldLocked()
 		cs.mu.Unlock()
 		p.chaosPark()
 	}
@@ -680,7 +727,7 @@ func (p *Proc) chaosFTRound(ok, clear bool) (bool, []int) {
 		cs.mu.Unlock()
 	} else {
 		cs.state[p.rank] = chaosFTWait
-		cs.scheduleLocked()
+		cs.yieldLocked()
 		cs.mu.Unlock()
 		p.chaosPark()
 	}

@@ -1,0 +1,77 @@
+package mpirt
+
+import (
+	"fmt"
+	"os"
+)
+
+// Engine selects the execution substrate a Run uses. Both engines
+// implement the same Endpoint API, typed-error surface, chaos
+// record/replay contract, and fail-stop semantics, so every collective
+// runs unmodified on either; the conformance differential oracle holds
+// them to identical buffers, schedule hashes, and deadlock cycles.
+type Engine string
+
+const (
+	// EngineDefault resolves the engine from the NBR_MPIRT_ENGINE
+	// environment variable, falling back to the threaded engine.
+	EngineDefault Engine = ""
+
+	// EngineThreaded is the original goroutine-per-rank engine: every
+	// rank is a goroutine, blocked ranks wait on condition variables,
+	// and a wall-clock watchdog backstops deadlock detection. It
+	// exercises real concurrency (the -race target of choice) but its
+	// per-rank stacks and cond contention cap it at tens of thousands
+	// of ranks.
+	EngineThreaded Engine = "threaded"
+
+	// EngineEvent runs each rank as a resumable state machine over a
+	// central calendar/ladder event queue keyed by virtual time with a
+	// deterministic (vt, rank, seq) tie-break. Execution is serial —
+	// one rank at a time, resumed by the event loop — which makes
+	// non-chaos runs deterministic, deadlock detection exact (no
+	// watchdog sampling), and 100k–1M-rank phantom sweeps affordable.
+	EngineEvent Engine = "event"
+)
+
+// EngineEnv is the environment variable EngineDefault resolves
+// through: set NBR_MPIRT_ENGINE=event to flip every default-engine
+// Run in a process (the conformance and bench CLIs also take explicit
+// -engine flags).
+const EngineEnv = "NBR_MPIRT_ENGINE"
+
+// Engines lists the concrete engines, for CLIs and differential
+// sweeps.
+func Engines() []Engine { return []Engine{EngineThreaded, EngineEvent} }
+
+// ResolveEngine maps a Config.Engine value to a concrete engine,
+// consulting NBR_MPIRT_ENGINE for the default. Unknown names are an
+// error rather than a silent fallback.
+func ResolveEngine(e Engine) (Engine, error) {
+	switch e {
+	case EngineThreaded, EngineEvent:
+		return e, nil
+	case EngineDefault:
+		switch v := os.Getenv(EngineEnv); v {
+		case "", string(EngineThreaded):
+			return EngineThreaded, nil
+		case string(EngineEvent):
+			return EngineEvent, nil
+		default:
+			return "", fmt.Errorf("mpirt: %s=%q: unknown engine (want %q or %q)",
+				EngineEnv, v, EngineThreaded, EngineEvent)
+		}
+	default:
+		return "", fmt.Errorf("mpirt: unknown engine %q (want %q or %q)", e, EngineThreaded, EngineEvent)
+	}
+}
+
+// ParseEngine validates a CLI-supplied engine name ("" selects the
+// default resolution path).
+func ParseEngine(s string) (Engine, error) {
+	switch Engine(s) {
+	case EngineDefault, EngineThreaded, EngineEvent:
+		return Engine(s), nil
+	}
+	return "", fmt.Errorf("unknown engine %q (want %q or %q)", s, EngineThreaded, EngineEvent)
+}

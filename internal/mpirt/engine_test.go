@@ -1,0 +1,245 @@
+package mpirt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nbrallgather/internal/trace"
+)
+
+// Tests for the engine knob and for the two-engine equivalence
+// contract at the mpirt layer: identical ground-truth buffers and
+// traffic counts always; identical schedules, hashes, and virtual
+// times whenever chaos serialises execution; identical canonical
+// deadlock cycles on both substrates. The full differential matrix
+// lives in internal/conformance; these are the unit-sized anchors.
+
+func TestEngineResolve(t *testing.T) {
+	t.Setenv(EngineEnv, "")
+	for _, tc := range []struct {
+		in   Engine
+		env  string
+		want Engine
+		ok   bool
+	}{
+		{EngineDefault, "", EngineThreaded, true},
+		{EngineDefault, "threaded", EngineThreaded, true},
+		{EngineDefault, "event", EngineEvent, true},
+		{EngineDefault, "quantum", "", false},
+		{EngineThreaded, "event", EngineThreaded, true}, // explicit beats env
+		{EngineEvent, "", EngineEvent, true},
+		{Engine("bogus"), "", "", false},
+	} {
+		t.Setenv(EngineEnv, tc.env)
+		got, err := ResolveEngine(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ResolveEngine(%q) with env %q = %q, %v; want %q", tc.in, tc.env, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ResolveEngine(%q) with env %q accepted; want error", tc.in, tc.env)
+		}
+	}
+	if _, err := ParseEngine("event"); err != nil {
+		t.Errorf("ParseEngine(event): %v", err)
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Error("ParseEngine(warp) accepted")
+	}
+}
+
+// engineExchange runs the chaos_test allgather body on one engine and
+// returns the report plus every rank's received-source sets.
+func engineExchange(t *testing.T, eng Engine) (*Report, [8][]int) {
+	t.Helper()
+	var got [8][]int
+	rep, err := Run(Config{
+		Cluster:   smallCluster(),
+		WallLimit: 20 * time.Second,
+		Engine:    eng,
+	}, allgatherBody(t, &got))
+	if err != nil {
+		t.Fatalf("engine %q: %v", eng, err)
+	}
+	return rep, got
+}
+
+// TestEventEngineSelfDeterministic: without chaos the event engine is
+// deterministic on its own — two runs agree on virtual time, traffic
+// counts, and delivered data. (The threaded engine's VTs are
+// host-order-dependent without chaos, so this property is the event
+// engine's alone.)
+func TestEventEngineSelfDeterministic(t *testing.T) {
+	rep1, got1 := engineExchange(t, EngineEvent)
+	rep2, got2 := engineExchange(t, EngineEvent)
+	if rep1.Time != rep2.Time {
+		t.Fatalf("event engine vt diverges across runs: %g vs %g", rep1.Time, rep2.Time)
+	}
+	if rep1.MsgsByDist != rep2.MsgsByDist || rep1.BytesByDist != rep2.BytesByDist ||
+		rep1.MaxRankMsgs != rep2.MaxRankMsgs || rep1.MaxRankBytes != rep2.MaxRankBytes {
+		t.Fatalf("event engine counters diverge: %+v vs %+v", rep1, rep2)
+	}
+	for r := range got1 {
+		if len(got1[r]) != len(got2[r]) {
+			t.Fatalf("rank %d delivery count diverges", r)
+		}
+		for i := range got1[r] {
+			if got1[r][i] != got2[r][i] {
+				t.Fatalf("rank %d delivery order diverges: %v vs %v", r, got1[r], got2[r])
+			}
+		}
+	}
+}
+
+// TestEnginesAgreeOnTraffic: both engines run the same program to the
+// same ground truth — equal message and byte counts by distance class
+// and complete, duplicate-free delivery. (Virtual times are only
+// comparable under chaos; see TestChaosOnEventBitExact.)
+func TestEnginesAgreeOnTraffic(t *testing.T) {
+	repT, gotT := engineExchange(t, EngineThreaded)
+	repE, gotE := engineExchange(t, EngineEvent)
+	if repT.MsgsByDist != repE.MsgsByDist || repT.BytesByDist != repE.BytesByDist {
+		t.Fatalf("traffic diverges:\nthreaded %+v %+v\nevent    %+v %+v",
+			repT.MsgsByDist, repT.BytesByDist, repE.MsgsByDist, repE.BytesByDist)
+	}
+	for r := range gotT {
+		var haveT, haveE [8]bool
+		for _, s := range gotT[r] {
+			haveT[s] = true
+		}
+		for _, s := range gotE[r] {
+			haveE[s] = true
+		}
+		if haveT != haveE {
+			t.Fatalf("rank %d delivered sets diverge: %v vs %v", r, gotT[r], gotE[r])
+		}
+	}
+}
+
+// TestChaosOnEventBitExact: under chaos both engines share the
+// decision core, so the same seed must produce the identical decision
+// schedule (hash and all) and identical virtual time on either one.
+func TestChaosOnEventBitExact(t *testing.T) {
+	once := func(eng Engine, seed int64) (*trace.Schedule, *Report) {
+		var got [8][]int
+		rec := trace.NewSchedule()
+		c := DefaultChaos(seed)
+		c.Record = rec
+		rep, err := Run(Config{
+			Cluster:   smallCluster(),
+			WallLimit: 20 * time.Second,
+			Chaos:     c,
+			Engine:    eng,
+		}, allgatherBody(t, &got))
+		if err != nil {
+			t.Fatalf("engine %q seed %d: %v", eng, seed, err)
+		}
+		return rec, rep
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		schedT, repT := once(EngineThreaded, seed)
+		schedE, repE := once(EngineEvent, seed)
+		if schedT.Hash() != schedE.Hash() {
+			t.Fatalf("seed %d: schedule hash diverges: %x vs %x", seed, schedT.Hash(), schedE.Hash())
+		}
+		if repT.Time != repE.Time {
+			t.Fatalf("seed %d: vt diverges: %g vs %g", seed, repT.Time, repE.Time)
+		}
+		if repT.MsgsByDist != repE.MsgsByDist || repT.BytesByDist != repE.BytesByDist {
+			t.Fatalf("seed %d: traffic diverges", seed)
+		}
+	}
+}
+
+// TestEventDeadlockCycleMatchesThreaded: the wait-for-graph proof is
+// engine-independent — both substrates report the same canonical cycle
+// for the same stuck program. The event engine proves it from an empty
+// event queue (no watchdog, no wall-clock); the threaded engine from
+// the instant detector.
+func TestEventDeadlockCycleMatchesThreaded(t *testing.T) {
+	cycle := func(eng Engine) *DeadlockError {
+		t.Helper()
+		_, err := Run(Config{
+			Cluster:   failureCluster(),
+			Ranks:     4,
+			WallLimit: 30 * time.Second,
+			Engine:    eng,
+		}, cycleBody3)
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("engine %q: expected deadlock, got %v", eng, err)
+		}
+		var derr *DeadlockError
+		if !errors.As(err, &derr) {
+			t.Fatalf("engine %q: expected *DeadlockError, got %T", eng, err)
+		}
+		return derr
+	}
+	dT := cycle(EngineThreaded)
+	dE := cycle(EngineEvent)
+	if !dT.SameCycle(dE) {
+		t.Fatalf("cycles diverge across engines:\nthreaded %v\nevent    %v", dT.Cycle, dE.Cycle)
+	}
+	want := []WaitEdge{
+		{Rank: 0, Op: "recv", Peer: 1, Tag: 7},
+		{Rank: 1, Op: "recv", Peer: 2, Tag: 7},
+		{Rank: 2, Op: "recv", Peer: 0, Tag: 7},
+	}
+	for i := range want {
+		if dE.Cycle[i] != want[i] {
+			t.Fatalf("event cycle %v, want %v", dE.Cycle, want)
+		}
+	}
+}
+
+// TestEventEnginePhantom: phantom payloads run on the event engine with
+// nil data but full cost accounting — the mode the mega-scale sweeps
+// rely on.
+func TestEventEnginePhantom(t *testing.T) {
+	rep, err := Run(Config{Cluster: smallCluster(), Phantom: true, Engine: EngineEvent}, func(p *Proc) {
+		n := p.Size()
+		for d := 0; d < n; d++ {
+			if d != p.Rank() {
+				p.Send(d, 3, 4096, nil, nil)
+			}
+		}
+		for i := 0; i < n-1; i++ {
+			if m := p.Recv(AnySource, 3); m.Data != nil {
+				t.Errorf("phantom recv returned data (%d bytes)", len(m.Data))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bytes() != int64(8*7*4096) {
+		t.Fatalf("phantom bytes = %d, want %d", rep.Bytes(), 8*7*4096)
+	}
+	if rep.Time <= 0 {
+		t.Fatalf("phantom run charged no virtual time")
+	}
+}
+
+// TestEventYieldMakesProgress: a Yield poll loop on the event engine
+// must let the polled-for rank run (the starvation regression), and
+// Yield itself must not advance the modelled clock.
+func TestEventYieldMakesProgress(t *testing.T) {
+	_, err := Run(Config{Cluster: smallCluster(), Engine: EngineEvent, WallLimit: 10 * time.Second}, func(p *Proc) {
+		if p.Rank() == 0 {
+			before := p.VT()
+			for !p.Probe(7, 9) {
+				p.Yield()
+			}
+			if p.VT() != before {
+				t.Errorf("Yield advanced vt from %g to %g", before, p.VT())
+			}
+			p.Recv(7, 9)
+			return
+		}
+		if p.Rank() == 7 {
+			p.Send(0, 9, 1, []byte{1}, nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

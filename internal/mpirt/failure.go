@@ -122,6 +122,23 @@ func (rt *Runtime) markDead(r int) {
 			cs.wakeFTWaitersLocked()
 		}
 		cs.mu.Unlock()
+	} else if ev := rt.ev; ev != nil {
+		// Event mode: the dying rank is the running entity; queue wake
+		// events for whatever the death completes or unblocks, and keep
+		// unwinding.
+		rt.bmu.Lock()
+		wb := rt.completeBarrierLocked()
+		res := rt.reduceRes
+		wf := rt.completeFTLocked()
+		fmax := rt.ftMax
+		rt.bmu.Unlock()
+		if wb {
+			ev.wakeWaiters(evBarrierWait, res)
+		}
+		if wf {
+			ev.wakeWaiters(evFTWait, fmax)
+		}
+		ev.wakeDeathObservers(r)
 	} else {
 		rt.bmu.Lock()
 		if rt.completeBarrierLocked() || rt.completeFTLocked() {
@@ -207,6 +224,10 @@ func (p *Proc) Revoke() {
 			cs.revokeWaitersLocked()
 		}
 		cs.mu.Unlock()
+	} else if ev := rt.ev; ev != nil {
+		if !rt.revoked.Swap(true) {
+			ev.wakeRevoked()
+		}
 	} else {
 		if !rt.revoked.Swap(true) {
 			for _, b := range rt.boxes {
@@ -248,6 +269,9 @@ func (p *Proc) ftRound(ok, clear bool) (bool, []int) {
 	p.enterOp()
 	if p.rt.chaos != nil {
 		return p.chaosFTRound(ok, clear)
+	}
+	if p.rt.ev != nil {
+		return p.eventFTRound(ok, clear)
 	}
 	rt := p.rt
 	rt.checkAborted()

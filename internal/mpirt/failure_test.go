@@ -15,9 +15,11 @@ func failureCluster() topology.Cluster {
 	return topology.Cluster{Nodes: 2, SocketsPerNode: 2, RanksPerSocket: 2, NodesPerGroup: 2}
 }
 
-// awaitDead spins until peer's death is visible to p.
+// awaitDead polls until peer's death is visible to p. The Yield makes
+// the poll cooperative: a bare spin would starve the serial engines.
 func awaitDead(p *Proc, peer int) {
 	for !p.Failed(peer) {
+		p.Yield()
 	}
 }
 

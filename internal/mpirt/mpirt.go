@@ -106,6 +106,12 @@ type Config struct {
 	// time it detects a given peer's death (the modelled heartbeat/ack
 	// timeout). 0 selects the 100 µs default.
 	DetectTimeout float64
+	// Engine selects the execution substrate: EngineThreaded (one
+	// goroutine per rank) or EngineEvent (a serial event loop over a
+	// calendar queue). The zero value resolves through the
+	// NBR_MPIRT_ENGINE environment variable and defaults to threaded.
+	// Both engines implement identical semantics; see the Engine type.
+	Engine Engine
 }
 
 // Report summarises one runtime execution.
@@ -303,6 +309,9 @@ type Runtime struct {
 	failErr  atomic.Pointer[error]
 	failedCh chan struct{}
 	chaos    *chaosRT
+	// ev is non-nil when the run executes on the event engine without
+	// chaos (chaos keeps its own serial driver; see event.go).
+	ev *eventRT
 
 	// fail-stop state: deadMask marks permanently failed ranks,
 	// revoked the ULFM-style communicator revocation epoch.
@@ -371,9 +380,9 @@ type Proc struct {
 	cycleScratch []WaitEdge
 }
 
-// Run executes body on cfg.Ranks goroutine ranks and returns the
-// aggregate report. It returns an error if any rank panicked or the
-// watchdog detected a deadlock.
+// Run executes body on cfg.Ranks ranks (on the configured engine) and
+// returns the aggregate report. It returns an error if any rank
+// panicked or a deadlock was detected.
 func Run(cfg Config, body func(*Proc)) (*Report, error) {
 	if err := cfg.Cluster.Validate(); err != nil {
 		return nil, err
@@ -390,6 +399,10 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 		params = netmodel.NiagaraParams()
 	}
 	model, err := netmodel.New(cfg.Cluster, params)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := ResolveEngine(cfg.Engine)
 	if err != nil {
 		return nil, err
 	}
@@ -428,13 +441,6 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 	if cfg.Chaos != nil {
 		rt.chaos = newChaosRT(rt, *cfg.Chaos)
 	}
-
-	// Wall-clock reporting only: Report.Wall measures host execution
-	// time for the operator's benefit and never feeds the virtual
-	// clocks, message ordering, or any modelled result.
-	start := time.Now() //lint:wallclock
-	var wg sync.WaitGroup
-	wg.Add(n)
 	for r := 0; r < n; r++ {
 		p := &Proc{rt: rt, rank: r}
 		for _, k := range cfg.Kills {
@@ -443,50 +449,124 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 			}
 		}
 		rt.procs[r] = p
-		go func() {
-			defer wg.Done()
-			defer func() {
-				rt.finished.Add(1)
-				if rec := recover(); rec != nil {
-					err := asErr(rec)
-					switch {
-					case errors.Is(err, errAborted):
-						// The run already failed elsewhere.
-					case errors.Is(err, errKilled):
-						// Injected fail-stop crash: a permanent rank
-						// exit, not a run failure. Peers observe it via
-						// the ULFM error surface.
-					case isFailureError(err):
-						// A typed failure escaped the rank body without
-						// a recovery layer absorbing it: abort the run
-						// with the typed error, no stack noise.
-						rt.fail(fmt.Errorf("mpirt: rank %d aborted: %w", p.rank, err))
-					default:
-						buf := make([]byte, 16<<10)
-						buf = buf[:runtime.Stack(buf, false)]
-						rt.fail(fmt.Errorf("mpirt: rank %d panicked: %v\n%s", p.rank, rec, buf))
-					}
-				}
-				// A finished rank may leave peers blocked on it; kick
-				// the watchdog's progress view so it re-evaluates.
-				rt.progress.Add(1)
-			}()
-			if rt.chaos != nil {
-				// Park until the seeded scheduler — not goroutine spawn
-				// order — decides who runs first, and pass the token on
-				// when this rank's body returns or panics.
-				defer p.chaosFinish()
-				p.chaosAwaitStart()
-			}
-			body(p)
-		}()
+	}
+
+	// Wall-clock reporting only: Report.Wall measures host execution
+	// time for the operator's benefit and never feeds the virtual
+	// clocks, message ordering, or any modelled result.
+	start := time.Now() //lint:wallclock
+	if eng == EngineEvent {
+		rt.runEvent(body)
+	} else {
+		rt.runThreaded(start, body)
+	}
+
+	if errp := rt.failErr.Load(); errp != nil {
+		return nil, *errp
+	}
+	return rt.buildReport(start), nil
+}
+
+// rankBody runs body on p with the engine-shared exit protocol: panic
+// classification via rankRecover and — under the chaos scheduler —
+// the start parking and token hand-off. The threaded engine and
+// chaos-mode event runs execute every rank on one of these.
+func (rt *Runtime) rankBody(p *Proc, wg *sync.WaitGroup, body func(*Proc)) {
+	defer wg.Done()
+	defer func() {
+		rt.rankRecover(p, recover())
+	}()
+	if rt.chaos != nil {
+		// Park until the seeded scheduler — not goroutine spawn
+		// order — decides who runs first, and pass the token on
+		// when this rank's body returns or panics.
+		defer p.chaosFinish()
+		p.chaosAwaitStart()
+	}
+	body(p)
+}
+
+// rankRecover classifies a rank's exit (rec is its recover() value,
+// nil for a clean return) and performs the shared bookkeeping. Both
+// engines route every rank exit through here so the error surface is
+// identical.
+func (rt *Runtime) rankRecover(p *Proc, rec any) {
+	rt.finished.Add(1)
+	if rec != nil {
+		err := asErr(rec)
+		switch {
+		case errors.Is(err, errAborted):
+			// The run already failed elsewhere.
+		case errors.Is(err, errKilled):
+			// Injected fail-stop crash: a permanent rank
+			// exit, not a run failure. Peers observe it via
+			// the ULFM error surface.
+		case isFailureError(err):
+			// A typed failure escaped the rank body without
+			// a recovery layer absorbing it: abort the run
+			// with the typed error, no stack noise.
+			rt.fail(fmt.Errorf("mpirt: rank %d aborted: %w", p.rank, err))
+		default:
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			rt.fail(fmt.Errorf("mpirt: rank %d panicked: %v\n%s", p.rank, rec, buf))
+		}
+	}
+	// A finished rank may leave peers blocked on it; kick
+	// the watchdog's progress view so it re-evaluates.
+	rt.progress.Add(1)
+}
+
+// runThreaded executes the run on the goroutine-per-rank engine with
+// the wall-clock watchdog as the deadlock backstop.
+func (rt *Runtime) runThreaded(start time.Time, body func(*Proc)) {
+	var wg sync.WaitGroup
+	wg.Add(rt.n)
+	for r := 0; r < rt.n; r++ {
+		go rt.rankBody(rt.procs[r], &wg, body)
 	}
 	if rt.chaos != nil {
 		rt.chaos.start()
 	}
-
 	watchdogDone := make(chan struct{})
 	go rt.watchdog(start, watchdogDone)
+	rt.awaitRanks(&wg)
+	close(watchdogDone)
+}
+
+// runEvent executes the run on the event engine. There is no
+// watchdog: deadlock detection is exact (an empty event queue, or the
+// chaos scheduler running out of options), so only the wall-clock
+// limit needs a host timer.
+func (rt *Runtime) runEvent(body func(*Proc)) {
+	limit := time.AfterFunc(rt.cfg.WallLimit, func() { //lint:wallclock — harness safety net, outside the model
+		rt.fail(fmt.Errorf("mpirt: wall-clock limit %v exceeded", rt.cfg.WallLimit))
+	})
+	defer limit.Stop()
+	var wg sync.WaitGroup
+	if rt.chaos != nil {
+		// Chaos execution is already serial token-passing; host its
+		// unmodified decision loop on this goroutine so the decision
+		// stream — and therefore the schedule hash — is bit-identical
+		// to the threaded engine's.
+		rt.chaos.loop = make(chan struct{}, 1)
+		wg.Add(rt.n)
+		for r := 0; r < rt.n; r++ {
+			go rt.rankBody(rt.procs[r], &wg, body)
+		}
+		rt.chaos.runLoop()
+	} else {
+		rt.ev = newEventRT(rt, &wg, body)
+		rt.ev.loop()
+	}
+	rt.awaitRanks(&wg)
+}
+
+// awaitRanks waits for every spawned rank goroutine, with a short
+// grace period on failure before abandoning ranks stuck in host-level
+// blocking (they exit at their next runtime call; the shared state
+// stays valid).
+func (rt *Runtime) awaitRanks(wg *sync.WaitGroup) {
 	allDone := make(chan struct{})
 	go func() {
 		wg.Wait()
@@ -495,28 +575,23 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 	select {
 	case <-allDone:
 	case <-rt.failedCh:
-		// Give unwinding ranks a moment, then abandon any that are
-		// stuck in host-level blocking (they exit at their next
-		// runtime call; the shared state stays valid).
 		select {
 		case <-allDone:
 		case <-time.After(200 * time.Millisecond): //lint:wallclock — host-level unwind grace period
 		}
 	}
-	close(watchdogDone)
+}
 
-	if errp := rt.failErr.Load(); errp != nil {
-		return nil, *errp
-	}
-
-	rep := &Report{Wall: time.Since(start), Ranks: n} //lint:wallclock — reporting only
+// buildReport assembles the Report from a completed (non-failed) run.
+func (rt *Runtime) buildReport(start time.Time) *Report {
+	rep := &Report{Wall: time.Since(start), Ranks: rt.n} //lint:wallclock — reporting only
 	for d := range rep.MsgsByDist {
 		rep.MsgsByDist[d] = rt.msgsByDist[d].Load()
 		rep.BytesByDist[d] = rt.bytesByDist[d].Load()
 	}
 	rep.DeadRanks = rt.deadRanksOf()
 	for _, p := range rt.procs {
-		t := math.Max(p.vt, model.PortDrain(p.rank))
+		t := math.Max(p.vt, rt.model.PortDrain(p.rank))
 		if t > rep.Time {
 			rep.Time = t
 		}
@@ -529,7 +604,7 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 		rep.Detections += p.detections
 		rep.DetectTime += p.detectTime
 	}
-	return rep, nil
+	return rep
 }
 
 func asErr(rec any) error {
@@ -697,6 +772,36 @@ func (p *Proc) AdvanceVT(d float64) {
 // bytes.
 func (p *Proc) ChargeCopy(n int) { p.AdvanceVT(p.rt.model.CopyTime(n)) }
 
+// Yield cooperatively lets other ranks run without blocking on a
+// message, advancing virtual time, or counting as a blocking
+// operation. Polling loops (Probe, Failed, Revoked) only make
+// progress on the threaded engine by accident of goroutine
+// preemption; on the serial engines (event, chaos) the poller holds
+// the execution until it yields, so any poll loop must call Yield.
+func (p *Proc) Yield() {
+	rt := p.rt
+	rt.checkAborted()
+	if cs := rt.chaos; cs != nil {
+		cs.mu.Lock()
+		cs.state[p.rank] = chaosRunnable
+		cs.yieldLocked()
+		cs.mu.Unlock()
+		p.chaosPark()
+		return
+	}
+	if ev := rt.ev; ev != nil {
+		// Key the wake one ulp after the loop's current instant: the
+		// (vt, rank, seq) order would otherwise sort a low rank's
+		// re-wake ahead of same-vt events already queued for higher
+		// ranks, and a Yield poll loop would starve them forever.
+		ev.schedule(p.rank, math.Nextafter(ev.now, math.Inf(1)))
+		ev.state[p.rank] = evYield
+		ev.park(p)
+		return
+	}
+	runtime.Gosched()
+}
+
 // Alloc returns a payload buffer of n bytes, or nil in phantom mode.
 func (p *Proc) Alloc(n int) []byte {
 	if p.rt.cfg.Phantom {
@@ -800,7 +905,17 @@ func (p *Proc) sendErr(dst, tag, size int, data []byte, meta any) error {
 	box := p.rt.boxes[dst]
 	box.mu.Lock()
 	box.enqueueLocked(m)
-	box.cond.Broadcast()
+	if ev := p.rt.ev; ev != nil {
+		// Event engine: wake the destination only if it is parked on a
+		// matching receive, with the wake keyed to the modelled arrival
+		// so resumption order follows virtual time.
+		if box.waiter && (box.wSrc == AnySource || box.wSrc == p.rank) &&
+			(box.wTag == AnyTag || box.wTag == tag) {
+			ev.schedule(dst, arrival)
+		}
+	} else {
+		box.cond.Broadcast()
+	}
 	box.mu.Unlock()
 	p.rt.progress.Add(1)
 	return nil
@@ -896,6 +1011,9 @@ func (p *Proc) recvErr(src, tag int) (Msg, error) {
 	p.enterOp()
 	if p.rt.chaos != nil {
 		return p.chaosRecvErr(src, tag)
+	}
+	if p.rt.ev != nil {
+		return p.eventRecvErr(src, tag)
 	}
 	p.rt.checkAborted()
 	if src != AnySource && (src < 0 || src >= p.rt.n) {
@@ -1021,6 +1139,9 @@ func (p *Proc) reduceMax(v float64) float64 {
 	p.enterOp()
 	if p.rt.chaos != nil {
 		return p.chaosReduceMax(v)
+	}
+	if p.rt.ev != nil {
+		return p.eventReduceMax(v)
 	}
 	rt := p.rt
 	rt.bmu.Lock()
