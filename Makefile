@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif test race cover bench chaos faults fuzz mega repro examples clean
+.PHONY: all build vet lint lint-sarif test race cover bench chaos faults linkfaults fuzz mega repro examples clean
 
 all: build lint test
 
@@ -47,6 +47,14 @@ chaos:
 # reproduce line.
 faults:
 	$(GO) run ./cmd/nbr-chaos -faults -engine both -seeds 10
+	$(GO) run ./cmd/nbr-chaos -linkfaults -engine both -seeds 10
+
+# Link-fault sweep alone: the link-fault case family (every algorithm ×
+# {down NIC/port/uplink, partitions, degraded fabrics} × before/mid/raw)
+# across 10 seeds on both engines. Failing seeds print a
+# `nbr-chaos -linkfaults -case ... -replay N` reproduce line.
+linkfaults:
+	$(GO) run ./cmd/nbr-chaos -linkfaults -engine both -seeds 10
 
 # Brief fuzz of the MatrixMarket parser and the cross-engine
 # divergence oracle (longer runs: go test -fuzz with -fuzztime of your
@@ -54,6 +62,7 @@ faults:
 fuzz:
 	$(GO) test -fuzz=FuzzReadMatrixMarket -fuzztime=20s ./internal/sparse
 	$(GO) test -fuzz=FuzzEngineDivergence -fuzztime=20s ./internal/conformance
+	$(GO) test -fuzz=FuzzLinkFaultDivergence -fuzztime=20s ./internal/conformance
 
 # Mega-scale sweep: ≥100k ranks of Moore neighborhood with phantom
 # payloads on the event engine, heap statistics included (budget a few
@@ -69,6 +78,7 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 	$(GO) test -bench=. -benchmem ./internal/mpirt/
 	$(GO) run ./cmd/nbr-bench -json results/BENCH_pr5.json -micro
+	$(GO) run ./cmd/nbr-bench -degradation -json results/BENCH_pr7.json
 
 # Regenerate the experiment outputs in results/ (~15 min at medium scale).
 repro:

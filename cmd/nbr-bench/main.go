@@ -48,6 +48,8 @@ func run(args []string, out io.Writer) error {
 	jsonPath := fs.String("json", "", "write the machine-readable benchmark (per-algorithm Fig. 4 cells plus fail-stop recovery overhead) to this path and exit")
 	micro := fs.Bool("micro", false, "with -json, include the mpirt hot-path micro-benchmarks (match, pool, barrier, allgather step)")
 	mega := fs.Bool("mega", false, "with -json, run the mega-scale phantom sweep (event engine, Moore neighborhood over -mega-ranks ranks) instead of the figure benchmarks")
+	degradation := fs.Bool("degradation", false, "measure degraded-fabric overhead (link faults: slow uplinks/NICs, a down NIC) per self-healing algorithm instead of the figure benchmarks; -json writes the nbr-bench/pr7 document")
+	degMsg := fs.Int("deg-msg", 1<<18, "per-rank payload size in bytes for -degradation")
 	megaRanks := fs.Int("mega-ranks", 102400, "communicator size for -mega (multiple of 64)")
 	megaMsg := fs.Int("mega-msg", 4096, "per-rank payload size in bytes for -mega")
 	pf := prof.Register(fs)
@@ -66,8 +68,14 @@ func run(args []string, out io.Writer) error {
 	}
 
 	return pf.Wrap(func() error {
+		if *mega && *degradation {
+			return fmt.Errorf("-mega and -degradation are mutually exclusive")
+		}
 		if *mega {
 			return runMega(out, *jsonPath, *megaRanks, *megaMsg, *wall)
+		}
+		if *degradation {
+			return runDegradation(out, *jsonPath, place(topology.Niagara(*nodes, *rps)), *degMsg, *seed, *wall)
 		}
 		return runFigs(out, place, *fig, *nodes, *rps, *trials, *seed, *full, *csv, *minMsg, *maxMsg, *wall, *jsonPath, *micro)
 	})

@@ -116,3 +116,54 @@ func TestProfilingFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestRunDegradation drives the degraded-fabric measurement at a toy
+// shape and checks the pr7 JSON snapshot: every scenario × algorithm
+// row present, and the nic-down scenario actually routes at least one
+// algorithm through the repair path.
+func TestRunDegradation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_pr7.json")
+	var out bytes.Buffer
+	err := run([]string{"-degradation", "-nodes", "4", "-rps", "2", "-deg-msg", "65536", "-json", path}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc degDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if doc.Schema != "nbr-bench/pr7" {
+		t.Errorf("schema %q, want nbr-bench/pr7", doc.Schema)
+	}
+	if len(doc.Degradation) != 12 {
+		t.Fatalf("%d degradation rows, want 12 (3 scenarios × 4 algorithms)", len(doc.Degradation))
+	}
+	repaired := false
+	for _, r := range doc.Degradation {
+		if r.BaselineS <= 0 || r.DegradedS <= 0 {
+			t.Errorf("%s/%s: empty measurement %+v", r.Scenario, r.Algo, r)
+		}
+		if r.Scenario == "nic-down" && r.Recovered {
+			repaired = true
+			if r.LinkDetections == 0 {
+				t.Errorf("%s/%s: repair with no link detections", r.Scenario, r.Algo)
+			}
+		}
+	}
+	if !repaired {
+		t.Error("nic-down scenario never exercised the repair path")
+	}
+}
+
+// TestRunDegradationExclusiveWithMega pins the mode exclusivity.
+func TestRunDegradationExclusiveWithMega(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-degradation", "-mega"}, &out); err == nil {
+		t.Fatal("-degradation with -mega accepted")
+	}
+}

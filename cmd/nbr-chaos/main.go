@@ -28,6 +28,13 @@
 //
 //	nbr-chaos -faults -case failstop/2n2s3l/er35/cn/allgatherv/mid -replay 0 -kill 5@3,1@0
 //
+// Sweep the link-fault family (down NICs/ports/uplinks, degraded
+// fabrics, partitions, topology-aware repair):
+//
+//	nbr-chaos -linkfaults -seeds 10
+//	nbr-chaos -linkfaults -engine both -seeds 10
+//	nbr-chaos -linkfaults -case linkfault/cn/nicdown/before -replay 3
+//
 // Execution engine selection: -engine threaded (default), -engine
 // event (the serial calendar-queue engine), or -engine both, which
 // runs every (case, seed) pair on both engines and additionally
@@ -72,6 +79,7 @@ func run(args []string, out io.Writer) error {
 	replay := fs.Int64("replay", -1, "replay one seed instead of sweeping: record, re-run, compare, force-replay")
 	scheduleOnly := fs.Bool("schedule-only", false, "adversarial scheduling only, no fault injection")
 	faults := fs.Bool("faults", false, "run the fail-stop case family (injected rank crashes) instead of the conformance matrix")
+	linkFaults := fs.Bool("linkfaults", false, "run the link-fault case family (down/degraded NICs, ports, uplinks, partitions) instead of the conformance matrix")
 	killSpec := fs.String("kill", "", "with -faults, override the kill schedule: rank@afterOps[@vt], comma-separated")
 	dump := fs.Bool("dump", false, "with -replay, print the recorded decision schedule")
 	list := fs.Bool("list", false, "list the conformance matrix cases and exit")
@@ -93,11 +101,17 @@ func run(args []string, out io.Writer) error {
 	}
 
 	return pf.Wrap(func() error {
+		if *faults && *linkFaults {
+			return fmt.Errorf("-faults and -linkfaults are mutually exclusive")
+		}
 		if *faults {
 			return runFaults(out, *caseName, *killSpec, *seeds, *seedBase, *replay, mk, eng, both, *list, *dump, *verbose)
 		}
 		if *killSpec != "" {
 			return fmt.Errorf("-kill requires -faults")
+		}
+		if *linkFaults {
+			return runLinkFaults(out, *caseName, *seeds, *seedBase, *replay, mk, eng, both, *list, *dump, *verbose)
 		}
 
 		cases, err := conformance.Matrix()
@@ -405,6 +419,100 @@ func runFaults(out io.Writer, caseName, killSpec string, nseeds int, base, repla
 		fmt.Fprintf(out, "FAIL %s\n  reproduce: nbr-chaos -faults -case %s -replay %d\n", f, f.Case.Name, f.Seed)
 	}
 	return fmt.Errorf("%d of %d fail-stop runs failed", len(failures), len(cases)*nseeds)
+}
+
+// runLinkFaults drives the link-fault family: list, sweep, or replay.
+func runLinkFaults(out io.Writer, caseName string, nseeds int, base, replay int64, mk func(int64) *mpirt.Chaos, eng mpirt.Engine, both, list, dump, verbose bool) error {
+	cases, err := conformance.LinkFaultMatrix()
+	if err != nil {
+		return err
+	}
+	if list {
+		for _, c := range cases {
+			fmt.Fprintln(out, c.Name)
+		}
+		return nil
+	}
+	if caseName != "" {
+		c, err := conformance.FindLinkFaultCase(caseName)
+		if err != nil {
+			return err
+		}
+		cases = []conformance.LinkFaultCase{c}
+	}
+
+	if replay >= 0 {
+		for _, c := range cases {
+			fmt.Fprintf(out, "%s: fault schedule %v\n", c.Name, conformance.LinkFaultSchedule(c, replay))
+			runOn := func(e mpirt.Engine) func(*trace.Schedule) (*trace.Schedule, error) {
+				return func(replayFrom *trace.Schedule) (*trace.Schedule, error) {
+					ch := mk(replay)
+					s := trace.NewSchedule()
+					ch.Record = s
+					ch.Replay = replayFrom
+					_, err := conformance.RunLinkFaultCaseOn(e, c, replay, ch)
+					return s, err
+				}
+			}
+			if !both {
+				if _, err := replayTriple(out, c.Name, replay, runOn(eng), dump); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := replayBoth(out, c.Name, replay, runOn, dump); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if nseeds < 1 {
+		return fmt.Errorf("-seeds %d must be positive", nseeds)
+	}
+	seeds := make([]int64, nseeds)
+	for i := range seeds {
+		seeds[i] = base + int64(i)
+	}
+	mode := "link-fault sweep"
+	if both {
+		mode = "link-fault differential sweep (threaded vs event)"
+	}
+	fmt.Fprintf(out, "%s: %d cases × %d seeds (seeds %d..%d)\n",
+		mode, len(cases), nseeds, base, base+int64(nseeds)-1)
+	progress := func(done, nfail int) {
+		if verbose || done == len(seeds) {
+			fmt.Fprintf(out, "  seed %d/%d done, %d failures\n", done, len(seeds), nfail)
+		}
+	}
+	var failures []conformance.LinkFaultFailure
+	if both {
+		failures = conformance.DiffLinkFaultSweep(cases, seeds, mk, progress)
+	} else if eng == mpirt.EngineDefault {
+		failures = conformance.LinkFaultSweep(cases, seeds, mk, progress)
+	} else {
+		for i, seed := range seeds {
+			_, err := sweeppkg.Map(context.Background(), len(cases), func(j int) (struct{}, error) {
+				_, err := conformance.RunLinkFaultCaseOn(eng, cases[j], seed, mk(seed))
+				return struct{}{}, err
+			})
+			var agg *sweeppkg.Error
+			if errors.As(err, &agg) {
+				for _, it := range agg.Items {
+					failures = append(failures, conformance.LinkFaultFailure{Case: cases[it.Index], Seed: seed, Err: it.Err})
+				}
+			}
+			progress(i+1, len(failures))
+		}
+	}
+	if len(failures) == 0 {
+		fmt.Fprintf(out, "PASS: %d link-fault runs recovered, degraded gracefully, or returned identical partition verdicts\n", len(cases)*nseeds)
+		return nil
+	}
+	for _, f := range failures {
+		fmt.Fprintf(out, "FAIL %s\n  reproduce: nbr-chaos -linkfaults -case %s -replay %d\n", f, f.Case.Name, f.Seed)
+	}
+	return fmt.Errorf("%d of %d link-fault runs failed", len(failures), len(cases)*nseeds)
 }
 
 // parseKills parses the -kill spec: "rank@afterOps" or

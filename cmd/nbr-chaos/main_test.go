@@ -176,3 +176,62 @@ func TestProfilingFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestRunLinkFaultsSweep sweeps the link-fault family over one seed —
+// the CI link-fault acceptance run at reduced depth.
+func TestRunLinkFaultsSweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-linkfaults", "-seeds", "1"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS:") {
+		t.Errorf("link-fault sweep did not report PASS:\n%s", out.String())
+	}
+}
+
+// TestRunLinkFaultsList pins the -linkfaults case-name grammar.
+func TestRunLinkFaultsList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-linkfaults", "-list"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "linkfault/cn/nicdown/before") {
+		t.Errorf("link-fault listing missing expected name:\n%s", out.String())
+	}
+}
+
+// TestRunLinkFaultsReplay pins record → re-run → force-replay for a
+// link-fault case whose schedule records detection decisions.
+func TestRunLinkFaultsReplay(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-linkfaults", "-case", "linkfault/dh/partition/before", "-replay", "3", "-dump"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replay exact") {
+		t.Errorf("replay did not report exactness:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "link-fault") {
+		t.Errorf("-dump shows no link-fault decision:\n%s", out.String())
+	}
+}
+
+// TestRunLinkFaultsEngineBoth runs one link-fault case differentially.
+func TestRunLinkFaultsEngineBoth(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-linkfaults", "-engine", "both", "-case", "linkfault/cn/uplinkdown/before", "-replay", "1"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "cross-engine: schedules identical") {
+		t.Errorf("differential replay did not compare schedules:\n%s", out.String())
+	}
+}
+
+// TestRunLinkFaultsExclusiveWithFaults pins the mode exclusivity.
+func TestRunLinkFaultsExclusiveWithFaults(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-linkfaults", "-faults"}, &out); err == nil {
+		t.Fatal("-linkfaults with -faults accepted")
+	}
+}

@@ -44,24 +44,51 @@ type CNPattern struct {
 // one combined message from a delegate chosen round-robin among the
 // members that list it as their own neighbor.
 func BuildCN(g *vgraph.Graph, k int) (*CNPattern, error) {
+	return BuildCNAvoiding(g, k, nil)
+}
+
+// BuildCNAvoiding constructs the Common Neighbor pattern while keeping
+// avoided ranks out of every relay role — the link-aware repair path.
+// An avoided rank (port or node-NIC fault) forms a singleton group: it
+// neither shares its payload across the group (the share exchange may
+// cross its wounded resource) nor delegates for anyone else, so its
+// only sends are its own direct graph edges, which the repair layer
+// has already checked for feasibility. The remaining ranks form
+// consecutive groups of K among themselves, and delegate rotation
+// prefers unimpaired contributors. A nil avoid slice is the
+// unrestricted builder.
+func BuildCNAvoiding(g *vgraph.Graph, k int, avoid []bool) (*CNPattern, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("collective: common-neighbor group size %d must be positive", k)
 	}
 	n := g.N()
+	if avoid != nil && len(avoid) != n {
+		return nil, fmt.Errorf("collective: avoid set has %d entries for %d ranks", len(avoid), n)
+	}
 	p := &CNPattern{Graph: g, K: k, Plans: make([]CNPlan, n)}
 	senders := make([]map[int]bool, n)
 	for v := range senders {
 		senders[v] = map[int]bool{}
 	}
-	for lo := 0; lo < n; lo += k {
-		hi := lo + k
-		if hi > n {
-			hi = n
+	// Partition ranks into groups: consecutive K-chunks, except that
+	// avoided ranks are split out into singletons.
+	var groups [][]int
+	var cur []int
+	for r := 0; r < n; r++ {
+		if avoid != nil && avoid[r] {
+			groups = append(groups, []int{r})
+			continue
 		}
-		group := make([]int, 0, hi-lo)
-		for r := lo; r < hi; r++ {
-			group = append(group, r)
+		cur = append(cur, r)
+		if len(cur) == k {
+			groups = append(groups, cur)
+			cur = nil
 		}
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	for _, group := range groups {
 		// contributors[v] = group members with v as an outgoing
 		// neighbor.
 		contributors := map[int][]int{}
@@ -74,8 +101,21 @@ func BuildCN(g *vgraph.Graph, k int) (*CNPattern, error) {
 			cs := contributors[v]
 			sort.Ints(cs)
 			// Delegate rotates over the contributors so delivery load
-			// spreads across the group.
-			delegate := cs[i%len(cs)]
+			// spreads across the group; with an avoid set, rotation
+			// runs over the unimpaired contributors when any exist.
+			pool := cs
+			if avoid != nil {
+				healthy := make([]int, 0, len(cs))
+				for _, c := range cs {
+					if !avoid[c] {
+						healthy = append(healthy, c)
+					}
+				}
+				if len(healthy) > 0 {
+					pool = healthy
+				}
+			}
+			delegate := pool[i%len(pool)]
 			dp := &p.Plans[delegate]
 			dp.Sends = append(dp.Sends, pattern.FinalSend{Dst: v, Sources: cs})
 			senders[v][delegate] = true
@@ -147,7 +187,13 @@ type CommonNeighbor struct {
 // NewCommonNeighbor builds the CN pattern for group size k and binds
 // the collective to it.
 func NewCommonNeighbor(g *vgraph.Graph, k int) (*CommonNeighbor, error) {
-	pat, err := BuildCN(g, k)
+	return NewCommonNeighborAvoiding(g, k, nil)
+}
+
+// NewCommonNeighborAvoiding builds the link-aware CN pattern (see
+// BuildCNAvoiding) and binds the collective to it.
+func NewCommonNeighborAvoiding(g *vgraph.Graph, k int, avoid []bool) (*CommonNeighbor, error) {
+	pat, err := BuildCNAvoiding(g, k, avoid)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/pattern"
 	"nbrallgather/internal/tags"
 	"nbrallgather/internal/vgraph"
 )
@@ -48,13 +49,18 @@ type FTResult struct {
 }
 
 // ftAbsorbable returns rec as an error when it is a typed failure the
-// recovery layer may absorb (*RankFailedError, *CommRevokedError).
-// Usage errors, injected deaths and ordinary panics stay fatal.
+// recovery layer may absorb (*RankFailedError, *CommRevokedError,
+// *LinkFailedError, *PartitionError). Usage errors, injected deaths
+// and ordinary panics stay fatal.
 func ftAbsorbable(rec any) error {
 	switch e := rec.(type) {
 	case *mpirt.RankFailedError:
 		return e
 	case *mpirt.CommRevokedError:
+		return e
+	case *mpirt.LinkFailedError:
+		return e
+	case *mpirt.PartitionError:
 		return e
 	}
 	return nil
@@ -110,6 +116,8 @@ func RunFTV(p *mpirt.Proc, op VOp, sbuf []byte, counts []int, rbuf []byte) (*FTR
 		return &FTResult{RBuf: rbuf, Repair: op.Name()}, nil
 	}
 
+	model := p.Model()
+	var lastAlive []int
 	for round := 1; round <= p.Size()+1; round++ {
 		comm := p.Shrink()
 		alive := comm.Ranks()
@@ -119,7 +127,26 @@ func RunFTV(p *mpirt.Proc, op VOp, sbuf []byte, counts []int, rbuf []byte) (*FTR
 			// so every rank fails identically.
 			panic(fmt.Sprintf("collective: survivor projection failed: %v", perr))
 		}
-		op2 := rebuildFT(op, g2, alive)
+		// Link-aware repair (linkrepair.go): every decision below reads
+		// end-state link health, so all survivors compute it identically.
+		if ferr := linkInfeasible(model, g2, alive); ferr != nil {
+			// The survivor graph cannot be completed on the wounded
+			// fabric; every rank returns this same error.
+			return nil, ferr
+		}
+		// Graceful-degradation floor: a repaired attempt that failed
+		// again without any new death means the rebuilt relay schedule
+		// still crosses a wounded resource the avoid set cannot express
+		// (e.g. a share group straddling a partition). The direct edges
+		// are feasible — fall back to naive over exactly those edges.
+		degraded := model.HasLinkFaults() && sameRanks(alive, lastAlive)
+		lastAlive = alive
+		var op2 VOp
+		if degraded {
+			op2 = NewNaive(g2)
+		} else {
+			op2 = rebuildFT(op, g2, alive, linkAvoidSet(model, alive))
+		}
 		counts2 := make([]int, len(alive))
 		for i, o := range alive {
 			counts2[i] = counts[o]
@@ -178,19 +205,23 @@ func identityComm(n int) *mpirt.Comm {
 
 // rebuildFT rebuilds op's algorithm over the survivor-projected graph
 // g2 (alive lists the surviving original ranks, defining shrunken rank
-// i ↔ original rank alive[i]). Repair is algorithm-specific; if the
-// specialised rebuild fails, the collective degrades to naive over the
-// shrunken communicator — always well-defined.
-func rebuildFT(op VOp, g2 *vgraph.Graph, alive []int) VOp {
+// i ↔ original rank alive[i]). A non-nil avoid set (indexed by shrunken
+// rank) marks link-impaired survivors the rebuilt pattern must keep out
+// of relay roles. Repair is algorithm-specific; if the specialised
+// rebuild fails, the collective degrades to naive over the shrunken
+// communicator — always well-defined.
+func rebuildFT(op VOp, g2 *vgraph.Graph, alive []int, avoid []bool) VOp {
 	switch a := op.(type) {
 	case *DistanceHalving:
 		// Re-running the stable matching over the survivor graph is the
 		// agent re-negotiation: a dead agent's origin re-matches to a
 		// live rank of the opposite half, and a step whose opposite
 		// half is empty elects NoRank, which routes its deliveries to
-		// the plan's direct final sends.
-		if r, err := NewDistanceHalving(g2, a.pat.L); err == nil {
-			return r
+		// the plan's direct final sends. With an avoid set, impaired
+		// ranks sit the matching out entirely and deliveries to them
+		// stay pinned to their original sources.
+		if pat, err := pattern.BuildAvoiding(g2, a.pat.L, pattern.PolicyLoadAware, avoid); err == nil {
+			return NewDistanceHalvingFromPattern(pat)
 		}
 	case *CommonNeighbor:
 		k := a.pat.K
@@ -198,13 +229,16 @@ func rebuildFT(op VOp, g2 *vgraph.Graph, alive []int) VOp {
 			k = g2.N()
 		}
 		if k >= 1 {
-			if r, err := NewCommonNeighbor(g2, k); err == nil {
+			// Impaired survivors re-group as singletons so the share
+			// exchange never crosses their wounded resource.
+			if r, err := NewCommonNeighborAvoiding(g2, k, avoid); err == nil {
 				return r
 			}
 		}
 	case *LeaderBased:
 		// Survivors keep their physical placement; leadership is
-		// re-elected among each node's survivors.
+		// re-elected among each node's survivors, preferring survivors
+		// with healthy ports.
 		place := make([]int, len(alive))
 		for i, o := range alive {
 			if a.place != nil {
@@ -213,7 +247,7 @@ func rebuildFT(op VOp, g2 *vgraph.Graph, alive []int) VOp {
 				place[i] = o
 			}
 		}
-		if r, err := NewLeaderBasedPlaced(g2, a.c, a.leaders, place); err == nil {
+		if r, err := NewLeaderBasedPlacedAvoiding(g2, a.c, a.leaders, place, avoid); err == nil {
 			return r
 		}
 	}

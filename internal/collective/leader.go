@@ -62,7 +62,7 @@ func NewLeaderBased(g *vgraph.Graph, c topology.Cluster) (*LeaderBased, error) {
 // (the node's first k ranks); node-pair traffic is spread across them
 // by descending segment count onto the least-loaded leader.
 func NewLeaderBasedK(g *vgraph.Graph, c topology.Cluster, k int) (*LeaderBased, error) {
-	return newLeaderBased(g, c, k, nil)
+	return newLeaderBased(g, c, k, nil, nil)
 }
 
 // NewLeaderBasedPlaced builds the hierarchy for a communicator whose
@@ -72,8 +72,22 @@ func NewLeaderBasedK(g *vgraph.Graph, c topology.Cluster, k int) (*LeaderBased, 
 // each node's leaders are its first k surviving ranks, so a dead
 // leader's role moves to the next live rank of the node.
 func NewLeaderBasedPlaced(g *vgraph.Graph, c topology.Cluster, k int, place []int) (*LeaderBased, error) {
+	return NewLeaderBasedPlacedAvoiding(g, c, k, place, nil)
+}
+
+// NewLeaderBasedPlacedAvoiding is NewLeaderBasedPlaced with a link-aware
+// avoid set: ranks whose port carries a fault are passed over in leader
+// election whenever their node has an unimpaired leader candidate, so
+// the hierarchy's heavy combined messages route through healthy ports.
+// (A down node NIC impairs the whole node equally; avoidance cannot
+// help there, and such nodes only survive feasibility when all their
+// edges stay intra-node — in which case they carry no leader traffic.)
+func NewLeaderBasedPlacedAvoiding(g *vgraph.Graph, c topology.Cluster, k int, place []int, avoid []bool) (*LeaderBased, error) {
 	if len(place) != g.N() {
 		return nil, fmt.Errorf("collective: placement has %d entries for %d ranks", len(place), g.N())
+	}
+	if avoid != nil && len(avoid) != g.N() {
+		return nil, fmt.Errorf("collective: avoid set has %d entries for %d ranks", len(avoid), g.N())
 	}
 	seen := make(map[int]bool, len(place))
 	for i, cr := range place {
@@ -85,10 +99,10 @@ func NewLeaderBasedPlaced(g *vgraph.Graph, c topology.Cluster, k int, place []in
 		}
 		seen[cr] = true
 	}
-	return newLeaderBased(g, c, k, append([]int(nil), place...))
+	return newLeaderBased(g, c, k, append([]int(nil), place...), avoid)
 }
 
-func newLeaderBased(g *vgraph.Graph, c topology.Cluster, k int, place []int) (*LeaderBased, error) {
+func newLeaderBased(g *vgraph.Graph, c topology.Cluster, k int, place []int, avoid []bool) (*LeaderBased, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -159,10 +173,23 @@ func newLeaderBased(g *vgraph.Graph, c topology.Cluster, k int, place []int) (*L
 	sendLoad := map[int]int{} // leader rank -> assigned segment count
 	recvLoad := map[int]int{}
 	pickLeader := func(node int, load map[int]int) int {
+		// Two passes: unimpaired leader candidates first, then — only
+		// when a node's whole leader block is avoided — everyone.
 		best, bestLoad := -1, 0
-		for _, l := range leaderRanks(node) {
+		ls := leaderRanks(node)
+		for _, l := range ls {
+			if avoid != nil && avoid[l] {
+				continue
+			}
 			if best == -1 || load[l] < bestLoad {
 				best, bestLoad = l, load[l]
+			}
+		}
+		if best == -1 {
+			for _, l := range ls {
+				if best == -1 || load[l] < bestLoad {
+					best, bestLoad = l, load[l]
+				}
 			}
 		}
 		return best

@@ -98,6 +98,10 @@ func diffRuns(a, b engineRun, level diffLevel) error {
 		return fmt.Errorf("failure detection diverges: %s (%d, %g), %s (%d, %g)",
 			a.eng, a.rep.Detections, a.rep.DetectTime, b.eng, b.rep.Detections, b.rep.DetectTime)
 	}
+	if a.rep.LinkDetections != b.rep.LinkDetections || a.rep.LinkDetectTime != b.rep.LinkDetectTime {
+		return fmt.Errorf("link detection diverges: %s (%d, %g), %s (%d, %g)",
+			a.eng, a.rep.LinkDetections, a.rep.LinkDetectTime, b.eng, b.rep.LinkDetections, b.rep.LinkDetectTime)
+	}
 	if a.rep.MaxRankMsgs != b.rep.MaxRankMsgs || a.rep.MaxRankBytes != b.rep.MaxRankBytes {
 		return fmt.Errorf("per-rank load maxima diverge: %s (%d, %d), %s (%d, %d)",
 			a.eng, a.rep.MaxRankMsgs, a.rep.MaxRankBytes, b.eng, b.rep.MaxRankMsgs, b.rep.MaxRankBytes)

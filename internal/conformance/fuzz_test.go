@@ -124,3 +124,36 @@ func FuzzEngineDivergence(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLinkFaultDivergence explores the link-fault matrix across both
+// execution engines: a fuzz input selects a case, a seed (which jitters
+// mid-schedule fault times), and a scheduling mode, and any cross-engine
+// divergence — split outcomes, unequal chaos schedules or virtual
+// times, unequal link-detection totals — fails. Per-run validity
+// (all-or-nothing recovery, identical partition verdicts, correct
+// buffers) is checked inside each leg by the link-fault runner.
+func FuzzLinkFaultDivergence(f *testing.F) {
+	f.Add(uint8(0), uint8(0), int64(1))
+	f.Add(uint8(17), uint8(1), int64(3))
+	f.Add(uint8(33), uint8(2), int64(7))
+	f.Add(uint8(51), uint8(2), int64(42))
+	f.Add(uint8(64), uint8(1), int64(13))
+
+	cases, err := LinkFaultMatrix()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, ci, mode uint8, seed int64) {
+		c := cases[int(ci)%len(cases)]
+		var mk func(int64) *mpirt.Chaos
+		switch mode % 3 {
+		case 1:
+			mk = mpirt.ScheduleOnly
+		case 2:
+			mk = mpirt.DefaultChaos
+		}
+		if err := DiffLinkFaultCase(c, seed, mk); err != nil {
+			t.Fatalf("%s seed=%d mode=%d: %v", c.Name, seed, mode%3, err)
+		}
+	})
+}

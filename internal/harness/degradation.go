@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nbrallgather/internal/collective"
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/netmodel"
+)
+
+// DegradationResult quantifies what a wounded fabric costs one
+// self-healing allgather: the healthy completion time against the
+// completion time under the injected link faults — degraded resources
+// slow their transfers, down resources force the repair path — plus
+// the detection charges and the repair the run converged to.
+type DegradationResult struct {
+	// Baseline is the healthy-fabric RunFTV completion time in seconds.
+	Baseline float64
+	// Degraded is the completion time on the wounded fabric: slowed
+	// transfers, link detections, revoke, agreement and any repair
+	// rounds all included.
+	Degraded float64
+	// Overhead is Degraded − Baseline; Slowdown is Degraded / Baseline.
+	Overhead float64
+	Slowdown float64
+	// Recovered reports whether the wounded run took the repair path
+	// (degraded-only fabrics typically complete on the first attempt).
+	Recovered bool
+	// Rounds is the number of shrink-and-re-run rounds.
+	Rounds int
+	// Repair names the algorithm the final round ran.
+	Repair string
+	// LinkDetections and LinkDetectTime aggregate the modelled
+	// down-resource detections charged to virtual clocks.
+	LinkDetections int64
+	LinkDetectTime float64
+}
+
+func (r DegradationResult) String() string {
+	return fmt.Sprintf("healthy %.3gs, degraded %.3gs (%.2f×; %d rounds, repair %s)",
+		r.Baseline, r.Degraded, r.Slowdown, r.Rounds, r.Repair)
+}
+
+// MeasureDegradation times op's self-healing allgather twice — on the
+// healthy fabric and with the link faults injected — and reports the
+// degraded-fabric overhead. The faults must leave the fabric
+// satisfiable for op's graph: an unresolvable partition surfaces the
+// repair layer's PartitionError as this function's error.
+func MeasureDegradation(cfg Config, op collective.VOp, faults []netmodel.LinkFault) (DegradationResult, error) {
+	g := op.Graph()
+	if g.N() != cfg.Cluster.Ranks() {
+		return DegradationResult{}, fmt.Errorf("harness: graph has %d ranks, cluster %d", g.N(), cfg.Cluster.Ranks())
+	}
+	if len(faults) == 0 {
+		return DegradationResult{}, fmt.Errorf("harness: no link faults to measure")
+	}
+	if cfg.MsgSize < 1 {
+		return DegradationResult{}, fmt.Errorf("harness: message size %d must be positive", cfg.MsgSize)
+	}
+
+	out := DegradationResult{}
+	base, _, _, err := runDegradedOnce(cfg, op, nil)
+	if err != nil {
+		return out, fmt.Errorf("harness: healthy run: %w", err)
+	}
+	out.Baseline = base
+
+	degraded, res, rep, err := runDegradedOnce(cfg, op, faults)
+	if err != nil {
+		return out, fmt.Errorf("harness: degraded run: %w", err)
+	}
+	out.Degraded = degraded
+	out.Overhead = degraded - base
+	if base > 0 {
+		out.Slowdown = degraded / base
+	}
+	out.LinkDetections = rep.LinkDetections
+	out.LinkDetectTime = rep.LinkDetectTime
+	if res != nil {
+		out.Recovered = res.Recovered
+		out.Rounds = res.Rounds
+		out.Repair = res.Repair
+	}
+	return out, nil
+}
+
+// runDegradedOnce executes one timed RunFTV over the whole communicator
+// on a fabric carrying the given faults and returns rank 0's completion
+// time and recovery outcome. A deterministic repair-layer verdict (the
+// identical PartitionError every rank returns) is propagated as the
+// run's error; any other per-rank failure aborts.
+func runDegradedOnce(cfg Config, op collective.VOp, faults []netmodel.LinkFault) (float64, *collective.FTResult, *mpirt.Report, error) {
+	g := op.Graph()
+	counts := make([]int, g.N())
+	for i := range counts {
+		counts[i] = cfg.MsgSize
+	}
+	var t float64
+	var res *collective.FTResult
+	var verdict error
+	var mu sync.Mutex
+	sbufs, rbufs := rankBuffers(g, cfg.MsgSize, cfg.Phantom)
+	rep, err := mpirt.Run(mpirt.Config{
+		Cluster:    cfg.Cluster,
+		Params:     cfg.Params,
+		Phantom:    cfg.Phantom,
+		WallLimit:  cfg.WallLimit,
+		Chaos:      cfg.Chaos,
+		LinkFaults: faults,
+		Engine:     cfg.Engine,
+	}, func(p *mpirt.Proc) {
+		r := p.Rank()
+		p.SyncResetTime()
+		fr, ferr := collective.RunFTV(p, op, sbufs[r], counts, rbufs[r])
+		if ferr != nil {
+			var pe *mpirt.PartitionError
+			if errors.As(ferr, &pe) {
+				mu.Lock()
+				verdict = ferr
+				mu.Unlock()
+				return
+			}
+			panic(fmt.Sprintf("harness: rank %d degraded run: %v", r, ferr))
+		}
+		ct := p.CollectiveTime()
+		if r == 0 {
+			mu.Lock()
+			t = ct
+			res = fr
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if verdict != nil {
+		return 0, nil, nil, verdict
+	}
+	return t, res, rep, nil
+}

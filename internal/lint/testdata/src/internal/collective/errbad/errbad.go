@@ -2,6 +2,7 @@
 package errbad
 
 import (
+	"errors"
 	"strings"
 
 	"nbrallgather/internal/mpirt"
@@ -62,6 +63,45 @@ func Absorb(rec any) error {
 		return e
 	case *mpirt.CommRevokedError:
 		return e
+	}
+	return nil
+}
+
+// LinkFaults collects the link-fault violation classes: identifying a
+// dead link or partition by error text or direct assertion instead of
+// errors.Is(err, mpirt.ErrLinkFailed) / errors.As.
+func LinkFaults(p *mpirt.Proc, tag int) []int {
+	err := p.SendErr(1, tag, 8, nil, nil)
+	if err == nil {
+		return nil
+	}
+	if strings.Contains(err.Error(), "undeliverable") { // want "matching Error\(\) text with strings.Contains"
+		return nil
+	}
+	if err.Error() == "fabric partitioned" { // want "comparing Error\(\) strings"
+		return nil
+	}
+	if lf, ok := err.(*mpirt.LinkFailedError); ok { // want "type assertion on an error value"
+		return []int{lf.Src, lf.Dst}
+	}
+	switch e := err.(type) { // want "type switch on an error value"
+	case *mpirt.PartitionError:
+		return e.Groups
+	}
+	return nil
+}
+
+// LinkFaultsHandled shows the conforming pattern for the link-fault
+// surface: sentinel matching with errors.Is, typed extraction with
+// errors.As.
+func LinkFaultsHandled(p *mpirt.Proc, tag int) []int {
+	err := p.SendErr(1, tag, 8, nil, nil)
+	if !errors.Is(err, mpirt.ErrLinkFailed) {
+		return nil
+	}
+	var pe *mpirt.PartitionError
+	if errors.As(err, &pe) {
+		return pe.Groups
 	}
 	return nil
 }

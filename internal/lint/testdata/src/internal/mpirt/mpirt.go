@@ -66,3 +66,23 @@ func (e *RankFailedError) Error() string { return "rank failed" }
 type CommRevokedError struct{}
 
 func (e *CommRevokedError) Error() string { return "communicator revoked" }
+
+// ErrLinkFailed mirrors the runtime's link-failure sentinel: both
+// *LinkFailedError and *PartitionError match it through errors.Is.
+var ErrLinkFailed = &sentinelError{"mpirt: link failed"}
+
+type sentinelError struct{ msg string }
+
+func (e *sentinelError) Error() string { return e.msg }
+
+// LinkFailedError mirrors the runtime's typed dead-link error.
+type LinkFailedError struct{ Src, Dst int }
+
+func (e *LinkFailedError) Error() string   { return "link down: transfer undeliverable" }
+func (e *LinkFailedError) Is(t error) bool { return t == ErrLinkFailed }
+
+// PartitionError mirrors the runtime's typed fabric-partition error.
+type PartitionError struct{ Groups []int }
+
+func (e *PartitionError) Error() string   { return "fabric partitioned" }
+func (e *PartitionError) Is(t error) bool { return t == ErrLinkFailed }

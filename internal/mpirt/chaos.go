@@ -452,9 +452,10 @@ func (cs *chaosRT) replayPickLocked(opts []chaosOption) (chaosOption, bool) {
 			return chaosOption{}, false
 		}
 		cs.replayPos++
-		// Kills are recorded inline by the dying rank, not chosen by
-		// the scheduler; skip them when resolving a scheduling pick.
-		if d.Kind != trace.DecisionKill {
+		// Kills and link-fault observations are recorded inline by the
+		// token-holding rank, not chosen by the scheduler; skip them
+		// when resolving a scheduling pick.
+		if d.Kind != trace.DecisionKill && d.Kind != trace.DecisionLinkFault {
 			break
 		}
 	}
@@ -629,6 +630,26 @@ func (p *Proc) chaosRecvErr(src, tag int) (Msg, error) {
 		return Msg{}, &CommRevokedError{}
 	}
 	cs.mu.Lock()
+	if src != AnySource && p.rt.model.HasLinkFaults() {
+		// Same rule as the other engines, evaluated at the token-holding
+		// rank's deterministic position in the serial stream: if nothing
+		// matching is in flight (undelivered) and the src→self path is
+		// down, the receive can never complete. In-flight copies stay
+		// deliverable — their eager transfer finished before the fault.
+		deliverable := false
+		for _, fm := range cs.inflight[p.rank] {
+			if chaosMatch(src, tag, fm.msg) && !cs.delivered[delivKey{fm.msg.Src, fm.sendSeq}] {
+				deliverable = true
+				break
+			}
+		}
+		if !deliverable {
+			if blk, bad := p.rt.model.PathBlocked(src, p.rank, p.vt); bad {
+				cs.mu.Unlock()
+				return Msg{}, p.linkBlockedErr(blk, src, p.rank)
+			}
+		}
+	}
 	cs.reqSrc[p.rank], cs.reqTag[p.rank] = src, tag
 	cs.state[p.rank] = chaosRecvWait
 	// A wait-for cycle can only close when a rank blocks, and all chaos

@@ -308,6 +308,17 @@ func (p *Proc) eventRecvErr(src, tag int) (Msg, error) {
 				return Msg{}, &RankFailedError{Rank: d}
 			}
 		}
+		if src != AnySource && rt.model.HasLinkFaults() {
+			// Same rule as the threaded path: nothing matching queued and
+			// the src→self path down means this receive can never
+			// complete; fail it now rather than park an event that no
+			// delivery will ever wake.
+			if err := p.linkRecvBlocked(src); err != nil {
+				box.waiter = false
+				box.mu.Unlock()
+				return Msg{}, err
+			}
+		}
 		box.waiter = true
 		box.wSrc, box.wTag = src, tag
 		box.wVT = p.vt

@@ -104,8 +104,16 @@ type Config struct {
 	Kills []Kill
 	// DetectTimeout is the virtual-time cost one rank pays the first
 	// time it detects a given peer's death (the modelled heartbeat/ack
-	// timeout). 0 selects the 100 µs default.
+	// timeout). 0 selects the 100 µs default. Link-fault detections
+	// (first observation of a down resource) charge the same timeout.
 	DetectTimeout float64
+	// LinkFaults schedules link-level health events on the fabric: down
+	// or degraded ports/NICs/uplinks and group partitions, each taking
+	// effect at a virtual time. Down paths surface LinkFailedError /
+	// PartitionError from sends and receives instead of hanging;
+	// degraded resources divide their effective bandwidth. See
+	// netmodel.LinkFault.
+	LinkFaults []netmodel.LinkFault
 	// Engine selects the execution substrate: EngineThreaded (one
 	// goroutine per rank) or EngineEvent (a serial event loop over a
 	// calendar queue). The zero value resolves through the
@@ -138,6 +146,11 @@ type Report struct {
 	// charges Config.DetectTimeout to the observer's clock).
 	Detections int64
 	DetectTime float64
+	// LinkDetections counts first-time down-resource observations
+	// across (rank, resource) pairs; LinkDetectTime is their total
+	// virtual-time cost.
+	LinkDetections int64
+	LinkDetectTime float64
 }
 
 // MsgImbalance returns MaxRankMsgs divided by the mean per-rank
@@ -374,6 +387,12 @@ type Proc struct {
 	detections int64
 	ftEpoch    int
 
+	// link-fault detection state, memoised per resource like detected
+	// (see linkfail.go).
+	linkDetected   map[netmodel.Resource]bool
+	linkDetectTime float64
+	linkDetections int64
+
 	// cycleScratch is this rank's wait-for-graph chase buffer, reused
 	// across posted receives so the block-time cycle probe is
 	// allocation-free.
@@ -416,6 +435,9 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 		if k.Rank < 0 || k.Rank >= n {
 			return nil, fmt.Errorf("mpirt: kill rank %d out of range 0..%d", k.Rank, n-1)
 		}
+	}
+	if err := model.InjectFaults(cfg.LinkFaults); err != nil {
+		return nil, err
 	}
 
 	rt := &Runtime{
@@ -603,6 +625,8 @@ func (rt *Runtime) buildReport(start time.Time) *Report {
 		}
 		rep.Detections += p.detections
 		rep.DetectTime += p.detectTime
+		rep.LinkDetections += p.linkDetections
+		rep.LinkDetectTime += p.linkDetectTime
 	}
 	return rep
 }
@@ -621,7 +645,8 @@ func isFailureError(err error) bool {
 	var rf *RankFailedError
 	var cr *CommRevokedError
 	var ue *UsageError
-	return errors.As(err, &rf) || errors.As(err, &cr) || errors.As(err, &ue)
+	return errors.As(err, &rf) || errors.As(err, &cr) || errors.As(err, &ue) ||
+		errors.Is(err, ErrLinkFailed)
 }
 
 func (rt *Runtime) fail(err error) {
@@ -848,6 +873,15 @@ func (p *Proc) sendErr(dst, tag, size int, data []byte, meta any) error {
 		p.chargeDetect(dst)
 		return &RankFailedError{Rank: dst}
 	}
+	if p.rt.model.HasLinkFaults() {
+		// A send across a down link fails fast with the typed error
+		// instead of injecting a message that can never be delivered —
+		// on the event engine, an undeliverable message must not leave
+		// the ladder queue live forever.
+		if err := p.linkSendBlocked(dst); err != nil {
+			return err
+		}
+	}
 	var pooled *pbuf
 	if p.rt.cfg.Phantom {
 		data = nil
@@ -1062,6 +1096,15 @@ func (p *Proc) recvErr(src, tag int) (Msg, error) {
 				box.mu.Unlock()
 				p.chargeDetect(d)
 				return Msg{}, &RankFailedError{Rank: d}
+			}
+		}
+		if src != AnySource && p.rt.model.HasLinkFaults() {
+			// Nothing matching is queued (takeLocked above) and the
+			// src→self path is down: the receive can never complete.
+			if err := p.linkRecvBlocked(src); err != nil {
+				box.waiter = false
+				box.mu.Unlock()
+				return Msg{}, err
 			}
 		}
 		box.waiter = true

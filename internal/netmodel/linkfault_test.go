@@ -1,0 +1,198 @@
+package netmodel
+
+import (
+	"testing"
+
+	"nbrallgather/internal/topology"
+)
+
+// niagara4 (netmodel_test.go): 4 nodes × 2 sockets × 4 ranks, 2 nodes
+// per group — ranks 0..7 on node 0, node pairs {0,1} and {2,3} forming
+// groups 0 and 1.
+
+func TestInjectFaultsValidation(t *testing.T) {
+	c := niagara4()
+	cases := []struct {
+		name  string
+		fault LinkFault
+	}{
+		{"negative-at", LinkDown(PortOf(0), -1)},
+		{"port-out-of-range", LinkDown(PortOf(c.Ranks()), 0)},
+		{"nic-out-of-range", LinkDown(NICOf(c.Nodes), 0)},
+		{"uplink-out-of-range", LinkDown(UplinkOf(c.Groups()), 0)},
+		{"factor-one", LinkDegraded(NICOf(0), 0, 1)},
+		{"factor-below-one", LinkDegraded(NICOf(0), 0, 0.5)},
+		{"down-fabric-resource", LinkDown(Resource{Kind: ResFabric}, 0)},
+		{"partition-empty-side", Partition(0)},
+		{"partition-full-side", Partition(0, 0, 1)},
+		{"partition-bad-group", Partition(0, 7)},
+	}
+	for _, tc := range cases {
+		m := mustModel(t, c, NiagaraParams())
+		if err := m.InjectFaults([]LinkFault{tc.fault}); err == nil {
+			t.Errorf("%s: accepted invalid fault %v", tc.name, tc.fault)
+		}
+	}
+}
+
+func TestPathBlockedByResource(t *testing.T) {
+	c := niagara4()
+	m := mustModel(t, c, NiagaraParams())
+	if err := m.InjectFaults([]LinkFault{
+		LinkDown(PortOf(3), 10),
+		LinkDown(NICOf(1), 10),
+		LinkDown(UplinkOf(1), 10),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasLinkFaults() {
+		t.Fatal("HasLinkFaults false after injection")
+	}
+	// Before the fault time nothing is blocked.
+	for _, pair := range [][2]int{{3, 0}, {0, 8}, {8, 0}, {0, 16}, {16, 0}} {
+		if blk, bad := m.PathBlocked(pair[0], pair[1], 9.9); bad {
+			t.Errorf("t=9.9: %d→%d blocked by %v before fault time", pair[0], pair[1], blk)
+		}
+	}
+	// Port 3 down: every send from 3 blocked, receives at 3 unaffected.
+	if blk, bad := m.PathBlocked(3, 0, 10); !bad || blk.Res != PortOf(3) {
+		t.Errorf("3→0 at t=10: got (%v, %v), want port 3 down", blk, bad)
+	}
+	if _, bad := m.PathBlocked(0, 3, 10); bad {
+		t.Error("0→3: receive side of a down port should be deliverable")
+	}
+	// NIC of node 1 (ranks 8..15) down: off-node traffic blocked in both
+	// directions, intra-node traffic untouched.
+	if blk, bad := m.PathBlocked(0, 8, 10); !bad || blk.Res != NICOf(1) {
+		t.Errorf("0→8: got (%v, %v), want nic 1 down", blk, bad)
+	}
+	if blk, bad := m.PathBlocked(8, 0, 10); !bad || blk.Res != NICOf(1) {
+		t.Errorf("8→0: got (%v, %v), want nic 1 down", blk, bad)
+	}
+	if _, bad := m.PathBlocked(8, 9, 10); bad {
+		t.Error("8→9: intra-node traffic should ignore the node NIC")
+	}
+	// Uplink of group 1 (nodes 2,3 = ranks 16..31) down: inter-group
+	// blocked both ways, intra-group untouched.
+	if blk, bad := m.PathBlocked(0, 16, 10); !bad || blk.Res != UplinkOf(1) {
+		t.Errorf("0→16: got (%v, %v), want uplink 1 down", blk, bad)
+	}
+	if blk, bad := m.PathBlocked(16, 0, 10); !bad || blk.Res != UplinkOf(1) {
+		t.Errorf("16→0: got (%v, %v), want uplink 1 down", blk, bad)
+	}
+	if _, bad := m.PathBlocked(16, 24, 10); bad {
+		t.Error("16→24: intra-group traffic should ignore the uplink")
+	}
+	// Final health sees the faults regardless of clock.
+	if _, bad := m.PathBlockedFinal(0, 8); !bad {
+		t.Error("PathBlockedFinal missed a scheduled NIC fault")
+	}
+}
+
+func TestPathBlockedPartition(t *testing.T) {
+	m := mustModel(t, niagara4(), NiagaraParams())
+	if err := m.InjectFaults([]LinkFault{Partition(5, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	blk, bad := m.PathBlocked(0, 16, 5)
+	if !bad || !blk.IsPartition() {
+		t.Fatalf("0→16: got (%v, %v), want partition cut", blk, bad)
+	}
+	if len(blk.Groups) != 1 || blk.Groups[0] != 0 {
+		t.Errorf("cut side = %v, want [0]", blk.Groups)
+	}
+	if _, bad := m.PathBlocked(0, 8, 5); bad {
+		t.Error("0→8: intra-side traffic blocked by partition")
+	}
+	if _, bad := m.PathBlocked(0, 16, 4.9); bad {
+		t.Error("0→16 blocked before the cut takes effect")
+	}
+}
+
+func TestDegradedTransferSlower(t *testing.T) {
+	c := niagara4()
+	const n = 1 << 20
+	healthy := mustModel(t, c, NiagaraParams())
+	base := healthy.Transfer(0, 16, n, 0)
+
+	wounded := mustModel(t, c, NiagaraParams())
+	if err := wounded.InjectFaults([]LinkFault{
+		LinkDegraded(PortOf(0), 0, 2),
+		LinkDegraded(NICOf(0), 0, 2),
+		LinkDegraded(UplinkOf(0), 0, 2),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	slow := wounded.Transfer(0, 16, n, 0)
+	if slow <= base {
+		t.Fatalf("degraded transfer (%.3g) not slower than healthy (%.3g)", slow, base)
+	}
+	if _, bad := wounded.PathBlocked(0, 16, 1e9); bad {
+		t.Error("degraded resources must stay deliverable")
+	}
+
+	// Degradations on one resource compose multiplicatively: the port
+	// serialisation term scales by the full product.
+	twice := mustModel(t, c, NiagaraParams())
+	if err := twice.InjectFaults([]LinkFault{
+		LinkDegraded(PortOf(0), 0, 2),
+		LinkDegraded(PortOf(0), 0, 3),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := twice.Params()
+	d := topology.DistGlobal
+	wantPort := p.Alpha[d] + float64(n)*6/p.Beta[d]
+	gotPort := twice.PortDrain(0)
+	twice.Transfer(0, 16, n, 0)
+	if got := twice.PortDrain(0) - gotPort; !almost(got, wantPort) {
+		t.Errorf("composed port occupancy %.6g, want %.6g", got, wantPort)
+	}
+
+	// A degradation scheduled after the transfer's start leaves it at
+	// full rate.
+	later := mustModel(t, c, NiagaraParams())
+	if err := later.InjectFaults([]LinkFault{LinkDegraded(PortOf(0), 1, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := later.Transfer(0, 16, n, 0); !almost(got, base) {
+		t.Errorf("pre-fault transfer took %.6g, want healthy %.6g", got, base)
+	}
+}
+
+func TestImpairedFinal(t *testing.T) {
+	m := mustModel(t, niagara4(), NiagaraParams())
+	if err := m.InjectFaults([]LinkFault{
+		LinkDown(PortOf(5), 0),
+		LinkDegraded(NICOf(2), 3, 4),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{5: true}
+	for r := 16; r < 24; r++ { // node 2
+		want[r] = true
+	}
+	for r := 0; r < 32; r++ {
+		if got := m.ImpairedFinal(r); got != want[r] {
+			t.Errorf("ImpairedFinal(%d) = %v, want %v", r, got, want[r])
+		}
+	}
+	// Uplink and partition faults impair no individual rank.
+	m2 := mustModel(t, niagara4(), NiagaraParams())
+	if err := m2.InjectFaults([]LinkFault{LinkDown(UplinkOf(0), 0), Partition(0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 32; r++ {
+		if m2.ImpairedFinal(r) {
+			t.Errorf("ImpairedFinal(%d) true under uplink/partition faults", r)
+		}
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-12*(1+b)
+}

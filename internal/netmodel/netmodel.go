@@ -144,6 +144,15 @@ type Model struct {
 	portFree []float64 // per-rank send-port availability
 	nicFree  []float64 // per-node NIC availability
 	glFree   []float64 // per-group global-link availability
+
+	// Link-fault state, immutable after InjectFaults (linkfault.go):
+	// per-resource fault lists, partition cuts, and the full set
+	// ascending by At.
+	lfPort   [][]LinkFault
+	lfNIC    [][]LinkFault
+	lfUplink [][]LinkFault
+	lfParts  []partitionCut
+	lfAll    []LinkFault
 }
 
 // New builds a model for the cluster. The params are validated.
@@ -196,9 +205,15 @@ func (m *Model) CopyTime(n int) float64 {
 // which the message is available at the receiver. Shared resources are
 // advanced as a side effect, so concurrent transfers through the same
 // NIC or global link serialize.
+// Degraded links (LinkFault, linkfault.go) divide the effective
+// bandwidth of each resource the transfer crosses; the degrade state is
+// evaluated at the resource's usage start time, which serial engines
+// make deterministic. Down resources never reach Transfer: callers
+// check PathBlocked first and surface a typed error instead.
 func (m *Model) Transfer(src, dst, n int, ready float64) (arrival float64) {
 	d := m.cluster.Dist(src, dst)
 	p := &m.params
+	faulty := len(m.lfAll) > 0
 
 	m.mu.Lock()
 	start := ready
@@ -209,25 +224,37 @@ func (m *Model) Transfer(src, dst, n int, ready float64) (arrival float64) {
 	if start < m.portFree[src] {
 		start = m.portFree[src]
 	}
-	m.portFree[src] = start + p.Alpha[d] + float64(n)/p.Beta[d]
+	portT := p.Alpha[d] + float64(n)/p.Beta[d]
+	if faulty {
+		portT = p.Alpha[d] + float64(n)*faultsFactorAt(m.lfPort[src], start)/p.Beta[d]
+	}
+	m.portFree[src] = start + portT
 
 	if d >= topology.DistGroup && p.NICBandwidth > 0 {
 		node := m.cluster.NodeOf(src)
 		if start < m.nicFree[node] {
 			start = m.nicFree[node]
 		}
-		m.nicFree[node] = start + p.NICPerMsg + float64(n)/p.NICBandwidth
+		nicT := float64(n) / p.NICBandwidth
+		if faulty {
+			nicT *= faultsFactorAt(m.lfNIC[node], start)
+		}
+		m.nicFree[node] = start + p.NICPerMsg + nicT
 	}
 	if d == topology.DistGlobal && p.GlobalLinkBandwidth > 0 {
 		grp := m.cluster.GroupOf(src)
 		if start < m.glFree[grp] {
 			start = m.glFree[grp]
 		}
-		m.glFree[grp] = start + float64(n)/p.GlobalLinkBandwidth
+		glT := float64(n) / p.GlobalLinkBandwidth
+		if faulty {
+			glT *= faultsFactorAt(m.lfUplink[grp], start)
+		}
+		m.glFree[grp] = start + glT
 	}
 	m.mu.Unlock()
 
-	return start + p.Alpha[d] + float64(n)/p.Beta[d]
+	return start + portT
 }
 
 // PortDrain returns the time at which rank r's send port becomes idle —

@@ -151,11 +151,29 @@ func Build(g *vgraph.Graph, l int) (*Pattern, error) {
 // BuildWithPolicy constructs the pattern with an explicit agent
 // selection policy.
 func BuildWithPolicy(g *vgraph.Graph, l int, policy Policy) (*Pattern, error) {
+	return BuildAvoiding(g, l, policy, nil)
+}
+
+// BuildAvoiding constructs the pattern while steering relay traffic
+// away from avoided ranks — the link-aware repair path: a rank whose
+// port or node NIC carries a fault must neither relay other ranks'
+// buffers nor ship its own buffer across the wounded resource. Avoided
+// ranks never propose or accept in the agent matching (their deliveries
+// all fall through to direct final sends, which are graph edges), and
+// delivery responsibility for an avoided destination never transfers
+// away from the original source — so every send the pattern performs
+// either stays between unimpaired ranks or is a direct graph edge,
+// which the repair layer has already checked for feasibility. A nil
+// avoid slice is the unrestricted builder.
+func BuildAvoiding(g *vgraph.Graph, l int, policy Policy, avoid []bool) (*Pattern, error) {
 	if l < 1 {
 		return nil, fmt.Errorf("pattern: stop threshold L=%d must be positive", l)
 	}
 	n := g.N()
-	b := &builder{g: g, n: n, l: l, policy: policy}
+	if avoid != nil && len(avoid) != n {
+		return nil, fmt.Errorf("pattern: avoid set has %d entries for %d ranks", len(avoid), n)
+	}
+	b := &builder{g: g, n: n, l: l, policy: policy, avoid: avoid}
 	b.init()
 	for len(b.active) > 0 {
 		b.step()
@@ -184,6 +202,8 @@ type builder struct {
 	g      *vgraph.Graph
 	n, l   int
 	policy Policy
+	// avoid marks ranks excluded from relay roles (nil = none).
+	avoid  []bool
 	states []*rankState
 	// active lists ranks whose current half still exceeds L.
 	active []int
@@ -313,12 +333,21 @@ func (b *builder) match(plo, phi, alo, ahi int) []int {
 	}
 	var cands []cand
 	for p := plo; p < phi; p++ {
+		if b.avoid != nil && b.avoid[p] {
+			// An avoided proposer would have to ship its buffer across
+			// its wounded resource; its deliveries stay with it as
+			// direct final sends.
+			continue
+		}
 		st := b.states[p]
 		if !b.wantsAgent(st, alo, ahi) {
 			continue
 		}
 		po := b.g.OutSet(p)
 		for a := alo; a < ahi; a++ {
+			if b.avoid != nil && b.avoid[a] {
+				continue
+			}
 			w := po.AndCountRange(b.g.OutSet(a), alo, ahi)
 			if w > 0 {
 				cands = append(cands, cand{w, p, a})
@@ -351,11 +380,20 @@ func (b *builder) match(plo, phi, alo, ahi int) []int {
 
 // wantsAgent reports whether st has any outstanding delivery into
 // [lo, hi) — its own remaining out-neighbors there or inherited origin
-// deliveries.
+// deliveries. Deliveries to avoided destinations don't count: they are
+// pinned to their original source and cannot be offloaded.
 func (b *builder) wantsAgent(st *rankState, lo, hi int) bool {
 	for _, dests := range st.del {
-		if dests.AnyInRange(lo, hi) {
-			return true
+		if b.avoid == nil {
+			if dests.AnyInRange(lo, hi) {
+				return true
+			}
+			continue
+		}
+		for _, d := range dests.ElemsRange(nil, lo, hi) {
+			if !b.avoid[d] {
+				return true
+			}
 		}
 	}
 	return false
@@ -382,11 +420,26 @@ func (b *builder) applyTransfers(ranks []int) {
 		s.SendCount = len(st.buf)
 		for src, dests := range st.del {
 			moved := dests.ElemsRange(nil, s.H2Lo, s.H2Hi)
+			if b.avoid != nil {
+				// Deliveries to avoided destinations stay pinned to the
+				// current holder (inductively the original source), so
+				// they surface as direct final sends along graph edges.
+				kept := moved[:0]
+				for _, d := range moved {
+					if b.avoid[d] {
+						continue
+					}
+					kept = append(kept, d)
+					dests.Remove(d)
+				}
+				moved = kept
+			} else {
+				dests.RemoveRange(s.H2Lo, s.H2Hi)
+			}
 			if len(moved) == 0 {
 				continue
 			}
 			x.entries[src] = moved
-			dests.RemoveRange(s.H2Lo, s.H2Hi)
 			if dests.Count() == 0 {
 				delete(st.del, src)
 			}

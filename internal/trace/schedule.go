@@ -44,6 +44,14 @@ const (
 	// DecisionRevokeNotify resumes a receiver that was blocked when the
 	// communicator was revoked; it observes a revocation error.
 	DecisionRevokeNotify
+	// DecisionLinkFault marks a rank's first observation of a down link
+	// resource: Rank paid the detection timeout for the resource encoded
+	// as (Src = resource kind, Tag = resource index). Like kills, these
+	// are recorded inline by the observing rank — which holds the
+	// execution token — not chosen by the scheduler, so replay skips
+	// them when resolving a pick and the determinism fingerprint covers
+	// them.
+	DecisionLinkFault
 )
 
 // String returns a short label for the kind.
@@ -61,6 +69,8 @@ func (k DecisionKind) String() string {
 		return "fail-notify"
 	case DecisionRevokeNotify:
 		return "revoke-notify"
+	case DecisionLinkFault:
+		return "link-fault"
 	default:
 		return fmt.Sprintf("DecisionKind(%d)", uint8(k))
 	}
@@ -221,6 +231,8 @@ func (s *Schedule) Write(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%6d revoke-notify rank %d\n", i, d.Rank)
 		case DecisionFailNotify:
 			_, err = fmt.Fprintf(w, "%6d fail-notify rank %d: rank %d failed\n", i, d.Rank, d.Src)
+		case DecisionLinkFault:
+			_, err = fmt.Fprintf(w, "%6d link-fault rank %d: resource kind %d index %d down\n", i, d.Rank, d.Src, d.Tag)
 		default:
 			_, err = fmt.Fprintf(w, "%6d %-8s %d→%d tag %d seq %d size %d\n",
 				i, d.Kind, d.Src, d.Rank, d.Tag, d.SendSeq, d.Size)
