@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif test race cover bench chaos faults linkfaults fuzz mega repro examples clean
+.PHONY: all build vet lint lint-sarif lint-baseline alloc-guard test race cover bench chaos faults linkfaults fuzz mega repro examples clean
 
 all: build lint test
 
@@ -15,15 +15,30 @@ vet:
 	$(GO) vet ./...
 
 # Static invariant analyzers (DESIGN.md §8): determinism, requestleak,
-# errdiscipline, tagdiscipline, vtclean, bufferpool, plus the dataflow-
-# powered bufinflight, deadlockshape and waitcoverage; full-suite runs also
-# flag stale suppression directives. Exit 1 = findings, 2 = tool error.
+# errdiscipline, tagdiscipline, vtclean, bufferpool, the dataflow-powered
+# bufinflight, deadlockshape and waitcoverage, and the interprocedural
+# allocdiscipline (//lint:hotpath closures stay allocation-free) and
+# enginesafe (no host block reachable from event-engine coroutines).
+# The run covers the whole module including internal/lint itself;
+# full-suite runs also flag stale suppression directives.
+# Exit 1 = findings, 2 = tool error.
 lint:
 	$(GO) run ./cmd/nbr-lint -dir .
 
 # Machine-readable lint for code-scanning upload.
 lint-sarif:
 	$(GO) run ./cmd/nbr-lint -dir . -sarif > nbr-lint.sarif; test $$? -ne 2
+
+# Incremental gate against a recorded findings baseline:
+#   make lint-baseline               — fail only on findings not in lint-baseline.json
+#   go run ./cmd/nbr-lint -dir . -write-baseline lint-baseline.json  — (re)record it
+lint-baseline:
+	$(GO) run ./cmd/nbr-lint -dir . -baseline lint-baseline.json
+
+# Dynamic check of the allocdiscipline guarantee: the p2p/ and pool/
+# micro-benchmark rows must hold 0 allocs/op once warm.
+alloc-guard:
+	$(GO) run ./cmd/nbr-bench -micro -assert-zero-alloc
 
 test:
 	$(GO) test ./...

@@ -72,7 +72,7 @@ var (
 	jsonMsgSizes  = []int{1 << 10, 1 << 16}
 )
 
-func runJSON(out io.Writer, path string, c topology.Cluster, trials int, seed int64, wall time.Duration, micro bool) error {
+func runJSON(out io.Writer, path string, c topology.Cluster, trials int, seed int64, wall time.Duration, micro, assertZeroAlloc bool) error {
 	doc := benchDoc{
 		Schema:  "nbr-bench/pr5",
 		Cluster: c.String(),
@@ -168,6 +168,11 @@ func runJSON(out io.Writer, path string, c topology.Cluster, trials int, seed in
 
 	if micro {
 		doc.Micro = runMicro(out)
+		if assertZeroAlloc {
+			if err := checkZeroAlloc(doc.Micro); err != nil {
+				return err
+			}
+		}
 	}
 
 	if dir := filepath.Dir(path); dir != "." && dir != "" {

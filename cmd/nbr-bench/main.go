@@ -46,7 +46,8 @@ func run(args []string, out io.Writer) error {
 	wall := fs.Duration("wall", 10*time.Minute, "wall-clock budget per measurement")
 	scatter := fs.Bool("scatter", false, "scatter nodes across Dragonfly+ groups (the batch-scheduler placement the paper's jobs got); matters for structured topologies")
 	jsonPath := fs.String("json", "", "write the machine-readable benchmark (per-algorithm Fig. 4 cells plus fail-stop recovery overhead) to this path and exit")
-	micro := fs.Bool("micro", false, "with -json, include the mpirt hot-path micro-benchmarks (match, pool, barrier, allgather step)")
+	micro := fs.Bool("micro", false, "run the mpirt hot-path micro-benchmarks (match, pool, barrier, allgather step); alone they print and exit, with -json they join the snapshot")
+	assertZeroAlloc := fs.Bool("assert-zero-alloc", false, "with -micro, exit nonzero when a p2p/ or pool/ row reports allocs/op > 0 — the dynamic check of the allocdiscipline lint guarantee")
 	mega := fs.Bool("mega", false, "with -json, run the mega-scale phantom sweep (event engine, Moore neighborhood over -mega-ranks ranks) instead of the figure benchmarks")
 	degradation := fs.Bool("degradation", false, "measure degraded-fabric overhead (link faults: slow uplinks/NICs, a down NIC) per self-healing algorithm instead of the figure benchmarks; -json writes the nbr-bench/pr7 document")
 	degMsg := fs.Int("deg-msg", 1<<18, "per-rank payload size in bytes for -degradation")
@@ -77,16 +78,23 @@ func run(args []string, out io.Writer) error {
 		if *degradation {
 			return runDegradation(out, *jsonPath, place(topology.Niagara(*nodes, *rps)), *degMsg, *seed, *wall)
 		}
-		return runFigs(out, place, *fig, *nodes, *rps, *trials, *seed, *full, *csv, *minMsg, *maxMsg, *wall, *jsonPath, *micro)
+		return runFigs(out, place, *fig, *nodes, *rps, *trials, *seed, *full, *csv, *minMsg, *maxMsg, *wall, *jsonPath, *micro, *assertZeroAlloc)
 	})
 }
 
-func runFigs(out io.Writer, place func(topology.Cluster) topology.Cluster, fig, nodes, rps, trials int, seed int64, full, csv bool, minMsg, maxMsg int, wall time.Duration, jsonPath string, micro bool) error {
+func runFigs(out io.Writer, place func(topology.Cluster) topology.Cluster, fig, nodes, rps, trials int, seed int64, full, csv bool, minMsg, maxMsg int, wall time.Duration, jsonPath string, micro, assertZeroAlloc bool) error {
 	if jsonPath != "" {
-		return runJSON(out, jsonPath, place(topology.Niagara(nodes, rps)), trials, seed, wall, micro)
+		return runJSON(out, jsonPath, place(topology.Niagara(nodes, rps)), trials, seed, wall, micro, assertZeroAlloc)
 	}
 	if micro {
-		return fmt.Errorf("-micro requires -json")
+		rows := runMicro(out)
+		if assertZeroAlloc {
+			return checkZeroAlloc(rows)
+		}
+		return nil
+	}
+	if assertZeroAlloc {
+		return fmt.Errorf("-assert-zero-alloc requires -micro")
 	}
 
 	run4 := fig == 0 || fig == 4

@@ -167,3 +167,32 @@ func TestRunDegradationExclusiveWithMega(t *testing.T) {
 		t.Fatal("-degradation with -mega accepted")
 	}
 }
+
+// TestCheckZeroAlloc pins the alloc-guard policy: p2p/ and pool/ rows
+// must hold 0 allocs/op, collective rows are measured but not gated.
+func TestCheckZeroAlloc(t *testing.T) {
+	clean := []microBench{
+		{Name: "p2p/sendrecv"},
+		{Name: "pool/payload-roundtrip"},
+		{Name: "collective/barrier", AllocsPerOp: 3},
+	}
+	if err := checkZeroAlloc(clean); err != nil {
+		t.Errorf("collective allocs must not trip the guard: %v", err)
+	}
+	dirty := []microBench{{Name: "p2p/sendrecv", AllocsPerOp: 2}}
+	err := checkZeroAlloc(dirty)
+	if err == nil {
+		t.Fatal("p2p allocs must trip the guard")
+	}
+	if !strings.Contains(err.Error(), "p2p/sendrecv: 2 allocs/op") {
+		t.Errorf("error should name the offending row: %v", err)
+	}
+}
+
+// TestAssertZeroAllocRequiresMicro pins the flag dependency.
+func TestAssertZeroAllocRequiresMicro(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-assert-zero-alloc"}, &out); err == nil {
+		t.Fatal("-assert-zero-alloc without -micro accepted")
+	}
+}

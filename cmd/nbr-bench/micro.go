@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"strings"
 	"testing"
 	"time"
 
@@ -60,6 +61,26 @@ func runMicro(out io.Writer) []microBench {
 			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
 	}
 	return rows
+}
+
+// checkZeroAlloc enforces at run time what the allocdiscipline
+// analyzer proves statically: the //lint:hotpath closure — matching,
+// the payload pool, nonblocking requests — stays allocation-free once
+// warm. The p2p/ and pool/ rows measure exactly that closure, so a
+// nonzero allocs/op there means escape analysis stopped cooperating
+// (or an //lint:allocok site is not as cold as its review claimed).
+func checkZeroAlloc(rows []microBench) error {
+	var bad []string
+	for _, r := range rows {
+		hot := strings.HasPrefix(r.Name, "p2p/") || strings.HasPrefix(r.Name, "pool/")
+		if hot && r.AllocsPerOp > 0 {
+			bad = append(bad, fmt.Sprintf("%s: %d allocs/op", r.Name, r.AllocsPerOp))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("nbr-bench: hot-path rows must hold 0 allocs/op: %s", strings.Join(bad, "; "))
+	}
+	return nil
 }
 
 // microSendRecv is the raw eager round trip between two ranks.

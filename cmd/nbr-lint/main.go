@@ -6,6 +6,14 @@
 // Usage:
 //
 //	nbr-lint [-dir .] [-modpath path] [-analyzers a,b] [-json] [-sarif]
+//	         [-baseline findings.json] [-write-baseline findings.json]
+//
+// A baseline turns the gate incremental: -write-baseline records the
+// current findings as JSON, and -baseline fails only on findings not
+// present in that file — adopted-code debt stays visible in the
+// baseline without blocking unrelated changes. A finding matches the
+// baseline on (file, analyzer, message), not line number, so edits
+// that merely move code do not resurrect suppressed debt.
 //
 // Exit codes: 0 — clean; 1 — findings; 2 — the tool itself failed
 // (bad flags, unloadable or untypeable source). CI distinguishes "the
@@ -65,6 +73,8 @@ func run(args []string, out io.Writer) error {
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
 	asSARIF := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	baseline := fs.String("baseline", "", "JSON findings file: fail only on findings not in it")
+	writeBaseline := fs.String("write-baseline", "", "record current findings to this JSON file and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,23 +98,24 @@ func run(args []string, out io.Writer) error {
 	}
 	diags := lint.RunAnalyzers(pkgs, analyzers)
 
+	if *writeBaseline != "" {
+		return saveBaseline(*writeBaseline, diags)
+	}
+	if *baseline != "" {
+		diags, err = filterBaseline(*baseline, diags)
+		if err != nil {
+			return err
+		}
+	}
+
 	if *asSARIF {
 		if err := writeSARIF(out, analyzers, diags); err != nil {
 			return err
 		}
 	} else if *asJSON {
-		findings := make([]jsonFinding, 0, len(diags))
-		for _, d := range diags {
-			findings = append(findings, jsonFinding{
-				File:     d.Pos.Filename,
-				Line:     d.Pos.Line,
-				Analyzer: d.Analyzer,
-				Message:  d.Message,
-			})
-		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(toJSON(diags)); err != nil {
 			return err
 		}
 	} else {
@@ -116,6 +127,65 @@ func run(args []string, out io.Writer) error {
 		return errFindings{n: len(diags)}
 	}
 	return nil
+}
+
+// toJSON renders diagnostics in the machine-readable shape shared by
+// -json output and baseline files.
+func toJSON(diags []lint.Diagnostic) []jsonFinding {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return findings
+}
+
+// baselineKey identifies a finding across line drift: two findings
+// match when file, analyzer, and message agree.
+func baselineKey(f jsonFinding) string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+// saveBaseline records the current findings. Recording is always a
+// success: the point is to freeze known debt, however much there is.
+func saveBaseline(path string, diags []lint.Diagnostic) error {
+	data, err := json.MarshalIndent(toJSON(diags), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// filterBaseline drops findings present in the baseline file. The
+// baseline is a multiset: N occurrences absorb only N findings with
+// the same key, so genuinely new duplicates still surface.
+func filterBaseline(path string, diags []lint.Diagnostic) ([]lint.Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("nbr-lint: reading baseline: %w", err)
+	}
+	var old []jsonFinding
+	if err := json.Unmarshal(data, &old); err != nil {
+		return nil, fmt.Errorf("nbr-lint: baseline %s is not a findings JSON array: %w", path, err)
+	}
+	absorb := map[string]int{}
+	for _, f := range old {
+		absorb[baselineKey(f)]++
+	}
+	var fresh []lint.Diagnostic
+	for _, d := range diags {
+		k := baselineKey(jsonFinding{File: d.Pos.Filename, Analyzer: d.Analyzer, Message: d.Message})
+		if absorb[k] > 0 {
+			absorb[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, nil
 }
 
 func selectAnalyzers(names string) ([]*lint.Analyzer, error) {

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -175,5 +176,72 @@ func TestExitCodes(t *testing.T) {
 	errOut.Reset()
 	if code := Main([]string{"-dir", filepath.Join("..", "..")}, &out, &errOut); code != 0 {
 		t.Errorf("clean module must exit 0, got %d (stderr: %s)", code, errOut.String())
+	}
+}
+
+// TestBaseline pins the incremental gate: recording the fixture
+// findings and re-running against that baseline is clean (exit 0), a
+// missing baseline is a tool failure (exit 2), and a baseline with one
+// finding removed surfaces exactly the removed finding (exit 1).
+func TestBaseline(t *testing.T) {
+	fixtures := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	var out, errOut strings.Builder
+
+	if code := Main([]string{"-dir", fixtures, "-modpath", "nbrallgather", "-write-baseline", base}, &out, &errOut); code != 0 {
+		t.Fatalf("write-baseline: exit %d, want 0\n%s", code, errOut.String())
+	}
+	if code := Main([]string{"-dir", fixtures, "-modpath", "nbrallgather", "-baseline", base}, &out, &errOut); code != 0 {
+		t.Fatalf("full baseline should absorb every finding: exit %d\n%s%s", code, out.String(), errOut.String())
+	}
+	if code := Main([]string{"-dir", fixtures, "-modpath", "nbrallgather", "-baseline", filepath.Join(t.TempDir(), "absent.json")}, &out, &errOut); code != 2 {
+		t.Fatalf("missing baseline file: exit %d, want 2", code)
+	}
+
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(data, &findings); err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) < 2 {
+		t.Fatalf("baseline holds %d findings, need at least 2", len(findings))
+	}
+	removed := findings[0]
+	trimmed, err := json.Marshal(findings[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := filepath.Join(t.TempDir(), "partial.json")
+	if err := os.WriteFile(partial, trimmed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := Main([]string{"-dir", fixtures, "-modpath", "nbrallgather", "-baseline", partial}, &out, &errOut); code != 1 {
+		t.Fatalf("partial baseline: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), removed.Message) {
+		t.Errorf("new-findings output should contain the un-baselined message %q:\n%s", removed.Message, out.String())
+	}
+	if got := strings.Count(out.String(), "\n"); got != 1 {
+		t.Errorf("only the new finding should print, got %d lines:\n%s", got, out.String())
+	}
+}
+
+// TestSARIFIncludesInterproceduralRules pins that the SARIF rule table
+// carries the call-graph-backed analyzers.
+func TestSARIFIncludesInterproceduralRules(t *testing.T) {
+	fixtures := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+	var out strings.Builder
+	err := run([]string{"-dir", fixtures, "-modpath", "nbrallgather", "-sarif"}, &out)
+	if err == nil {
+		t.Fatal("fixture tree should produce findings")
+	}
+	for _, rule := range []string{`"allocdiscipline"`, `"enginesafe"`} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("SARIF output missing rule %s", rule)
+		}
 	}
 }

@@ -91,6 +91,12 @@ func checkMapRange(p *Pass, rng *ast.RangeStmt) {
 				p.Report(rng.Pos(), "map iteration order reaches a runtime send/recv: iterate order.SortedKeys instead")
 				return false
 			}
+			// Interprocedural: a helper that transitively sends or
+			// receives leaks the iteration order just as surely.
+			if cn := calleeNode(p, n); cn != nil && cn.Summary.PerformsComm {
+				p.Report(rng.Pos(), "map iteration order reaches a runtime send/recv (via %s): iterate order.SortedKeys instead", cn.name())
+				return false
+			}
 		case *ast.AssignStmt:
 			for i, rhs := range n.Rhs {
 				call, ok := ast.Unparen(rhs).(*ast.CallExpr)

@@ -1,0 +1,55 @@
+package lint
+
+// EngineSafeName names the event-engine blocking analyzer.
+const EngineSafeName = "enginesafe"
+
+// EngineSafeAnalyzer proves no host-blocking operation is reachable
+// from code that runs inside event-engine coroutines. The event engine
+// (DESIGN.md §10) multiplexes every rank over one serial loop: a
+// time.Sleep, an unsanctioned channel operation, a sync.Cond.Wait, or
+// a syscall inside a rank body does not slow one rank — it stalls the
+// whole simulation, deadlocking all ranks behind a single host block.
+// vtclean catches host-clock reads file-by-file; this analyzer
+// generalizes it to reachability: the roots are every function in the
+// algorithm packages (internal/collective, internal/pattern — rank
+// bodies must run unmodified on either engine) plus the engine's own
+// drivers in mpirt, and the whole-run call graph carries the proof
+// across helpers and packages.
+//
+// Blocking operations: channel send/receive/range, select without a
+// default, time.Sleep/After/Tick, sync.Cond.Wait, sync.WaitGroup.Wait,
+// and calls into os/net/syscall. Mutex.Lock is deliberately out of
+// scope — the runtime's critical sections are bounded, and lock
+// ordering is deadlockshape's concern. The engine's own sanctioned park
+// points (the coroutine hand-off channels, the threaded engine's
+// condition waits) are annotated //lint:blockok, each asserting "this
+// block IS the engine's scheduling point"; the stale audit keeps the
+// set honest. Calls through function values are not followed (the
+// engine invokes rank bodies through exactly such a call), so the
+// analysis is optimistic at dynamic boundaries — by design, the rank
+// bodies themselves are all roots.
+var EngineSafeAnalyzer = &Analyzer{
+	Name:       EngineSafeName,
+	Doc:        "flags host-blocking operations reachable from event-engine coroutine code",
+	Directives: []string{"blockok"},
+	Run:        runEngineSafe,
+}
+
+func runEngineSafe(p *Pass) {
+	prog := p.Prog
+	if prog == nil {
+		return
+	}
+	for _, n := range prog.Funcs {
+		if n.Pkg != p.Pkg {
+			continue
+		}
+		chain, ok := prog.engineChain(n)
+		if !ok {
+			continue
+		}
+		for _, site := range n.Summary.Blocks {
+			p.Report(site.Pos, "host-blocking %s reachable from event-engine code via %s: a host block stalls the serial engine for every rank — wait on simulated progress instead, or annotate a sanctioned engine park point with //lint:blockok", site.What, chain)
+		}
+	}
+}

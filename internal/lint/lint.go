@@ -60,6 +60,10 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Prog is the whole-run interprocedural view (call graph and
+	// per-function summaries over every package of the run), shared by
+	// all passes. Nil only for hand-built passes in unit tests.
+	Prog     *Program
 	diags    *[]Diagnostic
 	suppress map[string]map[int][]string // filename → line → directive words
 	// used records which directives actually suppressed a finding,
@@ -164,6 +168,8 @@ func Analyzers() []*Analyzer {
 		DeadlockShapeAnalyzer,
 		WaitCoverageAnalyzer,
 		BufferPoolAnalyzer,
+		AllocDisciplineAnalyzer,
+		EngineSafeAnalyzer,
 	}
 }
 
@@ -214,11 +220,15 @@ func reportStaleDirectives(idx map[string]map[int][]string, used map[string]map[
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	full := coversFullSuite(analyzers)
+	// The interprocedural view spans every package of the run: a
+	// //lint:hotpath root in mpirt pulls callees anywhere in the module
+	// into its closure, and summaries cross package boundaries.
+	prog := buildProgram(pkgs)
 	for _, pkg := range pkgs {
-		idx := directiveIndex(pkg)
+		idx := prog.dirIdx[pkg]
 		used := map[string]map[int]map[string]bool{}
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, suppress: idx, used: used}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, diags: &diags, suppress: idx, used: used}
 			a.Run(pass)
 		}
 		if full {

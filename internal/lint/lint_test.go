@@ -9,8 +9,12 @@ import (
 	"testing"
 )
 
-// wantRe extracts `// want "regex"` expectations from fixture sources.
-var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+// wantRe extracts the `// want "regex" ["regex" ...]` section of a
+// fixture line; wantArgRe splits it into the individual patterns.
+var (
+	wantRe    = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+	wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
 
 // expectation is one `// want` comment: a finding the analyzer must
 // produce at that file and line.
@@ -41,11 +45,13 @@ func loadExpectations(t *testing.T, dir string) []expectation {
 			if m == nil {
 				continue
 			}
-			re, err := regexp.Compile(m[1])
-			if err != nil {
-				t.Fatalf("%s:%d: bad want regex %q: %v", path, i+1, m[1], err)
+			for _, a := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(a[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", path, i+1, a[1], err)
+				}
+				exps = append(exps, expectation{file: path, line: i + 1, re: re})
 			}
-			exps = append(exps, expectation{file: path, line: i + 1, re: re})
 		}
 	}
 	return exps
@@ -100,6 +106,11 @@ func TestGolden(t *testing.T) {
 		{"nbrallgather/internal/collective/deadlockshapebad", "deadlockshape"},
 		{"nbrallgather/internal/collective/waitcoveragebad", "waitcoverage"},
 		{"nbrallgather/internal/collective/poolbad", "bufferpool"},
+		{"nbrallgather/internal/collective/allocbad", AllocDisciplineName},
+		{"nbrallgather/internal/collective/enginesafebad", EngineSafeName},
+		{"nbrallgather/internal/collective/xleakbad", "requestleak"},
+		{"nbrallgather/internal/collective/xwaitbad", "waitcoverage"},
+		{"nbrallgather/internal/collective/xdetermbad", "determinism"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer, func(t *testing.T) {

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -33,13 +34,22 @@ func runRequestLeak(p *Pass) {
 	}
 }
 
-// isRequestCall reports whether call creates a request.
+// isRequestCall reports whether call creates a request: a direct
+// Isend/Irecv, or a module helper whose summary says it returns a
+// request — such a helper hands its caller the wait obligation exactly
+// like the runtime calls do.
 func isRequestCall(p *Pass, call *ast.CallExpr) bool {
 	f := calleeOf(p, call)
-	if f == nil || !pathContains(funcPkgPath(f), "internal/mpirt") {
+	if f == nil {
 		return false
 	}
-	return f.Name() == "Isend" || f.Name() == "Irecv"
+	if pathContains(funcPkgPath(f), "internal/mpirt") {
+		return f.Name() == "Isend" || f.Name() == "Irecv"
+	}
+	if n := calleeNode(p, call); n != nil && n.Summary.ReturnsRequest {
+		return true
+	}
+	return false
 }
 
 func checkFuncRequests(p *Pass, body *ast.BlockStmt) {
@@ -93,11 +103,39 @@ func checkFuncRequests(p *Pass, body *ast.BlockStmt) {
 	}
 
 	// Pass 2: count uses of each tracked variable outside its producer
-	// statements.
+	// statements. A use that only passes the request to a module callee
+	// whose summary proves it ignores the parameter is not a real use —
+	// the obligation never left this function.
+	ignoredAt := map[token.Pos]bool{}
+	ignoredUse := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for i, a := range call.Args {
+			id, ok := ast.Unparen(a).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := p.Pkg.Info.Uses[id]
+			if obj == nil {
+				continue
+			}
+			if _, tracked := producers[obj]; tracked && calleeIgnoresArg(p, call, i) {
+				ignoredAt[id.Pos()] = true
+				ignoredUse[obj] = true
+			}
+		}
+		return true
+	})
 	used := map[types.Object]bool{}
 	ast.Inspect(body, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
 		if !ok {
+			return true
+		}
+		if ignoredAt[id.Pos()] {
 			return true
 		}
 		obj := p.Pkg.Info.Uses[id]
@@ -121,9 +159,14 @@ func checkFuncRequests(p *Pass, body *ast.BlockStmt) {
 		return true
 	})
 	for obj := range producers {
-		if !used[obj] {
-			p.Report(obj.Pos(), "request %s is never waited on and never escapes", obj.Name())
+		if used[obj] {
+			continue
 		}
+		if ignoredUse[obj] {
+			p.Report(obj.Pos(), "request %s is never waited on: every use passes it to a callee that ignores it", obj.Name())
+			continue
+		}
+		p.Report(obj.Pos(), "request %s is never waited on and never escapes", obj.Name())
 	}
 }
 

@@ -1,0 +1,59 @@
+// Package allocbad exercises the allocdiscipline analyzer: allocation
+// sites reachable from a //lint:hotpath root are charged to the root
+// through the call graph, however many calls deep they hide.
+package allocbad
+
+import (
+	"fmt"
+
+	"nbrallgather/internal/mpirt"
+)
+
+// Hot is the hot root: it and everything it transitively calls must be
+// allocation-free.
+//
+//lint:hotpath
+func Hot(p *mpirt.Proc, tag int, buf []byte) {
+	p.Send(1, tag, len(buf), buf, nil)
+	p.Send(1, tag, len(buf), buf, tag) // want "interface boxing of int argument"
+	stage(buf)
+	launch(p, tag)
+	describe(tag)
+	cold(len(buf))
+}
+
+// stage is one call deep from the hot root.
+func stage(buf []byte) []byte {
+	return grow(buf)
+}
+
+// grow is two calls deep: its allocations are still charged to Hot.
+func grow(buf []byte) []byte {
+	scratch := make([]byte, len(buf)) // want "allocation on hot path \(make\) — reachable from //lint:hotpath via Hot → stage → grow"
+	copy(scratch, buf)
+	return append(scratch, 0) // want "append may grow the backing array"
+}
+
+// launch calls through a function value: the callee is unknowable, so
+// the call site itself is reported.
+func launch(p *mpirt.Proc, tag int) {
+	f := pick()
+	f(p, tag) // want "dynamic call on hot path"
+}
+
+func pick() func(*mpirt.Proc, int) { return noop }
+
+func noop(p *mpirt.Proc, tag int) {}
+
+// describe calls an external function the tables cannot clear.
+func describe(rank int) string {
+	return fmt.Sprintf("rank %d", rank) // want "call to fmt.Sprintf on hot path: cannot prove allocation-free" "interface boxing of int argument"
+}
+
+// cold is a reviewed cold region: the function-level directive prunes
+// the hot traversal at this node, so its make stays unreported.
+//
+//lint:allocok — fixture: reviewed init-time staging
+func cold(n int) []int {
+	return make([]int, n)
+}

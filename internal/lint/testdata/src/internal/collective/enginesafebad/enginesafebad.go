@@ -1,0 +1,54 @@
+// Package enginesafebad exercises the enginesafe analyzer: collective
+// code runs inside event-engine coroutines, so a host-blocking
+// operation anywhere in its call closure stalls the serial engine for
+// every rank.
+package enginesafebad
+
+import "time"
+
+// Step blocks the host directly and through a helper.
+func Step(ch chan int) {
+	time.Sleep(time.Millisecond) // want "host-blocking call to time.Sleep reachable from event-engine code"
+	ch <- 1                      // want "host-blocking channel send"
+	nap()
+}
+
+// nap hides the block one call down; the site is still reported.
+func nap() {
+	time.Sleep(time.Microsecond) // want "host-blocking call to time.Sleep"
+}
+
+// waitEither parks on a select with no default.
+func waitEither(a, b chan int) int {
+	select { // want "host-blocking select with no default"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// drain blocks until the channel closes.
+func drain(ch chan int) int {
+	total := 0
+	for v := range ch { // want "host-blocking range over channel"
+		total += v
+	}
+	return total
+}
+
+// poll uses select-with-default: it never blocks and stays unflagged.
+func poll(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// parked is a reviewed, sanctioned park point.
+func parked(ch chan int) int {
+	//lint:blockok — fixture: reviewed park point
+	return <-ch
+}

@@ -1,0 +1,29 @@
+// Package xdetermbad exercises interprocedural determinism: a map
+// range whose body reaches a runtime send only through a helper still
+// leaks the iteration order onto the wire.
+package xdetermbad
+
+import "nbrallgather/internal/mpirt"
+
+// sendTo hides the send one call down from the map range.
+func sendTo(p *mpirt.Proc, dst, tag int) {
+	p.Send(dst, tag, 8, nil, nil)
+}
+
+// Bad iterates a map and sends through the helper.
+func Bad(p *mpirt.Proc, m map[int]int, tag int) {
+	for k := range m { // want "map iteration order reaches a runtime send/recv \(via sendTo\)"
+		sendTo(p, k, tag)
+	}
+}
+
+// Counts stays unflagged: the helper neither sends nor receives.
+func Counts(m map[int]int) int {
+	n := 0
+	for k := range m {
+		n += bump(k)
+	}
+	return n
+}
+
+func bump(k int) int { return k + 1 }

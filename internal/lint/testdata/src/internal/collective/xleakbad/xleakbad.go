@@ -1,0 +1,31 @@
+// Package xleakbad exercises the interprocedural request-leak cases:
+// a module helper whose summary returns a request is a producer, and a
+// callee that provably ignores its request parameter does not inherit
+// the wait obligation.
+package xleakbad
+
+import "nbrallgather/internal/mpirt"
+
+// post wraps Irecv: its summary returns a request, so callers inherit
+// the wait obligation exactly as from Irecv itself.
+func post(p *mpirt.Proc, tag int) *mpirt.Request {
+	return p.Irecv(1, tag)
+}
+
+// sink takes a request and never touches it.
+func sink(r *mpirt.Request) {}
+
+// Drops mints requests through the helper and loses both: one dropped
+// outright, one handed only to the ignoring callee.
+func Drops(p *mpirt.Proc, tag int) {
+	post(p, tag) // want "post result dropped: the request never reaches Wait"
+
+	r := post(p, tag) // want "request r is never waited on: every use passes it to a callee that ignores it"
+	sink(r)
+}
+
+// Waited discharges the helper-minted request: clean.
+func Waited(p *mpirt.Proc, tag int) {
+	r := post(p, tag)
+	r.Wait()
+}

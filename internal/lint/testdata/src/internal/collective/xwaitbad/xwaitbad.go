@@ -1,0 +1,29 @@
+// Package xwaitbad exercises interprocedural wait coverage: passing a
+// request to a callee transfers the obligation only when the callee's
+// summary says it waits (or may keep) the value. A callee that ignores
+// the parameter leaves the obligation with the caller.
+package xwaitbad
+
+import "nbrallgather/internal/mpirt"
+
+// finish waits the request on the caller's behalf: ParamWaited.
+func finish(r *mpirt.Request) {
+	r.Wait()
+}
+
+// stash ignores its request parameter entirely: ParamIgnored.
+func stash(r *mpirt.Request) {}
+
+// DropViaHelper hands the pending request only to an ignoring callee.
+// Before summaries, any call argument was assumed to escape, so this
+// leak went unreported.
+func DropViaHelper(p *mpirt.Proc, tag int) {
+	r := p.Irecv(1, tag) // want "request r is not waited on every path to return"
+	stash(r)
+}
+
+// WaitViaHelper discharges through the waiting helper: clean.
+func WaitViaHelper(p *mpirt.Proc, tag int) {
+	r := p.Irecv(1, tag)
+	finish(r)
+}

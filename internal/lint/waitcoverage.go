@@ -109,22 +109,43 @@ func litWaits(p *Pass, call *ast.CallExpr, obj types.Object) bool {
 }
 
 // callWaits reports whether call is a Wait/WaitErr on storage rooted at
-// obj, or a WaitAll taking it as an argument.
+// obj, a WaitAll taking it as an argument, or a call to a module helper
+// whose interprocedural summary proves it waits the request parameter
+// the tracked value is passed as.
 func callWaits(p *Pass, call *ast.CallExpr, obj types.Object) bool {
 	f := calleeOf(p, call)
-	if f == nil || !pathContains(funcPkgPath(f), "internal/mpirt") {
+	if f == nil {
 		return false
 	}
-	switch f.Name() {
-	case "Wait", "WaitErr":
-		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-			return rootObj(p, sel.X) == obj
-		}
-	case "WaitAll":
-		for _, a := range call.Args {
-			if rootObj(p, a) == obj {
-				return true
+	if pathContains(funcPkgPath(f), "internal/mpirt") {
+		switch f.Name() {
+		case "Wait", "WaitErr":
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return rootObj(p, sel.X) == obj
 			}
+		case "WaitAll":
+			for _, a := range call.Args {
+				if rootObj(p, a) == obj {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	n := calleeNode(p, call)
+	if n == nil {
+		return false
+	}
+	sig, ok := n.Fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i, a := range call.Args {
+		if rootObj(p, a) != obj {
+			continue
+		}
+		if n.Summary.RequestParamFate(paramIndexForArg(sig, i)) == ParamWaited {
+			return true
 		}
 	}
 	return false
@@ -199,8 +220,13 @@ func nodeEscapes(p *Pass, node ast.Node, obj types.Object) bool {
 			if isBuiltin(p, n, "append") && len(n.Args) > 0 && rootObj(p, n.Args[0]) == obj {
 				return true // growing the tracked slice keeps ownership
 			}
-			for _, a := range n.Args {
+			for i, a := range n.Args {
 				if o := rootObj(p, a); o == obj {
+					// A callee the summary proves ignores the request does
+					// not inherit the obligation: keep tracing this path.
+					if calleeIgnoresArg(p, n, i) {
+						continue
+					}
 					found = true
 					return false
 				}

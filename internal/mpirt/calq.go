@@ -107,7 +107,7 @@ func (q *calQueue) push(e calEvent) {
 	}
 	if q.rungNext < len(q.rung) && e.vt <= q.rungHi {
 		i := q.bucketOf(e.vt)
-		q.rung[i] = append(q.rung[i], e)
+		q.rung[i] = append(q.rung[i], e) //lint:allocok — amortized bucket growth; capacity is reused at steady state
 		return
 	}
 	if len(q.overflow) == 0 || e.vt < q.ovLo {
@@ -116,7 +116,7 @@ func (q *calQueue) push(e calEvent) {
 	if len(q.overflow) == 0 || e.vt > q.ovHi {
 		q.ovHi = e.vt
 	}
-	q.overflow = append(q.overflow, e)
+	q.overflow = append(q.overflow, e) //lint:allocok — amortized overflow growth; capacity is reused at steady state
 }
 
 // bucketOf maps a key into the active rung, clamped so floating-point
@@ -134,6 +134,8 @@ func (q *calQueue) bucketOf(vt float64) int {
 
 // insertFront places e into the live front region, keeping it sorted.
 // The front is one spilled bucket — small — so the memmove is cheap.
+//
+//lint:allocok — amortized front maintenance; buffers reuse capacity at steady state
 func (q *calQueue) insertFront(e calEvent) {
 	live := q.front[q.head:]
 	i := sort.Search(len(live), func(i int) bool { return calLess(e, live[i]) })
@@ -163,6 +165,8 @@ func (q *calQueue) pop() (calEvent, bool) {
 // advance refills the front: spill the next non-empty rung bucket, or
 // re-ladder the overflow when the rung is exhausted. Called only when
 // events remain (q.n > 0), so it always makes progress.
+//
+//lint:allocok — amortized re-laddering; O(1) per event, buffers reuse capacity
 func (q *calQueue) advance() {
 	for q.rungNext < len(q.rung) {
 		b := q.rungNext

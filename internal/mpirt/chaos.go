@@ -363,7 +363,7 @@ func (cs *chaosRT) scheduleLocked() bool {
 			}
 			cs.recordLocked(trace.Decision{Kind: kind, Rank: pick.rank})
 			cs.state[pick.rank] = chaosRunning
-			cs.token[pick.rank] <- chaosWake{err: werr}
+			cs.token[pick.rank] <- chaosWake{err: werr} //lint:blockok — token hand-off to a rank proven parked; this send IS the chaos scheduling point
 			return true
 		}
 		if pick.kind == optFail {
@@ -371,7 +371,7 @@ func (cs *chaosRT) scheduleLocked() bool {
 				Kind: trace.DecisionFailNotify, Rank: pick.rank, Src: pick.src,
 			})
 			cs.state[pick.rank] = chaosRunning
-			cs.token[pick.rank] <- chaosWake{err: &RankFailedError{Rank: pick.src}}
+			cs.token[pick.rank] <- chaosWake{err: &RankFailedError{Rank: pick.src}} //lint:blockok — token hand-off to a rank proven parked
 			return true
 		}
 		fm := cs.inflight[pick.rank][pick.fi]
@@ -395,7 +395,7 @@ func (cs *chaosRT) scheduleLocked() bool {
 		cs.state[pick.rank] = chaosRunning
 		msg := fm.msg
 		cs.freeFlightLocked(fm)
-		cs.token[pick.rank] <- chaosWake{msg: msg}
+		cs.token[pick.rank] <- chaosWake{msg: msg} //lint:blockok — token hand-off to a rank proven parked
 		return true
 	}
 }
@@ -557,6 +557,7 @@ func (cs *chaosRT) blockedSummaryLocked() string {
 // resume). Aborting the run also unparks every rank.
 func (p *Proc) chaosPark() chaosWake {
 	cs := p.rt.chaos
+	//lint:blockok — THE sanctioned chaos park point: ranks block here until the scheduler hands back the token
 	select {
 	case w := <-cs.token[p.rank]:
 		return w
@@ -586,6 +587,8 @@ func (p *Proc) chaosFinish() {
 // sender before injection (retry backoffs) and the extra arrival delay
 // (latency spike). Must run with cs.mu held — the draws are part of
 // the deterministic serial stream.
+//
+//lint:allocok — chaos-mode fault sampling, exempt from hot-path discipline
 func (cs *chaosRT) chaosSendFaults(scale float64) (backoffTime, spike float64) {
 	if cs.cfg.FailProb > 0 {
 		backoff := cs.cfg.Backoff
@@ -605,6 +608,8 @@ func (cs *chaosRT) chaosSendFaults(scale float64) (backoffTime, spike float64) {
 
 // chaosEnqueue places a sent message (and possibly a duplicate) into
 // the in-flight pool. Must run with cs.mu held.
+//
+//lint:allocok — chaos-mode in-flight pool, exempt from hot-path discipline
 func (cs *chaosRT) chaosEnqueue(src, dst int, m *Msg) {
 	seq := cs.sendSeq[src]
 	cs.sendSeq[src]++
@@ -619,6 +624,8 @@ func (cs *chaosRT) chaosEnqueue(src, dst int, m *Msg) {
 // chaosRecvErr is recvErr under the chaos scheduler: post the request,
 // yield the token, and block until the scheduler matches a message to
 // it or notifies it of a peer failure / revocation.
+//
+//lint:allocok — chaos mode is the fault-injection harness; alloc discipline targets the production engines
 func (p *Proc) chaosRecvErr(src, tag int) (Msg, error) {
 	p.rt.checkAborted()
 	cs := p.rt.chaos

@@ -75,6 +75,8 @@ func (e *DeadlockError) SameCycle(o *DeadlockError) bool {
 // canonicalCycle rotates the cycle so the smallest rank leads, giving
 // every detection of the same cycle — across goroutine interleavings,
 // chaos seeds, and replays — one canonical representation.
+//
+//lint:allocok — builds the report for a detected deadlock; runs once
 func canonicalCycle(cycle []WaitEdge) []WaitEdge {
 	if len(cycle) == 0 {
 		return cycle
@@ -146,7 +148,7 @@ func (rt *Runtime) detectRecvCycle(start int, scratch *[]WaitEdge) *DeadlockErro
 			*scratch = path
 			return nil
 		}
-		path = append(path, e)
+		path = append(path, e) //lint:allocok — scratch reuses the caller's capacity across checks
 		r = e.Peer
 	}
 	vt := 0.0
@@ -160,7 +162,7 @@ func (rt *Runtime) detectRecvCycle(start int, scratch *[]WaitEdge) *DeadlockErro
 			vt = evt
 		}
 	}
-	return &DeadlockError{Cycle: canonicalCycle(path), VT: vt}
+	return &DeadlockError{Cycle: canonicalCycle(path), VT: vt} //lint:allocok — constructed only on a detected deadlock
 }
 
 // detectRecvCycleLocked is the chaos-mode detector. All scheduler state

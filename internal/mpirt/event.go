@@ -177,6 +177,7 @@ func (ev *eventRT) yield() {
 // The caller must have set ev.state[p.rank] to the wait state first.
 func (ev *eventRT) park(p *Proc) {
 	ev.yield()
+	//lint:blockok — THE sanctioned event-engine park point: coroutines block here until the loop schedules their next event
 	select {
 	case <-ev.resume[p.rank]:
 	case <-p.rt.failedCh:
@@ -188,6 +189,8 @@ func (ev *eventRT) park(p *Proc) {
 // yields, repeat. An empty queue before every rank has finished is a
 // proven deadlock — every possible wake is queued as an event, so no
 // event means no rank can ever run again.
+//
+//lint:hotpath
 func (ev *eventRT) loop() {
 	rt := ev.rt
 	for r := 0; r < rt.n; r++ {
@@ -209,15 +212,16 @@ func (ev *eventRT) loop() {
 		case evUnborn:
 			ev.state[r] = evRunning
 			ev.wg.Add(1)
-			go ev.rankMain(rt.procs[r])
+			go ev.rankMain(rt.procs[r]) //lint:allocok — one coroutine per rank, spawned once at startup
 		case evRecvWait, evBarrierWait, evFTWait, evYield:
 			ev.state[r] = evRunning
-			ev.resume[r] <- struct{}{}
+			ev.resume[r] <- struct{}{} //lint:blockok — cap-1 resume slot of a rank proven parked; this send is the loop's wake
 		default:
 			// A wake can race a state change only through an abort;
 			// nothing to resume.
 			continue
 		}
+		//lint:blockok — the loop's own hand-off: wait for the running rank to yield back
 		select {
 		case <-ev.yieldCh:
 		case <-rt.failedCh:
@@ -228,6 +232,8 @@ func (ev *eventRT) loop() {
 
 // rankMain is a rank's goroutine under the event engine: the shared
 // exit protocol (rankRecover) plus the loop hand-off.
+//
+//lint:allocok — per-rank coroutine bootstrap; the rank body is user code, inherently dynamic
 func (ev *eventRT) rankMain(p *Proc) {
 	rt := ev.rt
 	defer func() {
@@ -245,6 +251,8 @@ func (ev *eventRT) rankMain(p *Proc) {
 // failDeadlock reports the exact deadlock the empty queue proves,
 // preferring the canonical wait-for cycle when one is visible so the
 // report matches the threaded engine's detectRecvCycle output.
+//
+//lint:allocok — deadlock reporting, runs once just before abort
 func (ev *eventRT) failDeadlock() {
 	rt := ev.rt
 	live := rt.n - ev.nFinished
@@ -292,20 +300,20 @@ func (p *Proc) eventRecvErr(src, tag int) (Msg, error) {
 		if rt.revoked.Load() {
 			box.waiter = false
 			box.mu.Unlock()
-			return Msg{}, &CommRevokedError{}
+			return Msg{}, &CommRevokedError{} //lint:allocok — typed failure error, failure path only
 		}
 		if src != AnySource && rt.deadMask[src].Load() {
 			box.waiter = false
 			box.mu.Unlock()
 			p.chargeDetect(src)
-			return Msg{}, &RankFailedError{Rank: src}
+			return Msg{}, &RankFailedError{Rank: src} //lint:allocok — typed failure error, failure path only
 		}
 		if src == AnySource {
 			if d := rt.firstDeadPeer(p.rank); d >= 0 {
 				box.waiter = false
 				box.mu.Unlock()
 				p.chargeDetect(d)
-				return Msg{}, &RankFailedError{Rank: d}
+				return Msg{}, &RankFailedError{Rank: d} //lint:allocok — typed failure error, failure path only
 			}
 		}
 		if src != AnySource && rt.model.HasLinkFaults() {

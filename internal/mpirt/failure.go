@@ -95,6 +95,8 @@ func (p *Proc) enterOp() {
 // die marks the rank dead and unwinds its goroutine. The runtime-level
 // death mark wakes peers blocked on this rank so they observe the
 // failure instead of the watchdog.
+//
+//lint:allocok — fail-stop injection, once per dying rank
 func (p *Proc) die() {
 	p.dead = true
 	p.rt.markDead(p.rank)
@@ -158,6 +160,8 @@ func (rt *Runtime) markDead(r int) {
 // to this rank's virtual clock. Detection is memoised per (observer,
 // dead) pair: a real detector pays the heartbeat timeout once, then
 // knows.
+//
+//lint:allocok — dead-peer detection accounting, paid once per discovered failure
 func (p *Proc) chargeDetect(dead int) {
 	if p.detected == nil {
 		p.detected = make(map[int]bool)
@@ -287,7 +291,7 @@ func (p *Proc) ftRound(ok, clear bool) (bool, []int) {
 	}
 	for gen == rt.ftGen && !rt.aborted.Load() {
 		rt.blocked.Add(1)
-		rt.bcond.Wait()
+		rt.bcond.Wait() //lint:blockok — threaded-engine FT-round park; the event engine routes through eventFTRound instead
 		rt.blocked.Add(-1)
 	}
 	res, maxVT, alive := rt.ftRes, rt.ftMax, rt.ftAlive
@@ -560,6 +564,8 @@ func (p *Proc) FTEpoch() int {
 // failure conditions: it returns *RankFailedError if dst is dead and
 // *CommRevokedError if the communicator is revoked. Usage errors
 // still panic (and abort the run).
+//
+//lint:hotpath
 func (p *Proc) SendErr(dst, tag, size int, data []byte, meta any) error {
 	return p.sendErr(dst, tag, size, data, meta)
 }
@@ -569,6 +575,8 @@ func (p *Proc) SendErr(dst, tag, size int, data []byte, meta any) error {
 // (charging the detection timeout to virtual time on first
 // detection), and returns *CommRevokedError if the communicator is
 // revoked while waiting.
+//
+//lint:hotpath
 func (p *Proc) RecvErr(src, tag int) (Msg, error) {
 	return p.recvErr(src, tag)
 }

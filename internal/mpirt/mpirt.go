@@ -253,12 +253,12 @@ func (b *mailbox) enqueueLocked(m *Msg) {
 	f := b.lists[k]
 	if f == nil {
 		if b.lists == nil {
-			b.lists = make(map[matchKey]*msgFIFO)
+			b.lists = make(map[matchKey]*msgFIFO) //lint:allocok — lazy per-mailbox init, once per destination
 		}
-		f = &msgFIFO{}
+		f = &msgFIFO{} //lint:allocok — once per live (src, tag) match key
 		b.lists[k] = f
 	}
-	f.q = append(f.q, m)
+	f.q = append(f.q, m) //lint:allocok — amortized FIFO growth; capacity is reused across matches
 	b.count++
 }
 
@@ -722,6 +722,8 @@ func (rt *Runtime) watchdog(start time.Time, done <-chan struct{}) {
 // blockedSummary describes, for the deadlock error, what every parked
 // rank is waiting for: the pending operation kind, the peer rank and
 // tag of posted receives, and whether that peer is dead.
+//
+//lint:allocok — deadlock diagnostic, runs once just before abort
 func (rt *Runtime) blockedSummary() string {
 	var parts []string
 	for r, b := range rt.boxes {
@@ -841,6 +843,8 @@ func (p *Proc) Alloc(n int) []byte {
 // the cost model decides when it becomes receivable. Sending to a
 // dead rank or on a revoked communicator panics with the typed
 // failure error (use SendErr to handle it).
+//
+//lint:hotpath
 func (p *Proc) Send(dst, tag, size int, data []byte, meta any) {
 	if err := p.sendErr(dst, tag, size, data, meta); err != nil {
 		panic(err)
@@ -865,13 +869,13 @@ func (p *Proc) sendErr(dst, tag, size int, data []byte, meta any) error {
 			Msg: fmt.Sprintf("size %d != len(data) %d", size, len(data))})
 	}
 	if p.rt.revoked.Load() {
-		return &CommRevokedError{}
+		return &CommRevokedError{} //lint:allocok — typed failure error, failure path only
 	}
 	if p.rt.deadMask[dst].Load() {
 		// An eager send to a dead peer fails fast: the modelled ack
 		// never comes, so the sender pays the detection timeout once.
 		p.chargeDetect(dst)
-		return &RankFailedError{Rank: dst}
+		return &RankFailedError{Rank: dst} //lint:allocok — typed failure error, failure path only
 	}
 	if p.rt.model.HasLinkFaults() {
 		// A send across a down link fails fast with the typed error
@@ -927,7 +931,7 @@ func (p *Proc) sendErr(dst, tag, size int, data []byte, meta any) error {
 		// (possibly duplicated) instead of the destination mailbox; a
 		// later delivery decision releases it. The container is not
 		// recycled — duplicated in-flight copies share this one *Msg.
-		m := &Msg{Src: p.rank, Tag: tag, Size: size, Data: data, Meta: meta, arrival: arrival, pooled: pooled}
+		m := &Msg{Src: p.rank, Tag: tag, Size: size, Data: data, Meta: meta, arrival: arrival, pooled: pooled} //lint:allocok — chaos-mode container, deliberately unpooled
 		cs.mu.Lock()
 		cs.chaosEnqueue(p.rank, dst, m)
 		cs.mu.Unlock()
@@ -973,21 +977,27 @@ type Request struct {
 
 // Isend starts a nonblocking send. In this eager runtime the transfer
 // is initiated immediately; the request completes trivially.
+//
+//lint:hotpath
 func (p *Proc) Isend(dst, tag, size int, data []byte, meta any) *Request {
 	p.Send(dst, tag, size, data, meta)
-	return &Request{p: p, send: true, done: true}
+	return &Request{p: p, send: true, done: true} //lint:allocok — one Request per nonblocking op is the API contract
 }
 
 // Irecv posts a nonblocking receive for a message matching (src, tag);
 // wildcards allowed. Matching happens when the request is waited on.
+//
+//lint:hotpath
 func (p *Proc) Irecv(src, tag int) *Request {
-	return &Request{p: p, src: src, tag: tag}
+	return &Request{p: p, src: src, tag: tag} //lint:allocok — one Request per nonblocking op is the API contract
 }
 
 // Wait blocks until the request completes and returns the received
 // message (zero Msg for sends). If the request cannot complete because
 // the peer died or the communicator was revoked, Wait panics with the
 // typed failure error; use WaitErr to handle it.
+//
+//lint:hotpath
 func (r *Request) Wait() Msg {
 	m, err := r.WaitErr()
 	if err != nil {
@@ -999,6 +1009,8 @@ func (r *Request) Wait() Msg {
 // WaitErr blocks until the request completes, returning the typed
 // failure (*RankFailedError, *CommRevokedError) instead of panicking
 // when the operation can no longer complete.
+//
+//lint:hotpath
 func (r *Request) WaitErr() (Msg, error) {
 	if r.done {
 		return r.msg, nil
@@ -1017,6 +1029,8 @@ func (r *Request) WaitErr() (Msg, error) {
 }
 
 // WaitAll completes every request.
+//
+//lint:hotpath
 func (p *Proc) WaitAll(reqs ...*Request) {
 	for _, r := range reqs {
 		r.Wait()
@@ -1028,6 +1042,8 @@ func (p *Proc) WaitAll(reqs ...*Request) {
 // with respect to each sender. Receiving from a dead peer (with no
 // matching message left) or on a revoked communicator panics with the
 // typed failure error; use RecvErr to handle it.
+//
+//lint:hotpath
 func (p *Proc) Recv(src, tag int) Msg {
 	m, err := p.recvErr(src, tag)
 	if err != nil {
@@ -1082,20 +1098,20 @@ func (p *Proc) recvErr(src, tag int) (Msg, error) {
 		if p.rt.revoked.Load() {
 			box.waiter = false
 			box.mu.Unlock()
-			return Msg{}, &CommRevokedError{}
+			return Msg{}, &CommRevokedError{} //lint:allocok — typed failure error, failure path only
 		}
 		if src != AnySource && p.rt.deadMask[src].Load() {
 			box.waiter = false
 			box.mu.Unlock()
 			p.chargeDetect(src)
-			return Msg{}, &RankFailedError{Rank: src}
+			return Msg{}, &RankFailedError{Rank: src} //lint:allocok — typed failure error, failure path only
 		}
 		if src == AnySource {
 			if d := p.rt.firstDeadPeer(p.rank); d >= 0 {
 				box.waiter = false
 				box.mu.Unlock()
 				p.chargeDetect(d)
-				return Msg{}, &RankFailedError{Rank: d}
+				return Msg{}, &RankFailedError{Rank: d} //lint:allocok — typed failure error, failure path only
 			}
 		}
 		if src != AnySource && p.rt.model.HasLinkFaults() {
@@ -1126,7 +1142,7 @@ func (p *Proc) recvErr(src, tag int) (Msg, error) {
 			continue
 		}
 		p.rt.blocked.Add(1)
-		box.cond.Wait()
+		box.cond.Wait() //lint:blockok — threaded-engine receive park; the event engine routes through eventRecvErr instead
 		p.rt.blocked.Add(-1)
 		box.waiter = false
 	}
@@ -1136,6 +1152,8 @@ func (p *Proc) recvErr(src, tag int) (Msg, error) {
 // queued, without receiving it and without advancing the clock. A dead
 // peer with no queued message probes false — probing never blocks, so
 // it needs no error path.
+//
+//lint:hotpath
 func (p *Proc) Probe(src, tag int) bool {
 	p.enterOp()
 	if p.rt.chaos != nil {

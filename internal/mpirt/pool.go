@@ -61,11 +61,11 @@ func payloadClass(n int) int {
 func allocPayload(n int) (*pbuf, []byte) {
 	c := payloadClass(n)
 	if c < 0 {
-		return nil, make([]byte, n)
+		return nil, make([]byte, n) //lint:allocok — oversized payload bypasses the pool by design
 	}
 	pb, _ := payloadPools[c].Get().(*pbuf)
 	if pb == nil {
-		pb = &pbuf{b: make([]byte, 1<<(uint(c)+poolMinShift)), class: c}
+		pb = &pbuf{b: make([]byte, 1<<(uint(c)+poolMinShift)), class: c} //lint:allocok — pool-miss refill; amortized across reuses
 	}
 	return pb, pb.b[:n:n]
 }
@@ -82,6 +82,8 @@ func releasePayload(pb *pbuf) {
 // (and any alias into it) must not be read afterwards. Release on a
 // zero Msg, a phantom-mode message, or an unpooled payload is a no-op
 // beyond clearing Data, so callers need no conditionals.
+//
+//lint:hotpath
 func (m *Msg) Release() {
 	if m.pooled != nil {
 		releasePayload(m.pooled)

@@ -38,6 +38,8 @@ func New() *Trace { return &Trace{} }
 
 // Record appends one event. Called by the runtime for every send when
 // tracing is enabled.
+//
+//lint:allocok — opt-in tracing; buffer growth is the cost of enabling it
 func (t *Trace) Record(e Event) {
 	t.mu.Lock()
 	t.events = append(t.events, e)
