@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif lint-baseline alloc-guard test race cover bench chaos faults linkfaults fuzz mega repro examples clean
+.PHONY: all build vet lint lint-sarif lint-baseline verify-plans verify-plans-sarif alloc-guard test race cover bench chaos faults linkfaults fuzz mega repro examples clean
 
-all: build lint test
+all: build lint verify-plans test
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,18 @@ lint-sarif:
 #   go run ./cmd/nbr-lint -dir . -write-baseline lint-baseline.json  — (re)record it
 lint-baseline:
 	$(GO) run ./cmd/nbr-lint -dir . -baseline lint-baseline.json
+
+# Static plan verifier (DESIGN.md §12): prove delivery completeness,
+# matching discipline, rendezvous deadlock-freedom, and perfmodel load
+# bounds for every algorithm (incl. the avoid-set repair plans) over
+# the conformance shape matrix — symbolically, without executing.
+# Exit 1 = invariant findings, 2 = tool error.
+verify-plans:
+	$(GO) run ./cmd/nbr-verify
+
+# Machine-readable plan verification for code-scanning upload.
+verify-plans-sarif:
+	$(GO) run ./cmd/nbr-verify -sarif > nbr-verify.sarif; test $$? -ne 2
 
 # Dynamic check of the allocdiscipline guarantee: the p2p/ and pool/
 # micro-benchmark rows must hold 0 allocs/op once warm.

@@ -21,7 +21,6 @@
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,6 +29,7 @@ import (
 	"strings"
 
 	"nbrallgather/internal/lint"
+	"nbrallgather/internal/lintout"
 )
 
 func main() {
@@ -55,14 +55,6 @@ type errFindings struct{ n int }
 
 func (e errFindings) Error() string {
 	return fmt.Sprintf("nbr-lint: %d finding(s)", e.n)
-}
-
-// jsonFinding is the machine-readable shape of one diagnostic.
-type jsonFinding struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -96,45 +88,43 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	diags := lint.RunAnalyzers(pkgs, analyzers)
+	findings := toFindings(lint.RunAnalyzers(pkgs, analyzers))
 
 	if *writeBaseline != "" {
-		return saveBaseline(*writeBaseline, diags)
+		return lintout.SaveBaseline(*writeBaseline, findings)
 	}
 	if *baseline != "" {
-		diags, err = filterBaseline(*baseline, diags)
+		findings, err = lintout.FilterBaseline(*baseline, findings)
 		if err != nil {
-			return err
+			return fmt.Errorf("nbr-lint: %w", err)
 		}
 	}
 
 	if *asSARIF {
-		if err := writeSARIF(out, analyzers, diags); err != nil {
+		if err := lintout.WriteSARIF(out, "nbr-lint", sarifRules(analyzers), findings); err != nil {
 			return err
 		}
 	} else if *asJSON {
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(toJSON(diags)); err != nil {
+		if err := lintout.WriteJSON(out, findings); err != nil {
 			return err
 		}
 	} else {
-		for _, d := range diags {
-			fmt.Fprintln(out, d.String())
+		for _, f := range findings {
+			fmt.Fprintf(out, "%s:%d: [%s] %s\n", f.File, f.Line, f.Analyzer, f.Message)
 		}
 	}
-	if len(diags) > 0 {
-		return errFindings{n: len(diags)}
+	if len(findings) > 0 {
+		return errFindings{n: len(findings)}
 	}
 	return nil
 }
 
-// toJSON renders diagnostics in the machine-readable shape shared by
-// -json output and baseline files.
-func toJSON(diags []lint.Diagnostic) []jsonFinding {
-	findings := make([]jsonFinding, 0, len(diags))
+// toFindings renders diagnostics in the machine-readable shape shared
+// with nbr-verify (internal/lintout).
+func toFindings(diags []lint.Diagnostic) []lintout.Finding {
+	findings := make([]lintout.Finding, 0, len(diags))
 	for _, d := range diags {
-		findings = append(findings, jsonFinding{
+		findings = append(findings, lintout.Finding{
 			File:     d.Pos.Filename,
 			Line:     d.Pos.Line,
 			Analyzer: d.Analyzer,
@@ -144,48 +134,18 @@ func toJSON(diags []lint.Diagnostic) []jsonFinding {
 	return findings
 }
 
-// baselineKey identifies a finding across line drift: two findings
-// match when file, analyzer, and message agree.
-func baselineKey(f jsonFinding) string {
-	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
-}
-
-// saveBaseline records the current findings. Recording is always a
-// success: the point is to freeze known debt, however much there is.
-func saveBaseline(path string, diags []lint.Diagnostic) error {
-	data, err := json.MarshalIndent(toJSON(diags), "", "  ")
-	if err != nil {
-		return err
+// sarifRules is the SARIF rule table: one rule per analyzer plus the
+// full-suite-only stale-directive pseudo-analyzer.
+func sarifRules(analyzers []*lint.Analyzer) []lintout.Rule {
+	rules := make([]lintout.Rule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, lintout.Rule{ID: a.Name, Doc: a.Doc})
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
-// filterBaseline drops findings present in the baseline file. The
-// baseline is a multiset: N occurrences absorb only N findings with
-// the same key, so genuinely new duplicates still surface.
-func filterBaseline(path string, diags []lint.Diagnostic) ([]lint.Diagnostic, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("nbr-lint: reading baseline: %w", err)
-	}
-	var old []jsonFinding
-	if err := json.Unmarshal(data, &old); err != nil {
-		return nil, fmt.Errorf("nbr-lint: baseline %s is not a findings JSON array: %w", path, err)
-	}
-	absorb := map[string]int{}
-	for _, f := range old {
-		absorb[baselineKey(f)]++
-	}
-	var fresh []lint.Diagnostic
-	for _, d := range diags {
-		k := baselineKey(jsonFinding{File: d.Pos.Filename, Analyzer: d.Analyzer, Message: d.Message})
-		if absorb[k] > 0 {
-			absorb[k]--
-			continue
-		}
-		fresh = append(fresh, d)
-	}
-	return fresh, nil
+	rules = append(rules, lintout.Rule{
+		ID:  lint.StaleDirectiveName,
+		Doc: "flags //lint: directives that no longer suppress anything",
+	})
+	return rules
 }
 
 func selectAnalyzers(names string) ([]*lint.Analyzer, error) {

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"nbrallgather/internal/lintout"
 )
 
 // TestModuleIsClean runs the CLI path over the real module: the tree
@@ -70,7 +72,7 @@ func TestJSONOutput(t *testing.T) {
 	if err == nil {
 		t.Fatal("fixture tree should produce findings")
 	}
-	var findings []jsonFinding
+	var findings []lintout.Finding
 	if jerr := json.Unmarshal([]byte(out.String()), &findings); jerr != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", jerr, out.String())
 	}
@@ -101,7 +103,7 @@ func TestSARIFOutput(t *testing.T) {
 	if err == nil {
 		t.Fatal("fixture tree should produce findings")
 	}
-	var log sarifLog
+	var log lintout.SARIFLog
 	if jerr := json.Unmarshal([]byte(out.String()), &log); jerr != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", jerr, out.String())
 	}
@@ -202,7 +204,7 @@ func TestBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var findings []jsonFinding
+	var findings []lintout.Finding
 	if err := json.Unmarshal(data, &findings); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,52 @@
+package collective
+
+import "nbrallgather/internal/pattern"
+
+// LBRankPlan is the read-only symbolic view of one rank's leader-based
+// schedule, exposed for the static plan verifier (internal/planverify).
+// Field order mirrors RunV's execution: receives are posted for
+// DirectRecvs/GatherFrom/NodeRecvs/FromLeaders up front, then the rank
+// sends its direct intra-node edges, gathers to its routed leaders,
+// waits for gathered payloads, ships the combined node-pair messages,
+// waits for incoming node payloads, distributes to local members,
+// self-delivers, and finally drains the distribution and direct
+// receives.
+type LBRankPlan struct {
+	// DirectSends / DirectRecvs are same-node edges (dst / src ranks).
+	DirectSends []int
+	DirectRecvs []int
+	// GatherTo lists the leaders on this rank's node that need its
+	// payload; GatherFrom (leader-only) the members it collects.
+	GatherTo   []int
+	GatherFrom []int
+	// NodeSends (leader-only) are the combined node-pair messages:
+	// Dst is the remote leader, Sources the node members shipped.
+	// NodeRecvs lists the remote leaders sending such messages here.
+	NodeSends []pattern.FinalSend
+	NodeRecvs []int
+	// Distribute (leader-only) forwards held remote payloads to local
+	// members; FromLeaders lists the local leaders this member expects
+	// a distribution message from.
+	Distribute  []pattern.FinalSend
+	FromLeaders []int
+	// SelfDeliver lists the remote sources this leader received via
+	// the hierarchy that are destined to itself.
+	SelfDeliver []int
+}
+
+// RankPlan returns rank r's leader-based plan. The returned slices
+// alias the operation's internal plan and must not be mutated.
+func (a *LeaderBased) RankPlan(r int) LBRankPlan {
+	p := &a.plan[r]
+	return LBRankPlan{
+		DirectSends: p.directSends,
+		DirectRecvs: p.directRecvs,
+		GatherTo:    p.gatherTo,
+		GatherFrom:  p.gatherFrom,
+		NodeSends:   p.nodeSends,
+		NodeRecvs:   p.nodeRecvs,
+		Distribute:  p.distribute,
+		FromLeaders: p.fromLeaders,
+		SelfDeliver: p.selfDeliver,
+	}
+}

@@ -74,14 +74,22 @@ type graphSpec struct {
 	build func(n int) (*vgraph.Graph, error)
 }
 
-// Matrix returns the full deterministic conformance matrix: three
-// cluster shapes (multi-node, uneven groups, single node) × ER and
-// Moore graphs × every algorithm/collective pair that algorithm
-// implements, plus the distributed pattern builder cases. The matrix
-// depends on nothing but the source — every caller sees the same
-// cases in the same order, so a (case name, seed) pair fully
-// identifies a run.
-func Matrix() ([]Case, error) {
+// Shape is one (cluster shape, graph) cell of the conformance matrix,
+// before the algorithm/collective dimension is applied. The static
+// plan verifier sweeps the same shapes, so a plan proven there and a
+// chaos run exercised here describe the identical schedule.
+type Shape struct {
+	Name    string // "<cluster>/<graph>", e.g. "2n2s3l/er35"
+	Cluster topology.Cluster
+	Graph   *vgraph.Graph
+}
+
+// Shapes returns the deterministic (cluster, graph) cells of the
+// matrix: three cluster shapes (multi-node, uneven groups, single
+// node) × ER and Moore graphs. Graph families that cannot be mapped
+// onto a cluster (a Moore dimensionalisation missing the rank count
+// exactly) are skipped.
+func Shapes() ([]Shape, error) {
 	clusters := []struct {
 		name string
 		c    topology.Cluster
@@ -101,15 +109,7 @@ func Matrix() ([]Case, error) {
 			return vgraph.Moore(dims, 1)
 		}},
 	}
-	combos := []struct{ algo, coll string }{
-		{AlgoNaive, CollAllgather}, {AlgoCN, CollAllgather}, {AlgoDH, CollAllgather}, {AlgoLeader, CollAllgather},
-		{AlgoNaive, CollAllgatherv}, {AlgoCN, CollAllgatherv}, {AlgoDH, CollAllgatherv}, {AlgoLeader, CollAllgatherv},
-		{AlgoNaive, CollAlltoall}, {AlgoDH, CollAlltoall},
-		{AlgoNaive, CollAlltoallv}, {AlgoDH, CollAlltoallv},
-		{AlgoNaive, CollPersistent}, {AlgoDH, CollPersistent},
-		{AlgoDH, CollPattern},
-	}
-	var cases []Case
+	var shapes []Shape
 	for _, cl := range clusters {
 		n := cl.c.Ranks()
 		for _, gs := range graphs {
@@ -122,19 +122,56 @@ func Matrix() ([]Case, error) {
 				// such a graph cannot be mapped onto the cluster.
 				continue
 			}
-			for _, co := range combos {
-				cases = append(cases, Case{
-					Name:    fmt.Sprintf("%s/%s/%s/%s", cl.name, gs.name, co.algo, co.coll),
-					Cluster: cl.c,
-					Graph:   g,
-					Algo:    co.algo,
-					Coll:    co.coll,
-					M:       11, // deliberately odd, not a word multiple
-				})
-			}
+			shapes = append(shapes, Shape{
+				Name:    fmt.Sprintf("%s/%s", cl.name, gs.name),
+				Cluster: cl.c,
+				Graph:   g,
+			})
+		}
+	}
+	return shapes, nil
+}
+
+// Matrix returns the full deterministic conformance matrix: the
+// Shapes cells × every algorithm/collective pair that algorithm
+// implements, plus the distributed pattern builder cases. The matrix
+// depends on nothing but the source — every caller sees the same
+// cases in the same order, so a (case name, seed) pair fully
+// identifies a run.
+func Matrix() ([]Case, error) {
+	shapes, err := Shapes()
+	if err != nil {
+		return nil, err
+	}
+	combos := []struct{ algo, coll string }{
+		{AlgoNaive, CollAllgather}, {AlgoCN, CollAllgather}, {AlgoDH, CollAllgather}, {AlgoLeader, CollAllgather},
+		{AlgoNaive, CollAllgatherv}, {AlgoCN, CollAllgatherv}, {AlgoDH, CollAllgatherv}, {AlgoLeader, CollAllgatherv},
+		{AlgoNaive, CollAlltoall}, {AlgoDH, CollAlltoall},
+		{AlgoNaive, CollAlltoallv}, {AlgoDH, CollAlltoallv},
+		{AlgoNaive, CollPersistent}, {AlgoDH, CollPersistent},
+		{AlgoDH, CollPattern},
+	}
+	var cases []Case
+	for _, sh := range shapes {
+		for _, co := range combos {
+			cases = append(cases, Case{
+				Name:    fmt.Sprintf("%s/%s/%s", sh.Name, co.algo, co.coll),
+				Cluster: sh.Cluster,
+				Graph:   sh.Graph,
+				Algo:    co.algo,
+				Coll:    co.coll,
+				M:       11, // deliberately odd, not a word multiple
+			})
 		}
 	}
 	return cases, nil
+}
+
+// RaggedCounts returns the deterministic per-rank allgatherv counts
+// the matrix's ragged cases use, exported so the plan verifier charges
+// the byte sizes the simulator actually moves.
+func RaggedCounts(n, m int) []int {
+	return ragged(n, m)
 }
 
 // FindCase returns the matrix case with the given name.

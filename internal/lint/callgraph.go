@@ -49,6 +49,17 @@ type FuncNode struct {
 	dirFile string
 	dirLine int
 
+	// BlockOK marks a function-level //lint:blockok — a reviewed
+	// engine park point: the enginesafe traversal neither roots at nor
+	// descends into it, the exact analogue of a function-level allocok
+	// for the hot-path contract. blockFile/blockLine record the
+	// directive's own position (separate from dirFile/dirLine: a
+	// declaration may carry both an allocok and a blockok) so the
+	// stale audit can tell when the prune earned its keep.
+	BlockOK   bool
+	blockFile string
+	blockLine int
+
 	Summary Summary
 }
 
@@ -91,8 +102,12 @@ type Program struct {
 	pruned map[*FuncNode]bool
 
 	// engine is the event-engine reachability closure for enginesafe,
-	// same shape as hot.
-	engine map[*FuncNode][]*FuncNode
+	// same shape as hot. enginePruned collects the function-level
+	// //lint:blockok nodes the traversal stopped at — the reviewed
+	// park-point functions — so their directives can be audited like
+	// allocok prunes.
+	engine       map[*FuncNode][]*FuncNode
+	enginePruned map[*FuncNode]bool
 }
 
 // NodeOf returns the node for f, or nil when f's body is not in the run.
@@ -164,8 +179,18 @@ func buildProgram(pkgs []*Package) *Program {
 		prog.collectCalls(node)
 	}
 	prog.computeSummaries()
-	prog.hot, prog.pruned = prog.reachableFrom(func(n *FuncNode) bool { return n.Hotpath }, nil, true)
-	prog.engine, _ = prog.reachableFrom(isEngineRoot, isEngineBoundary, false)
+	prog.hot, prog.pruned = prog.reachableFrom(
+		func(n *FuncNode) bool { return n.Hotpath },
+		nil,
+		func(n *FuncNode) bool { return n.AllocOK })
+	// A function-level //lint:blockok excludes its function from the
+	// engine closure entirely: it neither roots the traversal (every
+	// function of an algorithm package is otherwise a root) nor admits
+	// descent — it IS a reviewed park point, wholesale.
+	prog.engine, prog.enginePruned = prog.reachableFrom(
+		func(n *FuncNode) bool { return isEngineRoot(n) && !n.BlockOK },
+		isEngineBoundary,
+		func(n *FuncNode) bool { return n.BlockOK })
 	return prog
 }
 
@@ -185,6 +210,8 @@ func (n *FuncNode) readDirectives(idx map[string]map[int][]string) {
 				n.Hotpath, n.dirFile, n.dirLine = true, pos.Filename, line
 			case "allocok":
 				n.AllocOK, n.dirFile, n.dirLine = true, pos.Filename, line
+			case "blockok":
+				n.BlockOK, n.blockFile, n.blockLine = true, pos.Filename, line
 			}
 		}
 	}
@@ -322,11 +349,12 @@ func (prog *Program) addIfaceEdges(node *FuncNode, call *ast.CallExpr, f *types.
 // nodes satisfying isRoot, stopping at nodes satisfying cut (nil for no
 // boundary). For each member it records the shortest call chain from
 // its root, inclusive of both ends (a root's chain is just itself); BFS
-// over declaration order keeps chains and traversal deterministic. With
-// pruneAllocOK set, the traversal does not descend into function-level
-// //lint:allocok nodes — the reviewed cold regions of the hot-path
-// contract — and returns the set it stopped at.
-func (prog *Program) reachableFrom(isRoot func(*FuncNode) bool, cut func(*FuncNode) bool, pruneAllocOK bool) (map[*FuncNode][]*FuncNode, map[*FuncNode]bool) {
+// over declaration order keeps chains and traversal deterministic. The
+// traversal does not descend into nodes satisfying prune (nil for no
+// pruning) — the reviewed regions of the respective contract, e.g.
+// function-level //lint:allocok for the hot path — and returns the set
+// it stopped at.
+func (prog *Program) reachableFrom(isRoot func(*FuncNode) bool, cut func(*FuncNode) bool, prune func(*FuncNode) bool) (map[*FuncNode][]*FuncNode, map[*FuncNode]bool) {
 	closure := map[*FuncNode][]*FuncNode{}
 	pruned := map[*FuncNode]bool{}
 	var queue []*FuncNode
@@ -347,7 +375,7 @@ func (prog *Program) reachableFrom(isRoot func(*FuncNode) bool, cut func(*FuncNo
 			if cut != nil && cut(t) {
 				continue
 			}
-			if pruneAllocOK && t.AllocOK {
+			if prune != nil && prune(t) {
 				pruned[t] = true
 				continue
 			}

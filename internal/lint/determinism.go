@@ -28,6 +28,7 @@ var determinismScope = []string{
 	"internal/mpirt",
 	"internal/vgraph",
 	"internal/conformance",
+	"internal/planverify",
 }
 
 func inScope(path string, scope []string) bool {

@@ -16,6 +16,14 @@ const EngineSafeName = "enginesafe"
 // drivers in mpirt, and the whole-run call graph carries the proof
 // across helpers and packages.
 //
+// //lint:blockok on a function declaration marks the whole function a
+// reviewed park point: the engine traversal neither roots at nor
+// descends into it, the exact analogue of a function-level allocok
+// prune for the hot-path contract. Like those prunes, the directive is
+// consumed only when the traversal actually stopped at the function
+// (or would otherwise have rooted there); an unconsumed one surfaces
+// through the stale-suppression audit on full-suite runs.
+//
 // Blocking operations: channel send/receive/range, select without a
 // default, time.Sleep/After/Tick, sync.Cond.Wait, sync.WaitGroup.Wait,
 // and calls into os/net/syscall. Mutex.Lock is deliberately out of
@@ -43,6 +51,14 @@ func runEngineSafe(p *Pass) {
 	for _, n := range prog.Funcs {
 		if n.Pkg != p.Pkg {
 			continue
+		}
+		// A function-level blockok is consumed by pruning the engine
+		// traversal (or by withdrawing an algorithm-package function
+		// from the root set); unconsumed ones surface through the
+		// stale-directive audit, mirroring allocdiscipline's handling
+		// of hotpath/allocok.
+		if n.BlockOK && (prog.enginePruned[n] || isEngineRoot(n)) {
+			p.markUsed(n.blockFile, n.blockLine, "blockok")
 		}
 		chain, ok := prog.engineChain(n)
 		if !ok {

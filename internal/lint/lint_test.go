@@ -108,6 +108,7 @@ func TestGolden(t *testing.T) {
 		{"nbrallgather/internal/collective/poolbad", "bufferpool"},
 		{"nbrallgather/internal/collective/allocbad", AllocDisciplineName},
 		{"nbrallgather/internal/collective/enginesafebad", EngineSafeName},
+		{"nbrallgather/internal/mpirt/blockokfix", EngineSafeName},
 		{"nbrallgather/internal/collective/xleakbad", "requestleak"},
 		{"nbrallgather/internal/collective/xwaitbad", "waitcoverage"},
 		{"nbrallgather/internal/collective/xdetermbad", "determinism"},
@@ -212,6 +213,40 @@ func TestStaleDirectives(t *testing.T) {
 	}
 	if subset := RunAnalyzers([]*Package{pkg}, []*Analyzer{DeterminismAnalyzer}); len(subset) != 0 {
 		t.Errorf("subset run must not judge staleness, got %v", subset)
+	}
+}
+
+// TestBlockOKFunctionDirective pins the function-level //lint:blockok
+// semantics: a reviewed park-point function is pruned from the engine
+// closure (its block unreported, its directive consumed), while a
+// blockok the closure never reaches is flagged stale by the full-suite
+// audit — the same consumed-prune accounting hotpath/allocok get.
+func TestBlockOKFunctionDirective(t *testing.T) {
+	pkgs := loadFixtures(t)
+	pkg := findPkg(t, pkgs, "nbrallgather/internal/mpirt/blockokfix")
+	diags := RunAnalyzers([]*Package{pkg}, Analyzers())
+	var engine, stale int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case EngineSafeName:
+			engine++
+			if !strings.Contains(d.Message, "channel receive") {
+				t.Errorf("enginesafe finding %q should name nap's channel receive", d.Message)
+			}
+		case StaleDirectiveName:
+			stale++
+			if !strings.Contains(d.Message, "//lint:blockok") {
+				t.Errorf("stale finding %q does not name //lint:blockok", d.Message)
+			}
+		default:
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	if engine != 1 {
+		t.Errorf("want exactly 1 enginesafe finding (nap's unreviewed block), got %d: %v", engine, diags)
+	}
+	if stale != 1 {
+		t.Errorf("want exactly 1 stale //lint:blockok (coldPark's unconsumed prune), got %d: %v", stale, diags)
 	}
 }
 

@@ -1,0 +1,37 @@
+// Package blockokfix exercises the function-level //lint:blockok
+// prune: a reviewed park-point function is excluded from the engine
+// closure wholesale (its blocks unreported, its directive consumed),
+// while a blockok on a function the closure never reaches prunes
+// nothing and must surface as stale on full-suite runs.
+package blockokfix
+
+// rankMain mimics an engine driver (isEngineRoot matches mpirt
+// functions of this name): its call closure must stay free of
+// unreviewed host blocks.
+func rankMain(ch chan int) int {
+	total := park(ch)
+	total += nap(ch)
+	return total
+}
+
+// park is a reviewed park-point function: the engine traversal prunes
+// here, so its channel receive stays unreported and the directive is
+// consumed.
+//
+//lint:blockok — fixture: reviewed park-point function
+func park(ch chan int) int {
+	return <-ch
+}
+
+// nap blocks without review; the site is reported with its chain.
+func nap(ch chan int) int {
+	return <-ch // want "host-blocking channel receive"
+}
+
+// coldPark carries a blockok the engine closure never reaches: the
+// prune consumes nothing, so the directive is stale.
+//
+//lint:blockok — fixture: nothing to prune
+func coldPark(ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,193 @@
+// Package lintout is the shared machine-readable output layer for the
+// repo's static checkers — nbr-lint (source invariants) and nbr-verify
+// (plan invariants). Both tools emit the same finding shape, the same
+// minimal SARIF 2.1.0 log for code-scanning upload, and the same
+// (file, analyzer, message) baseline gate, so CI plumbing written for
+// one applies unchanged to the other.
+package lintout
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Finding is the machine-readable shape of one diagnostic. For
+// source checkers File is a path and Line a source line; for plan
+// checkers File names the verified case (a pseudo-path) and Line the
+// rank the finding anchors to, when one applies.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Rule describes one analyzer (or invariant) for the SARIF rule table.
+type Rule struct {
+	ID  string
+	Doc string
+}
+
+// WriteJSON renders the findings as an indented JSON array — the
+// format -json output and baseline files share.
+func WriteJSON(out io.Writer, findings []Finding) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(emptyAsSlice(findings))
+}
+
+// emptyAsSlice keeps zero findings rendering as [] rather than null.
+func emptyAsSlice(findings []Finding) []Finding {
+	if findings == nil {
+		return []Finding{}
+	}
+	return findings
+}
+
+// BaselineKey identifies a finding across line drift: two findings
+// match when file, analyzer, and message agree.
+func BaselineKey(f Finding) string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+// SaveBaseline records the current findings. Recording is always a
+// success: the point is to freeze known debt, however much there is.
+func SaveBaseline(path string, findings []Finding) error {
+	data, err := json.MarshalIndent(emptyAsSlice(findings), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FilterBaseline drops findings present in the baseline file. The
+// baseline is a multiset: N occurrences absorb only N findings with
+// the same key, so genuinely new duplicates still surface.
+func FilterBaseline(path string, findings []Finding) ([]Finding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var old []Finding
+	if err := json.Unmarshal(data, &old); err != nil {
+		return nil, fmt.Errorf("baseline %s is not a findings JSON array: %w", path, err)
+	}
+	absorb := map[string]int{}
+	for _, f := range old {
+		absorb[BaselineKey(f)]++
+	}
+	var fresh []Finding
+	for _, f := range findings {
+		k := BaselineKey(f)
+		if absorb[k] > 0 {
+			absorb[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, nil
+}
+
+// Minimal SARIF 2.1.0 emission: one run, one rule per analyzer, one
+// result per finding. Just enough surface for code-scanning upload —
+// the full schema is enormous and everything else is optional. The
+// structs are exported so consumers (and the CLI tests) can decode
+// what they emitted.
+
+type SARIFLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+type SARIFDriver struct {
+	Name  string      `json:"name"`
+	Rules []SARIFRule `json:"rules"`
+}
+
+type SARIFRule struct {
+	ID               string    `json:"id"`
+	ShortDescription SARIFText `json:"shortDescription"`
+}
+
+type SARIFText struct {
+	Text string `json:"text"`
+}
+
+type SARIFResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   SARIFText       `json:"message"`
+	Locations []SARIFLocation `json:"locations"`
+}
+
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysical `json:"physicalLocation"`
+}
+
+type SARIFPhysical struct {
+	ArtifactLocation SARIFArtifact `json:"artifactLocation"`
+	Region           SARIFRegion   `json:"region"`
+}
+
+type SARIFArtifact struct {
+	URI string `json:"uri"`
+}
+
+type SARIFRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+const sarifSchema = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// WriteSARIF renders the findings as a SARIF 2.1.0 log for the named
+// tool. File paths are emitted slash-separated and cleaned so they
+// resolve relative to the checked root; SARIF requires startLine ≥ 1,
+// so line-less findings anchor to line 1.
+func WriteSARIF(out io.Writer, tool string, rules []Rule, findings []Finding) error {
+	srules := make([]SARIFRule, 0, len(rules))
+	for _, r := range rules {
+		srules = append(srules, SARIFRule{ID: r.ID, ShortDescription: SARIFText{Text: r.Doc}})
+	}
+	results := make([]SARIFResult, 0, len(findings))
+	for _, f := range findings {
+		line := f.Line
+		if line < 1 {
+			line = 1
+		}
+		results = append(results, SARIFResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: SARIFText{Text: f.Message},
+			Locations: []SARIFLocation{{
+				PhysicalLocation: SARIFPhysical{
+					ArtifactLocation: SARIFArtifact{URI: filepath.ToSlash(filepath.Clean(f.File))},
+					Region:           SARIFRegion{StartLine: line},
+				},
+			}},
+		})
+	}
+	log := SARIFLog{
+		Schema:  sarifSchema,
+		Version: "2.1.0",
+		Runs: []SARIFRun{{
+			Tool:    SARIFTool{Driver: SARIFDriver{Name: tool, Rules: srules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -136,6 +136,21 @@ type Report struct {
 	MaxRankMsgs  int64
 	MaxRankBytes int64
 	Ranks        int
+	// Per-resource traffic totals: RankMsgs/RankBytes index the
+	// sender's port by rank; NICMsgs/NICBytes index the node NIC
+	// (sends at distance ≥ DistGroup); UplinkMsgs/UplinkBytes index
+	// the group's global uplink (DistGlobal sends). The accounting is
+	// structural — charged by distance class regardless of whether the
+	// netmodel's bandwidth parameters enable serialization cost — so
+	// the static plan verifier's per-resource byte charges
+	// (internal/planverify) equal these totals bit-for-bit on clean
+	// runs.
+	RankMsgs    []int64
+	RankBytes   []int64
+	NICMsgs     []int64
+	NICBytes    []int64
+	UplinkMsgs  []int64
+	UplinkBytes []int64
 	// Wall is the host wall-clock the run took.
 	Wall time.Duration
 	// DeadRanks lists the ranks that suffered injected fail-stop
@@ -363,6 +378,16 @@ type Runtime struct {
 
 	msgsByDist  [5]atomic.Int64
 	bytesByDist [5]atomic.Int64
+	// Structural per-resource traffic accounting: nicMsgs/nicBytes per
+	// node (sends at distance ≥ DistGroup cross the sender's NIC),
+	// glMsgs/glBytes per group (DistGlobal sends cross the uplink).
+	// Charged by distance class alone, independent of the netmodel
+	// bandwidth parameters, so the totals equal the static plan
+	// verifier's charges.
+	nicMsgs  []atomic.Int64
+	nicBytes []atomic.Int64
+	glMsgs   []atomic.Int64
+	glBytes  []atomic.Int64
 }
 
 // Proc is the per-rank handle passed to the rank body. All methods must
@@ -453,6 +478,10 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 		ftVals:     make([]float64, n),
 		ftOK:       true,
 		failedCh:   make(chan struct{}),
+		nicMsgs:    make([]atomic.Int64, cfg.Cluster.Nodes),
+		nicBytes:   make([]atomic.Int64, cfg.Cluster.Nodes),
+		glMsgs:     make([]atomic.Int64, cfg.Cluster.Groups()),
+		glBytes:    make([]atomic.Int64, cfg.Cluster.Groups()),
 	}
 	rt.bcond = sync.NewCond(&rt.bmu)
 	for i := range rt.boxes {
@@ -612,11 +641,27 @@ func (rt *Runtime) buildReport(start time.Time) *Report {
 		rep.BytesByDist[d] = rt.bytesByDist[d].Load()
 	}
 	rep.DeadRanks = rt.deadRanksOf()
+	rep.RankMsgs = make([]int64, rt.n)
+	rep.RankBytes = make([]int64, rt.n)
+	rep.NICMsgs = make([]int64, len(rt.nicMsgs))
+	rep.NICBytes = make([]int64, len(rt.nicBytes))
+	rep.UplinkMsgs = make([]int64, len(rt.glMsgs))
+	rep.UplinkBytes = make([]int64, len(rt.glBytes))
+	for i := range rt.nicMsgs {
+		rep.NICMsgs[i] = rt.nicMsgs[i].Load()
+		rep.NICBytes[i] = rt.nicBytes[i].Load()
+	}
+	for i := range rt.glMsgs {
+		rep.UplinkMsgs[i] = rt.glMsgs[i].Load()
+		rep.UplinkBytes[i] = rt.glBytes[i].Load()
+	}
 	for _, p := range rt.procs {
 		t := math.Max(p.vt, rt.model.PortDrain(p.rank))
 		if t > rep.Time {
 			rep.Time = t
 		}
+		rep.RankMsgs[p.rank] = p.sent
+		rep.RankBytes[p.rank] = p.sentBytes
 		if p.sent > rep.MaxRankMsgs {
 			rep.MaxRankMsgs = p.sent
 		}
@@ -917,6 +962,16 @@ func (p *Proc) sendErr(dst, tag, size int, data []byte, meta any) error {
 	d := p.rt.cfg.Cluster.Dist(p.rank, dst)
 	p.rt.msgsByDist[d].Add(1)
 	p.rt.bytesByDist[d].Add(int64(size))
+	if d >= topology.DistGroup {
+		node := p.rt.cfg.Cluster.NodeOf(p.rank)
+		p.rt.nicMsgs[node].Add(1)
+		p.rt.nicBytes[node].Add(int64(size))
+	}
+	if d == topology.DistGlobal {
+		grp := p.rt.cfg.Cluster.GroupOf(p.rank)
+		p.rt.glMsgs[grp].Add(1)
+		p.rt.glBytes[grp].Add(int64(size))
+	}
 	p.sent++
 	p.sentBytes += int64(size)
 	if p.rt.cfg.Trace != nil {

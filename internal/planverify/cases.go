@@ -1,0 +1,87 @@
+package planverify
+
+import (
+	"fmt"
+
+	"nbrallgather/internal/conformance"
+)
+
+// payloadM is the base payload size in bytes, matching the conformance
+// suite's M so the differential test exercises identical messages.
+const payloadM = 11
+
+// Case is one cell of the verification matrix: a conformance shape ×
+// algorithm × payload/avoid variant.
+type Case struct {
+	// Name is "<cluster>/<graph>/<algo>/<variant>".
+	Name  string
+	Algo  string
+	Shape conformance.Shape
+	// Counts is the per-source payload size (uniform or ragged).
+	Counts []int
+	// Avoid is the repair avoid set ("avoid" variant only).
+	Avoid  []bool
+	Params Params
+}
+
+// Extract builds the case's symbolic schedule.
+func (c Case) Extract() (*Schedule, error) {
+	return Extract(c.Algo, c.Shape.Graph, c.Shape.Cluster, c.Counts, c.Avoid, c.Params)
+}
+
+// Cases returns the deterministic verification matrix: every
+// conformance shape × all four algorithms × {uniform, ragged} payload
+// variants, plus an "avoid" variant per repair-capable algorithm (dh,
+// cn, leader) with a fixed two-rank avoid set. The avoid variant uses
+// two leaders per node so every node keeps an unimpaired leader
+// candidate; all other variants use the conformance parameters (CN
+// group 3, one leader per node, load-aware DH policy).
+func Cases() ([]Case, error) {
+	shapes, err := conformance.Shapes()
+	if err != nil {
+		return nil, err
+	}
+	var cases []Case
+	for _, sh := range shapes {
+		n := sh.Graph.N()
+		uniform := make([]int, n)
+		for i := range uniform {
+			uniform[i] = payloadM
+		}
+		ragged := conformance.RaggedCounts(n, payloadM)
+		avoid := make([]bool, n)
+		avoid[1] = true
+		avoid[n/2] = true
+		for _, algo := range Algos() {
+			cases = append(cases,
+				Case{Name: fmt.Sprintf("%s/%s/uniform", sh.Name, algo),
+					Algo: algo, Shape: sh, Counts: uniform},
+				Case{Name: fmt.Sprintf("%s/%s/ragged", sh.Name, algo),
+					Algo: algo, Shape: sh, Counts: ragged})
+			if algo == "naive" {
+				continue // naive has no repair builder
+			}
+			prm := Params{}
+			if algo == "leader" {
+				prm.Leaders = 2
+			}
+			cases = append(cases, Case{Name: fmt.Sprintf("%s/%s/avoid", sh.Name, algo),
+				Algo: algo, Shape: sh, Counts: uniform, Avoid: avoid, Params: prm})
+		}
+	}
+	return cases, nil
+}
+
+// FindCase returns the matrix case with the given name.
+func FindCase(name string) (Case, error) {
+	cases, err := Cases()
+	if err != nil {
+		return Case{}, err
+	}
+	for _, c := range cases {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Case{}, fmt.Errorf("planverify: no case named %q", name)
+}

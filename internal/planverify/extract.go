@@ -1,0 +1,288 @@
+package planverify
+
+import (
+	"fmt"
+
+	"nbrallgather/internal/collective"
+	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/tags"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/vgraph"
+)
+
+// Params selects the plan-builder knobs. The zero value is normalized
+// to the conformance-suite choices (CN group size 3, one leader per
+// node, load-aware DH agent policy) so Extract(algo, g, c, counts,
+// nil, Params{}) verifies exactly the plans the conformance matrix
+// executes.
+type Params struct {
+	// CNGroup is the Common Neighbor group size K (default 3).
+	CNGroup int
+	// Leaders is the leader count per node (default 1).
+	Leaders int
+	// Policy is the DH agent-negotiation policy (default
+	// pattern.PolicyLoadAware, the pattern.Build default).
+	Policy pattern.Policy
+}
+
+func (p Params) normalized() Params {
+	if p.CNGroup == 0 {
+		p.CNGroup = 3
+	}
+	if p.Leaders == 0 {
+		p.Leaders = 1
+	}
+	return p
+}
+
+// Algos lists the extractable algorithms in canonical order.
+func Algos() []string { return []string{"naive", "dh", "cn", "leader"} }
+
+// Extract builds the symbolic schedule of one algorithm's plan over
+// graph g mapped rank-for-rank onto cluster c, with per-source payload
+// counts. A non-nil avoid set routes through the repair builders
+// (pattern.BuildAvoiding, BuildCNAvoiding, NewLeaderBasedPlacedAvoiding)
+// and arms the avoidance checks. The per-rank op order mirrors each
+// RunV implementation exactly, so static load equals runtime traffic.
+func Extract(algo string, g *vgraph.Graph, c topology.Cluster, counts []int, avoid []bool, prm Params) (*Schedule, error) {
+	n := g.N()
+	if len(counts) != n {
+		return nil, fmt.Errorf("planverify: %d counts for %d ranks", len(counts), n)
+	}
+	if n > c.Ranks() {
+		return nil, fmt.Errorf("planverify: graph has %d ranks, cluster only %d", n, c.Ranks())
+	}
+	if avoid != nil && len(avoid) != n {
+		return nil, fmt.Errorf("planverify: avoid set has %d entries for %d ranks", len(avoid), n)
+	}
+	prm = prm.normalized()
+	s := &Schedule{Algo: algo, Cluster: c, Graph: g, Counts: counts, Avoid: avoid}
+	var err error
+	switch algo {
+	case "naive":
+		s.Ranks = extractNaive(g)
+	case "dh":
+		s.Ranks, err = extractDH(g, c, prm, avoid)
+	case "cn":
+		s.Ranks, err = extractCN(g, prm, avoid)
+	case "leader":
+		s.Ranks, err = extractLeader(g, c, prm, avoid)
+	default:
+		err = fmt.Errorf("planverify: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// extractNaive mirrors runNaiveV: post a receive per in-neighbor, send
+// the own block to every out-neighbor, then wait in post order.
+func extractNaive(g *vgraph.Graph) [][]Op {
+	n := g.N()
+	ranks := make([][]Op, n)
+	for r := 0; r < n; r++ {
+		var ops []Op
+		var recvs []int
+		for _, u := range g.In(r) {
+			recvs = append(recvs, len(ops))
+			ops = append(ops, Op{Kind: OpRecv, Peer: u, Tag: tags.Naive})
+		}
+		for _, v := range g.Out(r) {
+			ops = append(ops, Op{Kind: OpSend, Peer: v, Tag: tags.Naive,
+				Blocks: []int{r}, Deliver: true})
+		}
+		for _, i := range recvs {
+			ops = append(ops, Op{Kind: OpWait, Recv: i})
+		}
+		ranks[r] = ops
+	}
+	return ranks
+}
+
+// extractDH replays the Distance Halving pattern the way runDHV (and
+// Pattern.Validate) do: per step, the send ships the first SendCount
+// buffer entries as held before merging that step's arrivals; the wait
+// then merges RecvSources (deduplicated); the remainder phase ships
+// each FinalSend's source list as a self-describing delivery.
+func extractDH(g *vgraph.Graph, c topology.Cluster, prm Params, avoid []bool) ([][]Op, error) {
+	pat, err := pattern.BuildAvoiding(g, c.L(), prm.Policy, avoid)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	ranks := make([][]Op, n)
+	for r := 0; r < n; r++ {
+		plan := &pat.Plans[r]
+		var ops []Op
+		buf := []int{r}
+		has := map[int]bool{r: true}
+		for t := range plan.Steps {
+			st := &plan.Steps[t]
+			recvIdx := -1
+			if st.Origin != pattern.NoRank {
+				recvIdx = len(ops)
+				ops = append(ops, Op{Kind: OpRecv, Peer: st.Origin, Tag: tags.DHStep + t})
+			}
+			if st.Agent != pattern.NoRank {
+				if st.SendCount > len(buf) {
+					return nil, fmt.Errorf("planverify: rank %d step %d sends %d segments, buffer holds %d",
+						r, t, st.SendCount, len(buf))
+				}
+				blocks := append([]int(nil), buf[:st.SendCount]...)
+				ops = append(ops, Op{Kind: OpSend, Peer: st.Agent, Tag: tags.DHStep + t,
+					Blocks: blocks})
+			}
+			if recvIdx >= 0 {
+				ops = append(ops, Op{Kind: OpWait, Recv: recvIdx})
+				for _, src := range st.RecvSources {
+					if !has[src] {
+						has[src] = true
+						buf = append(buf, src)
+					}
+				}
+			}
+			for _, src := range st.SelfCopies {
+				ops = append(ops, Op{Kind: OpCopy, Blocks: []int{src}, Deliver: true})
+			}
+		}
+		var finals []int
+		for _, sender := range plan.FinalRecvs {
+			finals = append(finals, len(ops))
+			ops = append(ops, Op{Kind: OpRecv, Peer: sender, Tag: tags.DHFinal})
+		}
+		for _, fs := range plan.FinalSends {
+			ops = append(ops, Op{Kind: OpSend, Peer: fs.Dst, Tag: tags.DHFinal,
+				Blocks: fs.Sources, Deliver: true, SelfDescribing: true})
+		}
+		for _, src := range plan.FinalSelfCopies {
+			ops = append(ops, Op{Kind: OpCopy, Blocks: []int{src}, Deliver: true})
+		}
+		for _, i := range finals {
+			ops = append(ops, Op{Kind: OpWait, Recv: i})
+		}
+		ranks[r] = ops
+	}
+	return ranks, nil
+}
+
+// extractCN mirrors runCNV: the share phase exchanges own blocks
+// within each K-group (pure forwards — the payload lands in the
+// receiver's holdings, not its result buffer), then delegates ship
+// combined self-describing deliveries along CNDeliv.
+func extractCN(g *vgraph.Graph, prm Params, avoid []bool) ([][]Op, error) {
+	pat, err := collective.BuildCNAvoiding(g, prm.CNGroup, avoid)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	ranks := make([][]Op, n)
+	for r := 0; r < n; r++ {
+		plan := &pat.Plans[r]
+		var ops []Op
+		var shares []int
+		for _, m := range plan.Group {
+			if m == r {
+				continue
+			}
+			shares = append(shares, len(ops))
+			ops = append(ops, Op{Kind: OpRecv, Peer: m, Tag: tags.CNShare})
+		}
+		for _, m := range plan.Group {
+			if m == r {
+				continue
+			}
+			ops = append(ops, Op{Kind: OpSend, Peer: m, Tag: tags.CNShare,
+				Blocks: []int{r}})
+		}
+		for _, i := range shares {
+			ops = append(ops, Op{Kind: OpWait, Recv: i})
+		}
+		var delivs []int
+		for _, src := range plan.RecvFrom {
+			delivs = append(delivs, len(ops))
+			ops = append(ops, Op{Kind: OpRecv, Peer: src, Tag: tags.CNDeliv})
+		}
+		for _, fs := range plan.Sends {
+			ops = append(ops, Op{Kind: OpSend, Peer: fs.Dst, Tag: tags.CNDeliv,
+				Blocks: fs.Sources, Deliver: true, SelfDescribing: true})
+		}
+		for _, i := range delivs {
+			ops = append(ops, Op{Kind: OpWait, Recv: i})
+		}
+		ranks[r] = ops
+	}
+	return ranks, nil
+}
+
+// extractLeader mirrors runLeaderV via collective.LBRankPlan: all four
+// receive classes are posted up front, then direct sends, gathers,
+// node-pair shipments, and distributions proceed phase by phase with
+// waits between them.
+func extractLeader(g *vgraph.Graph, c topology.Cluster, prm Params, avoid []bool) ([][]Op, error) {
+	var op *collective.LeaderBased
+	var err error
+	if avoid == nil {
+		op, err = collective.NewLeaderBasedK(g, c, prm.Leaders)
+	} else {
+		place := make([]int, g.N())
+		for i := range place {
+			place[i] = i
+		}
+		op, err = collective.NewLeaderBasedPlacedAvoiding(g, c, prm.Leaders, place, avoid)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	ranks := make([][]Op, n)
+	for r := 0; r < n; r++ {
+		plan := op.RankPlan(r)
+		var ops []Op
+		idx := func(peers []int, tag int) []int {
+			var out []int
+			for _, u := range peers {
+				out = append(out, len(ops))
+				ops = append(ops, Op{Kind: OpRecv, Peer: u, Tag: tag})
+			}
+			return out
+		}
+		direct := idx(plan.DirectRecvs, tags.LBDirect)
+		gather := idx(plan.GatherFrom, tags.LBGather)
+		node := idx(plan.NodeRecvs, tags.LBNode)
+		dist := idx(plan.FromLeaders, tags.LBDist)
+		for _, v := range plan.DirectSends {
+			ops = append(ops, Op{Kind: OpSend, Peer: v, Tag: tags.LBDirect,
+				Blocks: []int{r}, Deliver: true})
+		}
+		for _, l := range plan.GatherTo {
+			ops = append(ops, Op{Kind: OpSend, Peer: l, Tag: tags.LBGather,
+				Blocks: []int{r}})
+		}
+		for _, i := range gather {
+			ops = append(ops, Op{Kind: OpWait, Recv: i})
+		}
+		for _, ns := range plan.NodeSends {
+			ops = append(ops, Op{Kind: OpSend, Peer: ns.Dst, Tag: tags.LBNode,
+				Blocks: ns.Sources, SelfDescribing: true})
+		}
+		for _, i := range node {
+			ops = append(ops, Op{Kind: OpWait, Recv: i})
+		}
+		for _, d := range plan.Distribute {
+			ops = append(ops, Op{Kind: OpSend, Peer: d.Dst, Tag: tags.LBDist,
+				Blocks: d.Sources, Deliver: true, SelfDescribing: true})
+		}
+		for _, src := range plan.SelfDeliver {
+			ops = append(ops, Op{Kind: OpCopy, Blocks: []int{src}, Deliver: true})
+		}
+		for _, i := range dist {
+			ops = append(ops, Op{Kind: OpWait, Recv: i})
+		}
+		for _, i := range direct {
+			ops = append(ops, Op{Kind: OpWait, Recv: i})
+		}
+		ranks[r] = ops
+	}
+	return ranks, nil
+}

@@ -1,0 +1,232 @@
+package planverify
+
+import (
+	"fmt"
+
+	"nbrallgather/internal/perfmodel"
+	"nbrallgather/internal/tags"
+	"nbrallgather/internal/topology"
+)
+
+// Load is the schedule's static per-resource traffic accounting. It
+// charges exactly what the runtime's structural counters charge — the
+// sender's port for every message, the sender's node NIC for sends at
+// distance ≥ DistGroup, and the sender's group uplink for DistGlobal
+// sends — so on a clean run every field equals the corresponding
+// mpirt.Report slice bit-for-bit.
+type Load struct {
+	// MsgsByDist / BytesByDist histogram traffic by topology distance
+	// class (DistSelf … DistGlobal).
+	MsgsByDist  [5]int64
+	BytesByDist [5]int64
+	// RankMsgs / RankBytes charge the sender's port, indexed by rank.
+	RankMsgs  []int64
+	RankBytes []int64
+	// NICMsgs / NICBytes charge the sender's node NIC, indexed by node.
+	NICMsgs  []int64
+	NICBytes []int64
+	// UplinkMsgs / UplinkBytes charge the sender's group uplink,
+	// indexed by Dragonfly+ group.
+	UplinkMsgs  []int64
+	UplinkBytes []int64
+}
+
+// Msgs returns the total message count.
+func (l *Load) Msgs() int64 {
+	var t int64
+	for _, v := range l.MsgsByDist {
+		t += v
+	}
+	return t
+}
+
+// Bytes returns the total bytes sent.
+func (l *Load) Bytes() int64 {
+	var t int64
+	for _, v := range l.BytesByDist {
+		t += v
+	}
+	return t
+}
+
+// Load computes the schedule's static resource accounting.
+func (s *Schedule) Load() *Load {
+	c := s.Cluster
+	l := &Load{
+		RankMsgs:    make([]int64, s.Graph.N()),
+		RankBytes:   make([]int64, s.Graph.N()),
+		NICMsgs:     make([]int64, c.Nodes),
+		NICBytes:    make([]int64, c.Nodes),
+		UplinkMsgs:  make([]int64, c.Groups()),
+		UplinkBytes: make([]int64, c.Groups()),
+	}
+	for r, ops := range s.Ranks {
+		for i := range ops {
+			op := &ops[i]
+			if op.Kind != OpSend {
+				continue
+			}
+			var size int64
+			for _, b := range op.Blocks {
+				size += int64(s.Counts[b])
+			}
+			d := c.Dist(r, op.Peer)
+			l.MsgsByDist[d]++
+			l.BytesByDist[d] += size
+			l.RankMsgs[r]++
+			l.RankBytes[r] += size
+			if d >= topology.DistGroup {
+				node := c.NodeOf(r)
+				l.NICMsgs[node]++
+				l.NICBytes[node] += size
+			}
+			if d == topology.DistGlobal {
+				grp := c.GroupOf(r)
+				l.UplinkMsgs[grp]++
+				l.UplinkBytes[grp] += size
+			}
+		}
+	}
+	return l
+}
+
+// RatioMaxMin returns max(xs) divided by the minimum positive entry —
+// the max/min link-load ratio of a resource class. Zero-load entries
+// are excluded from the minimum (an idle NIC is not an imbalance of
+// the loaded ones); 0 when no entry is positive.
+func RatioMaxMin(xs []int64) float64 {
+	var max, min int64
+	for _, v := range xs {
+		if v <= 0 {
+			continue
+		}
+		if v > max {
+			max = v
+		}
+		if min == 0 || v < min {
+			min = v
+		}
+	}
+	if min == 0 {
+		return 0
+	}
+	return float64(max) / float64(min)
+}
+
+// RatioMaxMean returns max(xs) divided by the mean over all entries
+// (the runtime Report's imbalance convention); 0 for an empty or
+// all-zero slice.
+func RatioMaxMean(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var max, sum int64
+	for _, v := range xs {
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(xs)) / float64(sum)
+}
+
+// perfParams instantiates the perfmodel for this schedule's shape.
+func (s *Schedule) perfParams() perfmodel.Params {
+	return perfmodel.Params{
+		N: s.Graph.N(),
+		S: s.Cluster.SocketsPerNode,
+		L: s.Cluster.RanksPerSocket,
+	}
+}
+
+// halvingSends counts rank r's halving-phase sends (DH step tags).
+func (s *Schedule) halvingSends(r int) int {
+	n := 0
+	for i := range s.Ranks[r] {
+		op := &s.Ranks[r][i]
+		if op.Kind == OpSend && op.Tag >= tags.DHStep {
+			n++
+		}
+	}
+	return n
+}
+
+// checkLoadBounds cross-checks the static send counts against the
+// perfmodel cost equations' structural bounds: a DH rank issues at
+// most ⌈log2(n/L)⌉+1 halving-phase sends (the Eq. (8) step count that
+// caps Eq. (1)'s N_off), and a naive rank issues exactly its
+// out-degree (the δ·n term of Eq. (4) realized per rank).
+func (s *Schedule) checkLoadBounds() []Finding {
+	var out []Finding
+	switch s.Algo {
+	case "dh":
+		bound := int(s.perfParams().HalvingSteps())
+		for r := range s.Ranks {
+			if got := s.halvingSends(r); got > bound {
+				out = append(out, Finding{InvLoadBound, r, fmt.Sprintf(
+					"rank %d issues %d halving-phase sends, above the ⌈log2(n/L)⌉+1 = %d perfmodel bound",
+					r, got, bound)})
+			}
+		}
+	case "naive":
+		for r := range s.Ranks {
+			sends := 0
+			for i := range s.Ranks[r] {
+				if s.Ranks[r][i].Kind == OpSend {
+					sends++
+				}
+			}
+			if deg := s.Graph.OutDegree(r); sends != deg {
+				out = append(out, Finding{InvLoadBound, r, fmt.Sprintf(
+					"rank %d issues %d sends for out-degree %d", r, sends, deg)})
+			}
+		}
+	}
+	return out
+}
+
+// CrossCheck reports the static mean per-rank message counts next to
+// the perfmodel expectations for the schedule's shape, for the CLI's
+// model-vs-plan comparison table.
+type CrossCheck struct {
+	// Delta is the graph density δ used to instantiate the equations.
+	Delta float64
+	// HalvingBound is Eq. (8)'s step count ⌈log2(n/L)⌉+1.
+	HalvingBound float64
+	// NOff is Eq. (1), the expected off-socket halving sends per rank.
+	NOff float64
+	// NaiveMsgs is the δ·n direct-send expectation per rank.
+	NaiveMsgs float64
+	// StaticMean is the measured mean sends per rank in the plan.
+	StaticMean float64
+	// StaticHalvingMean is the measured mean halving-phase sends per
+	// rank (meaningful for "dh" only).
+	StaticHalvingMean float64
+}
+
+// CrossCheck computes the perfmodel comparison for this schedule.
+func (s *Schedule) CrossCheck() CrossCheck {
+	p := s.perfParams()
+	delta := s.Graph.Density()
+	n := s.Graph.N()
+	var sends, halving int
+	for r := range s.Ranks {
+		for i := range s.Ranks[r] {
+			if s.Ranks[r][i].Kind == OpSend {
+				sends++
+			}
+		}
+		halving += s.halvingSends(r)
+	}
+	return CrossCheck{
+		Delta:             delta,
+		HalvingBound:      p.HalvingSteps(),
+		NOff:              p.NOff(delta),
+		NaiveMsgs:         delta * float64(n),
+		StaticMean:        float64(sends) / float64(n),
+		StaticHalvingMean: float64(halving) / float64(n),
+	}
+}

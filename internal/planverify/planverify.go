@@ -1,0 +1,161 @@
+// Package planverify is the static plan verifier: it takes a built
+// communication schedule (the send/receive/copy program each rank of a
+// neighborhood-allgather plan executes — naive, Distance Halving,
+// Common Neighbor, or leader-based, including the BuildAvoiding repair
+// variants) plus the cluster topology, and proves four invariants
+// about the plan symbolically, without executing it on the runtime:
+//
+//  1. delivery completeness — every rank's block reaches each
+//     out-neighbor exactly once, tracking forwarding through agents,
+//     delegates, and leaders (no loss, no duplicate delivery), and no
+//     rank ships a block its buffer does not hold;
+//  2. matching discipline — every send pairs with exactly one receive
+//     on (src, dst, tag), no tag collisions within the epoch, and
+//     wildcard receives are unambiguous;
+//  3. deadlock-freedom — the plan's happens-before graph is acyclic
+//     under rendezvous semantics (the static counterpart of the
+//     runtime's wait-for-graph detector; a violation prints the cycle
+//     canonically, minimum rank first);
+//  4. static load accounting — bytes charged per netmodel resource
+//     (send port, node NIC, group uplink, honoring avoid sets) with
+//     max/min and max/mean link-load ratios, cross-checked against the
+//     perfmodel cost equations' message-count terms.
+//
+// The schedule IR mirrors the runtime ops the collectives issue, in
+// the exact program order their RunV methods issue them, so the static
+// per-resource byte charges equal mpirt.Report traffic bit-for-bit on
+// clean runs — a differential test pins that equality on both engines.
+package planverify
+
+import (
+	"fmt"
+
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/vgraph"
+)
+
+// AnySource marks a wildcard receive, mirroring mpirt.AnySource.
+const AnySource = -1
+
+// OpKind discriminates the schedule IR's operations.
+type OpKind uint8
+
+const (
+	// OpRecv posts a nonblocking receive.
+	OpRecv OpKind = iota
+	// OpSend sends one message.
+	OpSend
+	// OpWait completes a previously posted receive.
+	OpWait
+	// OpCopy delivers one locally held block into the result buffer.
+	OpCopy
+)
+
+// Op is one operation of a rank's schedule.
+type Op struct {
+	Kind OpKind
+	// Peer is the send destination, or the receive source (AnySource
+	// for a wildcard receive). Unused for OpWait/OpCopy.
+	Peer int
+	// Tag is the message tag of a send or receive.
+	Tag int
+	// Blocks lists the source blocks a send's payload carries, in
+	// payload order; for OpCopy, the single delivered block. A send's
+	// byte size is the sum of its blocks' counts.
+	Blocks []int
+	// Deliver marks a send or copy whose payload lands in the
+	// receiver's result buffer — a terminal delivery that must cover
+	// graph edges exactly once. Non-Deliver sends are forwards that
+	// extend the receiver's holdings.
+	Deliver bool
+	// SelfDescribing marks a send that carries its source list in-band
+	// (the runtime's Meta argument), so a wildcard receiver can
+	// interpret it without relying on (src, tag) identity.
+	SelfDescribing bool
+	// Recv is, for OpWait, the index (into the same rank's op list) of
+	// the receive it completes.
+	Recv int
+}
+
+// Schedule is the symbolic communication program of one plan: per-rank
+// op lists in exact runtime issue order, over a graph mapped onto a
+// cluster with per-source payload sizes.
+type Schedule struct {
+	// Algo names the algorithm ("naive", "dh", "cn", "leader").
+	Algo    string
+	Cluster topology.Cluster
+	Graph   *vgraph.Graph
+	// Counts is the per-source payload size in bytes (the allgatherv
+	// counts argument; uniform counts model plain allgather).
+	Counts []int
+	// Ranks holds each rank's ops in program order.
+	Ranks [][]Op
+	// Avoid is the repair avoid set the plan was built for (nil for
+	// the unrestricted builders). Verification additionally checks the
+	// avoidance discipline when set.
+	Avoid []bool
+}
+
+// Invariant names, used as finding analyzers / SARIF rule IDs.
+const (
+	InvCompleteness = "completeness"
+	InvMatching     = "matching"
+	InvDeadlock     = "deadlock"
+	InvLoadBound    = "loadbound"
+	InvAvoidance    = "avoidance"
+)
+
+// Invariants lists every invariant with its one-line description, for
+// the CLI's SARIF rule table.
+func Invariants() map[string]string {
+	return map[string]string{
+		InvCompleteness: "every rank's block reaches each out-neighbor exactly once through the plan's forwarding",
+		InvMatching:     "every send pairs with exactly one receive on (src,dst,tag); no tag collisions; wildcards unambiguous",
+		InvDeadlock:     "the plan's happens-before graph is acyclic under rendezvous semantics",
+		InvLoadBound:    "static per-resource load respects the perfmodel message-count bounds",
+		InvAvoidance:    "avoided ranks carry no relay role and receive no forwards",
+	}
+}
+
+// Finding is one verified-invariant violation.
+type Finding struct {
+	// Invariant is one of the Inv* names.
+	Invariant string
+	// Rank anchors the finding to a rank when one applies (-1 for
+	// schedule-global findings such as an undelivered edge).
+	Rank int
+	// Message is the canonical, deterministic description.
+	Message string
+}
+
+func (f Finding) String() string {
+	if f.Rank >= 0 {
+		return fmt.Sprintf("[%s] rank %d: %s", f.Invariant, f.Rank, f.Message)
+	}
+	return fmt.Sprintf("[%s] %s", f.Invariant, f.Message)
+}
+
+// opString renders an op for cycle and matching messages.
+func opString(r int, op *Op) string {
+	switch op.Kind {
+	case OpSend:
+		return fmt.Sprintf("rank %d send→%d tag %d", r, op.Peer, op.Tag)
+	case OpRecv:
+		if op.Peer == AnySource {
+			return fmt.Sprintf("rank %d recv←* tag %d", r, op.Tag)
+		}
+		return fmt.Sprintf("rank %d recv←%d tag %d", r, op.Peer, op.Tag)
+	case OpWait:
+		return fmt.Sprintf("rank %d wait#%d", r, op.Recv)
+	case OpCopy:
+		return fmt.Sprintf("rank %d copy %d", r, blockOf(op))
+	}
+	return fmt.Sprintf("rank %d op?", r)
+}
+
+func blockOf(op *Op) int {
+	if len(op.Blocks) == 1 {
+		return op.Blocks[0]
+	}
+	return -1
+}

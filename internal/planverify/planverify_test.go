@@ -1,0 +1,387 @@
+package planverify
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"nbrallgather/internal/collective"
+	"nbrallgather/internal/conformance"
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/vgraph"
+)
+
+// TestMatrixClean is the full audit: every algorithm (including the
+// repair variants) over every conformance shape and payload variant
+// must verify clean on all invariants.
+func TestMatrixClean(t *testing.T) {
+	cases, err := Cases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) < 30 {
+		t.Fatalf("verification matrix unexpectedly small: %d cases", len(cases))
+	}
+	for _, cs := range cases {
+		cs := cs
+		t.Run(cs.Name, func(t *testing.T) {
+			s, err := cs.Extract()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range s.Verify() {
+				t.Errorf("%s", f)
+			}
+		})
+	}
+}
+
+// buildRuntimeOp constructs the runtime collective matching a case's
+// builder parameters exactly, so the differential test executes the
+// very plan the verifier reasoned about.
+func buildRuntimeOp(t *testing.T, cs Case) collective.VOp {
+	t.Helper()
+	g, c := cs.Shape.Graph, cs.Shape.Cluster
+	prm := cs.Params.normalized()
+	switch cs.Algo {
+	case "naive":
+		return collective.NewNaive(g)
+	case "dh":
+		pat, err := pattern.BuildAvoiding(g, c.L(), prm.Policy, cs.Avoid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return collective.NewDistanceHalvingFromPattern(pat)
+	case "cn":
+		op, err := collective.NewCommonNeighborAvoiding(g, prm.CNGroup, cs.Avoid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return op
+	case "leader":
+		var op *collective.LeaderBased
+		var err error
+		if cs.Avoid == nil {
+			op, err = collective.NewLeaderBasedK(g, c, prm.Leaders)
+		} else {
+			place := make([]int, g.N())
+			for i := range place {
+				place[i] = i
+			}
+			op, err = collective.NewLeaderBasedPlacedAvoiding(g, c, prm.Leaders, place, cs.Avoid)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return op
+	}
+	t.Fatalf("no runtime op for algorithm %q", cs.Algo)
+	return nil
+}
+
+// runReport executes the case's collective on the given engine in
+// phantom mode and returns the traffic report.
+func runReport(t *testing.T, eng mpirt.Engine, cs Case, op collective.VOp) *mpirt.Report {
+	t.Helper()
+	g, counts := cs.Shape.Graph, cs.Counts
+	rep, err := mpirt.Run(mpirt.Config{Cluster: cs.Shape.Cluster, Phantom: true, Engine: eng},
+		func(p *mpirt.Proc) {
+			r := p.Rank()
+			total := 0
+			for _, u := range g.In(r) {
+				total += counts[u]
+			}
+			op.RunV(p, make([]byte, counts[r]), counts, make([]byte, total))
+		})
+	if err != nil {
+		t.Fatalf("%s on %q: %v", cs.Name, eng, err)
+	}
+	return rep
+}
+
+// compareLoad requires the static accounting to equal the simulator's
+// measured traffic bit-for-bit on every resource class.
+func compareLoad(t *testing.T, label string, l *Load, rep *mpirt.Report) {
+	t.Helper()
+	if l.MsgsByDist != rep.MsgsByDist || l.BytesByDist != rep.BytesByDist {
+		t.Errorf("%s: distance histograms differ: static %v/%v, simulated %v/%v",
+			label, l.MsgsByDist, l.BytesByDist, rep.MsgsByDist, rep.BytesByDist)
+	}
+	slices := []struct {
+		name        string
+		static, sim []int64
+	}{
+		{"RankMsgs", l.RankMsgs, rep.RankMsgs},
+		{"RankBytes", l.RankBytes, rep.RankBytes},
+		{"NICMsgs", l.NICMsgs, rep.NICMsgs},
+		{"NICBytes", l.NICBytes, rep.NICBytes},
+		{"UplinkMsgs", l.UplinkMsgs, rep.UplinkMsgs},
+		{"UplinkBytes", l.UplinkBytes, rep.UplinkBytes},
+	}
+	for _, s := range slices {
+		if !reflect.DeepEqual(s.static, s.sim) {
+			t.Errorf("%s: %s differ: static %v, simulated %v", label, s.name, s.static, s.sim)
+		}
+	}
+}
+
+// TestDifferentialTraffic pins the central equality of the verifier:
+// static per-resource byte counts equal simulator-measured traffic on
+// clean runs, on both execution engines, across the whole matrix.
+func TestDifferentialTraffic(t *testing.T) {
+	cases, err := Cases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range cases {
+		cs := cs
+		t.Run(cs.Name, func(t *testing.T) {
+			s, err := cs.Extract()
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := s.Load()
+			op := buildRuntimeOp(t, cs)
+			for _, eng := range []mpirt.Engine{mpirt.EngineThreaded, mpirt.EngineEvent} {
+				rep := runReport(t, eng, cs, op)
+				compareLoad(t, cs.Name+"/"+string(eng), l, rep)
+			}
+		})
+	}
+}
+
+// TestQuickRandomPlans is the property sweep: random neighborhoods on
+// random cluster shapes verify clean for every algorithm, and the
+// static load equals the measured traffic on both engines.
+func TestQuickRandomPlans(t *testing.T) {
+	prop := func(seed uint32, nodesU, socketsU, rpsU, densU, grpU uint8) bool {
+		c := topology.Cluster{
+			Nodes:          1 + int(nodesU%3),
+			SocketsPerNode: 1 + int(socketsU%2),
+			RanksPerSocket: 1 + int(rpsU%3),
+		}
+		if c.Nodes > 1 && grpU%2 == 1 {
+			c.NodesPerGroup = 1 // per-node groups exercise the uplinks
+		}
+		n := c.Ranks()
+		if n < 4 {
+			return true // too small for a 3-group CN plan
+		}
+		density := 0.25 + 0.5*float64(densU)/255
+		g, err := vgraph.ErdosRenyi(n, density, int64(seed))
+		if err != nil {
+			t.Logf("graph: %v", err)
+			return false
+		}
+		counts := conformance.RaggedCounts(n, 7)
+		for _, algo := range Algos() {
+			s, err := Extract(algo, g, c, counts, nil, Params{})
+			if err != nil {
+				t.Logf("%s extract: %v", algo, err)
+				return false
+			}
+			if fs := s.Verify(); len(fs) != 0 {
+				t.Logf("%s on n=%d δ=%.2f: %s", algo, n, density, fs[0])
+				return false
+			}
+			l := s.Load()
+			cs := Case{Name: algo, Algo: algo,
+				Shape:  conformance.Shape{Cluster: c, Graph: g},
+				Counts: counts}
+			op := buildRuntimeOp(t, cs)
+			for _, eng := range []mpirt.Engine{mpirt.EngineThreaded, mpirt.EngineEvent} {
+				rep := runReport(t, eng, cs, op)
+				if l.MsgsByDist != rep.MsgsByDist || l.BytesByDist != rep.BytesByDist ||
+					!reflect.DeepEqual(l.RankBytes, rep.RankBytes) ||
+					!reflect.DeepEqual(l.NICBytes, rep.NICBytes) ||
+					!reflect.DeepEqual(l.UplinkBytes, rep.UplinkBytes) {
+					t.Logf("%s on %q: static/simulated traffic differ", algo, eng)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(20260808))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fixtureCluster is a single-node shape for the hand-built fixtures.
+var fixtureCluster = topology.Cluster{Nodes: 1, SocketsPerNode: 1, RanksPerSocket: 2}
+
+func mustGraph(t *testing.T, n int, out [][]int) *vgraph.Graph {
+	t.Helper()
+	g, err := vgraph.FromOutLists(n, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestBrokenDroppedBlock: a builder that forgets one delivery is
+// caught by the completeness invariant with a canonical message.
+func TestBrokenDroppedBlock(t *testing.T) {
+	g := mustGraph(t, 2, [][]int{{1}, {0}})
+	s := &Schedule{Algo: "broken", Cluster: fixtureCluster, Graph: g, Counts: []int{3, 5},
+		Ranks: [][]Op{
+			{ // rank 0 never sends its block to 1
+				{Kind: OpRecv, Peer: 1, Tag: 1},
+				{Kind: OpWait, Recv: 0},
+			},
+			{
+				{Kind: OpSend, Peer: 0, Tag: 1, Blocks: []int{1}, Deliver: true},
+			},
+		}}
+	fs := s.Verify()
+	if len(fs) != 1 || fs[0].Invariant != InvCompleteness ||
+		fs[0].Message != "edge 0→1 never delivered" {
+		t.Fatalf("dropped block not caught canonically: %v", fs)
+	}
+}
+
+// TestBrokenDuplicateDelivery: delivering the same block twice (on
+// distinct tags, so matching stays clean) trips completeness.
+func TestBrokenDuplicateDelivery(t *testing.T) {
+	g := mustGraph(t, 2, [][]int{{1}, {0}})
+	s := &Schedule{Algo: "broken", Cluster: fixtureCluster, Graph: g, Counts: []int{3, 5},
+		Ranks: [][]Op{
+			{
+				{Kind: OpSend, Peer: 1, Tag: 1, Blocks: []int{0}, Deliver: true},
+				{Kind: OpSend, Peer: 1, Tag: 2, Blocks: []int{0}, Deliver: true},
+				{Kind: OpRecv, Peer: 1, Tag: 1},
+				{Kind: OpWait, Recv: 2},
+			},
+			{
+				{Kind: OpRecv, Peer: 0, Tag: 1},
+				{Kind: OpRecv, Peer: 0, Tag: 2},
+				{Kind: OpSend, Peer: 0, Tag: 1, Blocks: []int{1}, Deliver: true},
+				{Kind: OpWait, Recv: 0},
+				{Kind: OpWait, Recv: 1},
+			},
+		}}
+	fs := s.Verify()
+	if len(fs) != 1 || fs[0].Invariant != InvCompleteness ||
+		fs[0].Message != "edge 0→1 delivered twice" {
+		t.Fatalf("duplicate delivery not caught canonically: %v", fs)
+	}
+}
+
+// TestBrokenTagCollision: two in-flight messages on one (src,dst,tag)
+// channel trip the matching invariant on both endpoints.
+func TestBrokenTagCollision(t *testing.T) {
+	g := mustGraph(t, 2, [][]int{{1}, {}})
+	s := &Schedule{Algo: "broken", Cluster: fixtureCluster, Graph: g, Counts: []int{3, 5},
+		Ranks: [][]Op{
+			{
+				{Kind: OpSend, Peer: 1, Tag: 7, Blocks: []int{0}, Deliver: true},
+				{Kind: OpSend, Peer: 1, Tag: 7, Blocks: []int{0}, Deliver: true},
+			},
+			{
+				{Kind: OpRecv, Peer: 0, Tag: 7},
+				{Kind: OpRecv, Peer: 0, Tag: 7},
+				{Kind: OpWait, Recv: 0},
+				{Kind: OpWait, Recv: 1},
+			},
+		}}
+	fs := s.Verify()
+	if len(fs) != 3 {
+		t.Fatalf("tag collision findings = %v, want send+recv collision and duplicate delivery", fs)
+	}
+	if fs[0].Message != "tag collision: 2 sends on channel 0→1 tag 7 within one epoch" {
+		t.Fatalf("send collision message = %q", fs[0].Message)
+	}
+	if fs[1].Message != "tag collision: 2 receives posted on channel 0→1 tag 7 within one epoch" {
+		t.Fatalf("recv collision message = %q", fs[1].Message)
+	}
+	if fs[2].Invariant != InvCompleteness {
+		t.Fatalf("expected the doubled delivery to also trip completeness: %v", fs[2])
+	}
+}
+
+// TestBrokenRendezvousCycle: two ranks that each send before posting
+// the matching receive are eager-safe but deadlock under rendezvous
+// semantics; the cycle is printed canonically, minimum rank first.
+func TestBrokenRendezvousCycle(t *testing.T) {
+	g := mustGraph(t, 2, [][]int{{1}, {0}})
+	s := &Schedule{Algo: "broken", Cluster: fixtureCluster, Graph: g, Counts: []int{3, 5},
+		Ranks: [][]Op{
+			{
+				{Kind: OpSend, Peer: 1, Tag: 5, Blocks: []int{0}, Deliver: true},
+				{Kind: OpRecv, Peer: 1, Tag: 6},
+				{Kind: OpWait, Recv: 1},
+			},
+			{
+				{Kind: OpSend, Peer: 0, Tag: 6, Blocks: []int{1}, Deliver: true},
+				{Kind: OpRecv, Peer: 0, Tag: 5},
+				{Kind: OpWait, Recv: 1},
+			},
+		}}
+	fs := s.Verify()
+	want := "happens-before cycle under rendezvous semantics: " +
+		"rank 0 send→1 tag 5 → rank 0 recv←1 tag 6 → rank 1 send→0 tag 6 → " +
+		"rank 1 recv←0 tag 5 → rank 0 send→1 tag 5"
+	if len(fs) != 1 || fs[0].Invariant != InvDeadlock || fs[0].Message != want {
+		t.Fatalf("rendezvous cycle not caught canonically:\n got %v\nwant %s", fs, want)
+	}
+}
+
+// TestAvailabilityViolation: a send of a block the rank cannot yet
+// hold is a completeness violation even when every edge is covered.
+func TestAvailabilityViolation(t *testing.T) {
+	g := mustGraph(t, 2, [][]int{{1}, {0}})
+	s := &Schedule{Algo: "broken", Cluster: fixtureCluster, Graph: g, Counts: []int{3, 5},
+		Ranks: [][]Op{
+			{ // rank 0 forwards block 1 before ever receiving it
+				{Kind: OpSend, Peer: 1, Tag: 1, Blocks: []int{0, 1}, Deliver: true},
+				{Kind: OpRecv, Peer: 1, Tag: 1},
+				{Kind: OpWait, Recv: 1},
+			},
+			{
+				{Kind: OpRecv, Peer: 0, Tag: 1},
+				{Kind: OpSend, Peer: 0, Tag: 1, Blocks: []int{1}, Deliver: true},
+				{Kind: OpWait, Recv: 0},
+			},
+		}}
+	found := false
+	for _, f := range s.Verify() {
+		if f.Invariant == InvCompleteness &&
+			f.Message == "rank 0 sends block 1 to 1 (tag 1) before holding it" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("data-availability violation not caught: %v", s.Verify())
+	}
+}
+
+// TestLoadAccountingSmall pins the static accounting on a hand-checked
+// two-node shape.
+func TestLoadAccountingSmall(t *testing.T) {
+	c := topology.Cluster{Nodes: 2, SocketsPerNode: 1, RanksPerSocket: 1, NodesPerGroup: 1}
+	g := mustGraph(t, 2, [][]int{{1}, {0}})
+	s, err := Extract("naive", g, c, []int{3, 5}, nil, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := s.Load()
+	if l.Msgs() != 2 || l.Bytes() != 8 {
+		t.Fatalf("totals = %d msgs / %d bytes, want 2/8", l.Msgs(), l.Bytes())
+	}
+	if l.MsgsByDist[topology.DistGlobal] != 2 {
+		t.Fatalf("per-node groups must classify cross-node sends as global: %v", l.MsgsByDist)
+	}
+	if l.NICBytes[0] != 3 || l.NICBytes[1] != 5 || l.UplinkBytes[0] != 3 || l.UplinkBytes[1] != 5 {
+		t.Fatalf("resource charges wrong: NIC %v uplink %v", l.NICBytes, l.UplinkBytes)
+	}
+	if r := RatioMaxMin(l.RankBytes); r != 5.0/3.0 {
+		t.Fatalf("RatioMaxMin = %v", r)
+	}
+	if r := RatioMaxMean(l.RankBytes); r != 5.0*2/8 {
+		t.Fatalf("RatioMaxMean = %v", r)
+	}
+}

@@ -1,0 +1,483 @@
+package planverify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// opRef addresses one op as (rank, index into that rank's op list).
+type opRef struct {
+	rank, idx int
+}
+
+// chanKey identifies a message channel within the epoch.
+type chanKey struct {
+	src, dst, tag int
+}
+
+// matchState is the schedule's resolved send↔receive pairing plus the
+// matching-discipline findings it produced.
+type matchState struct {
+	// sendRecv maps each matched send to the receive post it pairs
+	// with; recvSend is the inverse. waits maps a receive post to the
+	// wait completing it.
+	sendRecv map[opRef]opRef
+	recvSend map[opRef]opRef
+	waits    map[opRef]opRef
+	findings []Finding
+}
+
+// Verify runs every invariant check and returns the findings in
+// deterministic order: matching, deadlock, completeness, loadbound,
+// then avoidance. An empty slice means the plan is proven clean.
+func (s *Schedule) Verify() []Finding {
+	var out []Finding
+	m := s.match()
+	out = append(out, m.findings...)
+	cycle := s.checkDeadlock(m)
+	out = append(out, cycle...)
+	if len(cycle) == 0 {
+		// A rendezvous cycle implies the eager order is unusable too;
+		// completeness is only meaningful on an orderable plan.
+		out = append(out, s.checkCompleteness(m)...)
+	}
+	out = append(out, s.checkLoadBounds()...)
+	out = append(out, s.checkAvoidance(m)...)
+	return out
+}
+
+// match pairs every send with a receive. mpirt (like MPI) never allows
+// two in-flight messages on the same (src,dst,tag) within an epoch —
+// the collectives guarantee channel uniqueness by construction — so a
+// duplicate channel use is reported as a tag collision and paired
+// FIFO. Wildcard receives match leftover sends by tag in (src, post)
+// order and must be unambiguous unless every candidate message is
+// self-describing.
+func (s *Schedule) match() *matchState {
+	m := &matchState{
+		sendRecv: map[opRef]opRef{},
+		recvSend: map[opRef]opRef{},
+		waits:    map[opRef]opRef{},
+	}
+	sends := map[chanKey][]opRef{}
+	recvs := map[chanKey][]opRef{}
+	var order []chanKey
+	seen := map[chanKey]bool{}
+	note := func(k chanKey) {
+		if !seen[k] {
+			seen[k] = true
+			order = append(order, k)
+		}
+	}
+	type wildRef struct {
+		ref opRef
+		tag int
+	}
+	var wilds []wildRef
+	for r, ops := range s.Ranks {
+		for i := range ops {
+			op := &ops[i]
+			switch op.Kind {
+			case OpSend:
+				k := chanKey{src: r, dst: op.Peer, tag: op.Tag}
+				note(k)
+				sends[k] = append(sends[k], opRef{r, i})
+			case OpRecv:
+				if op.Peer == AnySource {
+					wilds = append(wilds, wildRef{opRef{r, i}, op.Tag})
+					continue
+				}
+				k := chanKey{src: op.Peer, dst: r, tag: op.Tag}
+				note(k)
+				recvs[k] = append(recvs[k], opRef{r, i})
+			case OpWait:
+				m.waits[opRef{r, op.Recv}] = opRef{r, i}
+			}
+		}
+	}
+	for _, k := range order {
+		ss, rr := sends[k], recvs[k]
+		if len(ss) > 1 {
+			m.findings = append(m.findings, Finding{InvMatching, k.src, fmt.Sprintf(
+				"tag collision: %d sends on channel %d→%d tag %d within one epoch",
+				len(ss), k.src, k.dst, k.tag)})
+		}
+		if len(rr) > 1 {
+			m.findings = append(m.findings, Finding{InvMatching, k.dst, fmt.Sprintf(
+				"tag collision: %d receives posted on channel %d→%d tag %d within one epoch",
+				len(rr), k.src, k.dst, k.tag)})
+		}
+		for i := 0; i < len(ss) && i < len(rr); i++ {
+			m.sendRecv[ss[i]] = rr[i]
+			m.recvSend[rr[i]] = ss[i]
+		}
+	}
+	// Wildcard receives: collect each destination's unmatched sends by
+	// tag and pair in deterministic (src, send index) order.
+	for _, w := range wilds {
+		var cands []opRef
+		for _, k := range order {
+			if k.dst != w.ref.rank || k.tag != w.tag {
+				continue
+			}
+			for _, sref := range sends[k] {
+				if _, ok := m.sendRecv[sref]; !ok {
+					cands = append(cands, sref)
+				}
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].rank != cands[j].rank {
+				return cands[i].rank < cands[j].rank
+			}
+			return cands[i].idx < cands[j].idx
+		})
+		if len(cands) == 0 {
+			continue // reported below as an unmatched receive
+		}
+		srcs := map[int]bool{}
+		described := true
+		for _, c := range cands {
+			srcs[c.rank] = true
+			if !s.Ranks[c.rank][c.idx].SelfDescribing {
+				described = false
+			}
+		}
+		if len(srcs) > 1 && !described {
+			m.findings = append(m.findings, Finding{InvMatching, w.ref.rank, fmt.Sprintf(
+				"wildcard receive tag %d is ambiguous: %d candidate sources and payloads are not self-describing",
+				w.tag, len(srcs))})
+		}
+		m.sendRecv[cands[0]] = w.ref
+		m.recvSend[w.ref] = cands[0]
+	}
+	// Sweep for unmatched ops in (rank, index) order.
+	for r, ops := range s.Ranks {
+		for i := range ops {
+			op := &ops[i]
+			ref := opRef{r, i}
+			switch op.Kind {
+			case OpSend:
+				if _, ok := m.sendRecv[ref]; !ok {
+					m.findings = append(m.findings, Finding{InvMatching, r, fmt.Sprintf(
+						"send %d→%d tag %d is never received", r, op.Peer, op.Tag)})
+				}
+			case OpRecv:
+				if _, ok := m.recvSend[ref]; !ok {
+					m.findings = append(m.findings, Finding{InvMatching, r, fmt.Sprintf(
+						"receive posted by %d from %s tag %d is never satisfied",
+						r, peerString(op.Peer), op.Tag)})
+				}
+				if _, ok := m.waits[ref]; !ok {
+					m.findings = append(m.findings, Finding{InvMatching, r, fmt.Sprintf(
+						"receive posted by %d from %s tag %d is never waited on",
+						r, peerString(op.Peer), op.Tag)})
+				}
+			}
+		}
+	}
+	return m
+}
+
+func peerString(p int) string {
+	if p == AnySource {
+		return "*"
+	}
+	return fmt.Sprintf("%d", p)
+}
+
+// hbGraph builds the happens-before successor lists over all ops.
+// Program order always applies; a matched send precedes the receiver's
+// wait; under rendezvous semantics the receive post additionally
+// precedes the send's completion (the static analogue of a blocking
+// send waiting for its partner).
+func (s *Schedule) hbGraph(m *matchState, rendezvous bool) ([][]int, []opRef) {
+	var nodes []opRef
+	id := map[opRef]int{}
+	for r, ops := range s.Ranks {
+		for i := range ops {
+			id[opRef{r, i}] = len(nodes)
+			nodes = append(nodes, opRef{r, i})
+		}
+	}
+	succ := make([][]int, len(nodes))
+	edge := func(a, b opRef) {
+		succ[id[a]] = append(succ[id[a]], id[b])
+	}
+	for r, ops := range s.Ranks {
+		for i := 1; i < len(ops); i++ {
+			edge(opRef{r, i - 1}, opRef{r, i})
+		}
+	}
+	for r, ops := range s.Ranks {
+		for i := range ops {
+			if ops[i].Kind != OpSend {
+				continue
+			}
+			sref := opRef{r, i}
+			rref, ok := m.sendRecv[sref]
+			if !ok {
+				continue
+			}
+			if wref, ok := m.waits[rref]; ok {
+				edge(sref, wref)
+			}
+			if rendezvous {
+				edge(rref, sref)
+			}
+		}
+	}
+	return succ, nodes
+}
+
+// checkDeadlock proves the rendezvous happens-before graph acyclic, or
+// reports one cycle canonically (rotated to start at its minimum
+// (rank, index) op). This is strictly stronger than what the eager
+// runtime needs, matching the runtime wait-for-graph detector's
+// rendezvous-mode semantics.
+func (s *Schedule) checkDeadlock(m *matchState) []Finding {
+	succ, nodes := s.hbGraph(m, true)
+	cycle := findCycle(succ)
+	if cycle == nil {
+		return nil
+	}
+	// Rotate so the minimum (rank, idx) node leads.
+	min := 0
+	for i := 1; i < len(cycle); i++ {
+		a, b := nodes[cycle[i]], nodes[cycle[min]]
+		if a.rank < b.rank || (a.rank == b.rank && a.idx < b.idx) {
+			min = i
+		}
+	}
+	var parts []string
+	for i := 0; i < len(cycle); i++ {
+		ref := nodes[cycle[(min+i)%len(cycle)]]
+		parts = append(parts, opString(ref.rank, &s.Ranks[ref.rank][ref.idx]))
+	}
+	first := nodes[cycle[min]]
+	parts = append(parts, opString(first.rank, &s.Ranks[first.rank][first.idx]))
+	return []Finding{{InvDeadlock, first.rank, fmt.Sprintf(
+		"happens-before cycle under rendezvous semantics: %s",
+		strings.Join(parts, " → "))}}
+}
+
+// findCycle returns the node ids of one cycle in succ (in cycle
+// order), or nil if the graph is acyclic. Iterative colored DFS from
+// every node in id order keeps the answer deterministic.
+func findCycle(succ [][]int) []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, len(succ))
+	parent := make([]int, len(succ))
+	for start := range succ {
+		if color[start] != white {
+			continue
+		}
+		type frame struct{ node, next int }
+		stack := []frame{{start, 0}}
+		color[start] = gray
+		parent[start] = -1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(succ[f.node]) {
+				t := succ[f.node][f.next]
+				f.next++
+				switch color[t] {
+				case white:
+					color[t] = gray
+					parent[t] = f.node
+					stack = append(stack, frame{t, 0})
+				case gray:
+					// Back edge f.node → t closes a cycle.
+					cycle := []int{t}
+					for v := f.node; v != t; v = parent[v] {
+						cycle = append(cycle, v)
+					}
+					// Reverse into forward cycle order t → … → f.node.
+					for i, j := 1, len(cycle)-1; i < j; i, j = i+1, j-1 {
+						cycle[i], cycle[j] = cycle[j], cycle[i]
+					}
+					return cycle
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+// checkCompleteness symbolically executes the plan in an eager
+// topological order (program order plus matched send→wait edges) and
+// proves that every graph edge receives exactly one delivery, that no
+// rank ships a block its buffer does not hold, and that no delivery
+// lands off-graph.
+func (s *Schedule) checkCompleteness(m *matchState) []Finding {
+	succ, nodes := s.hbGraph(m, false)
+	order, ok := topoOrder(succ, nodes)
+	if !ok {
+		// Unreachable when checkDeadlock passed (its edge set is a
+		// superset), but guard against direct calls on broken IR.
+		return []Finding{{InvCompleteness, -1,
+			"eager happens-before order is cyclic; completeness not evaluable"}}
+	}
+	n := s.Graph.N()
+	holdings := make([]map[int]bool, n)
+	for r := 0; r < n; r++ {
+		holdings[r] = map[int]bool{r: true}
+	}
+	// deliveries[src*n+dst] counts result-buffer deliveries per edge.
+	deliveries := make([]int, n*n)
+	var out []Finding
+	deliver := func(src, dst, via int) {
+		if !s.Graph.HasEdge(src, dst) {
+			out = append(out, Finding{InvCompleteness, via, fmt.Sprintf(
+				"rank %d delivers block %d to %d but edge %d→%d does not exist",
+				via, src, dst, src, dst)})
+			return
+		}
+		deliveries[src*n+dst]++
+		if deliveries[src*n+dst] == 2 {
+			out = append(out, Finding{InvCompleteness, via, fmt.Sprintf(
+				"edge %d→%d delivered twice", src, dst)})
+		}
+	}
+	for _, ni := range order {
+		ref := nodes[ni]
+		op := &s.Ranks[ref.rank][ref.idx]
+		switch op.Kind {
+		case OpSend:
+			for _, b := range op.Blocks {
+				if !holdings[ref.rank][b] {
+					out = append(out, Finding{InvCompleteness, ref.rank, fmt.Sprintf(
+						"rank %d sends block %d to %d (tag %d) before holding it",
+						ref.rank, b, op.Peer, op.Tag)})
+				}
+			}
+		case OpWait:
+			sref, ok := m.recvSend[opRef{ref.rank, op.Recv}]
+			if !ok {
+				continue // unmatched receive already reported
+			}
+			send := &s.Ranks[sref.rank][sref.idx]
+			if send.Deliver {
+				for _, b := range send.Blocks {
+					deliver(b, ref.rank, sref.rank)
+				}
+			}
+			for _, b := range send.Blocks {
+				holdings[ref.rank][b] = true
+			}
+		case OpCopy:
+			for _, b := range op.Blocks {
+				if !holdings[ref.rank][b] {
+					out = append(out, Finding{InvCompleteness, ref.rank, fmt.Sprintf(
+						"rank %d copies block %d before holding it", ref.rank, b)})
+				}
+				if op.Deliver {
+					deliver(b, ref.rank, ref.rank)
+				}
+			}
+		}
+	}
+	for src := 0; src < n; src++ {
+		for _, dst := range s.Graph.Out(src) {
+			if deliveries[src*n+dst] == 0 {
+				out = append(out, Finding{InvCompleteness, -1, fmt.Sprintf(
+					"edge %d→%d never delivered", src, dst)})
+			}
+		}
+	}
+	return out
+}
+
+// topoOrder returns a deterministic topological order of succ (Kahn's
+// algorithm with a (rank, idx)-ordered ready heap realized as sorted
+// insertion), or ok=false when the graph is cyclic.
+func topoOrder(succ [][]int, nodes []opRef) ([]int, bool) {
+	indeg := make([]int, len(succ))
+	for _, ts := range succ {
+		for _, t := range ts {
+			indeg[t]++
+		}
+	}
+	less := func(a, b int) bool {
+		if nodes[a].rank != nodes[b].rank {
+			return nodes[a].rank < nodes[b].rank
+		}
+		return nodes[a].idx < nodes[b].idx
+	}
+	var ready []int
+	for i := range succ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
+	var order []int
+	for len(ready) > 0 {
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, t := range succ[v] {
+			indeg[t]--
+			if indeg[t] == 0 {
+				// Insert keeping ready sorted; op counts are small
+				// enough that linear insertion is fine.
+				pos := sort.Search(len(ready), func(i int) bool { return less(t, ready[i]) })
+				ready = append(ready, 0)
+				copy(ready[pos+1:], ready[pos:])
+				ready[pos] = t
+			}
+		}
+	}
+	return order, len(order) == len(succ)
+}
+
+// checkAvoidance enforces the repair discipline when an avoid set is
+// armed: an avoided rank never relays another rank's block (its sends
+// carry only its own), and never receives a forward (non-Deliver
+// message) that would draft it into a relay role.
+func (s *Schedule) checkAvoidance(m *matchState) []Finding {
+	if s.Avoid == nil {
+		return nil
+	}
+	var out []Finding
+	for r, ops := range s.Ranks {
+		for i := range ops {
+			op := &ops[i]
+			switch op.Kind {
+			case OpSend:
+				if !s.Avoid[r] {
+					continue
+				}
+				for _, b := range op.Blocks {
+					if b != r {
+						out = append(out, Finding{InvAvoidance, r, fmt.Sprintf(
+							"avoided rank %d relays block %d to %d (tag %d)",
+							r, b, op.Peer, op.Tag)})
+					}
+				}
+			case OpRecv:
+				if !s.Avoid[r] {
+					continue
+				}
+				sref, ok := m.recvSend[opRef{r, i}]
+				if !ok {
+					continue
+				}
+				if !s.Ranks[sref.rank][sref.idx].Deliver {
+					out = append(out, Finding{InvAvoidance, r, fmt.Sprintf(
+						"avoided rank %d receives a forward from %d (tag %d)",
+						r, sref.rank, op.Tag)})
+				}
+			}
+		}
+	}
+	return out
+}
