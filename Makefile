@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif lint-baseline verify-plans verify-plans-sarif alloc-guard test race cover bench chaos faults linkfaults fuzz mega repro examples clean
+.PHONY: all build vet lint lint-sarif lint-baseline verify-plans verify-plans-sarif alloc-guard test race cover bench plan-bench chaos faults linkfaults fuzz mega repro examples clean
 
 all: build lint verify-plans test
 
@@ -106,6 +106,14 @@ bench:
 	$(GO) test -bench=. -benchmem ./internal/mpirt/
 	$(GO) run ./cmd/nbr-bench -json results/BENCH_pr5.json -micro
 	$(GO) run ./cmd/nbr-bench -degradation -json results/BENCH_pr7.json
+
+# Planner heavy-traffic benchmark (DESIGN.md §13): millions of
+# Zipf-distributed plan requests over thousands of neighborhoods
+# through the content-addressed plan cache — plans/sec, hit rate,
+# coalescing proof and tail latency vs. the negotiate-every-request
+# baseline, snapshot in results/BENCH_pr10.json.
+plan-bench:
+	$(GO) run ./cmd/nbr-plan -json results/BENCH_pr10.json
 
 # Regenerate the experiment outputs in results/ (~15 min at medium scale).
 repro:

@@ -33,8 +33,11 @@ type benchCell struct {
 	Algo     string  `json:"algo"`
 	CNK      int     `json:"cn_k,omitempty"`
 	TimeS    float64 `json:"time_s"`
-	Msgs     int64   `json:"msgs"`
-	Bytes    int64   `json:"bytes"`
+	// PlanS is the host-side plan negotiation time, split out from the
+	// virtual collective latency (see harness.Result.PlanWall).
+	PlanS float64 `json:"plan_s"`
+	Msgs  int64   `json:"msgs"`
+	Bytes int64   `json:"bytes"`
 }
 
 type benchRecovery struct {
@@ -115,7 +118,8 @@ func runJSON(out io.Writer, path string, c topology.Cluster, trials int, seed in
 		cell := func(algo string, k int, r harness.Result) benchCell {
 			return benchCell{
 				Density: fc.d, MsgBytes: fc.m, Algo: algo, CNK: k,
-				TimeS: r.Mean, Msgs: r.MsgsPerTrial, Bytes: r.BytesPerTrial,
+				TimeS: r.Mean, PlanS: r.PlanWall.Seconds(),
+				Msgs: r.MsgsPerTrial, Bytes: r.BytesPerTrial,
 			}
 		}
 		doc.Fig4 = append(doc.Fig4,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/plancache"
 	"nbrallgather/internal/tags"
 	"nbrallgather/internal/topology"
 )
@@ -43,6 +44,7 @@ func runMicro(out io.Writer) []microBench {
 		{"p2p/match-indexed", microMatchIndexed},
 		{"p2p/match-wildcard", microMatchWildcard},
 		{"pool/payload-roundtrip", microPoolRoundtrip},
+		{"cache/hit-lookup", microCacheHit},
 		{"collective/barrier", microBarrier},
 		{"collective/allgather-step", microAllgatherStep},
 	}
@@ -72,7 +74,8 @@ func runMicro(out io.Writer) []microBench {
 func checkZeroAlloc(rows []microBench) error {
 	var bad []string
 	for _, r := range rows {
-		hot := strings.HasPrefix(r.Name, "p2p/") || strings.HasPrefix(r.Name, "pool/")
+		hot := strings.HasPrefix(r.Name, "p2p/") || strings.HasPrefix(r.Name, "pool/") ||
+			strings.HasPrefix(r.Name, "cache/")
 		if hot && r.AllocsPerOp > 0 {
 			bad = append(bad, fmt.Sprintf("%s: %d allocs/op", r.Name, r.AllocsPerOp))
 		}
@@ -171,6 +174,38 @@ func microPoolRoundtrip(b *testing.B) {
 		}
 	}); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// microCacheHit is the plan-cache hit path a planner service rides on
+// every warm request: one Get against a populated cache. The cache/
+// prefix puts it under the zero-alloc guard — a hit must not allocate.
+func microCacheHit(b *testing.B) {
+	b.ReportAllocs()
+	cache := plancache.New(plancache.Config{MaxBytes: 1 << 20})
+	key := plancache.Key{Topo: 7, Graph: 42, Algo: "dh", Param: 4}
+	if _, err := cache.GetOrBuild(key, func() (any, int64, error) {
+		return &struct{ x int }{1}, 128, nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	// A second resident key keeps the LRU touch from degenerating to
+	// the head==e fast path alone.
+	key2 := plancache.Key{Topo: 8, Graph: 43, Algo: "cn", Param: 2}
+	if _, err := cache.GetOrBuild(key2, func() (any, int64, error) {
+		return &struct{ x int }{2}, 128, nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := key
+		if i&1 == 1 {
+			k = key2
+		}
+		if _, ok := cache.Get(k); !ok {
+			b.Fatal("cache miss on resident key")
+		}
 	}
 }
 

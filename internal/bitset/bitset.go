@@ -71,6 +71,14 @@ func (s *Set) Clear() {
 	}
 }
 
+// Or sets s to the union s ∪ t. Both sets must have equal capacity.
+func (s *Set) Or(t *Set) {
+	s.match(t)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
 // AndCount returns |s ∩ t|. Both sets must have equal capacity.
 func (s *Set) AndCount(t *Set) int {
 	s.match(t)

@@ -1,0 +1,323 @@
+package collective
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/plancache"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/vgraph"
+)
+
+// Plan-cache wiring: when a cache is installed, the plan-build entry
+// points (NewDistanceHalving, NewCommonNeighborAvoiding, the leader
+// constructors, and the rebuildFT repair path) consult it before
+// negotiating, keyed by content fingerprints of their inputs. Built
+// patterns are immutable after construction and the per-op ucCache is
+// atomic, so cached artifacts are safely shared across ops and
+// goroutines.
+//
+// All in-engine consultation goes through GetOrBuildLocal — the
+// mutex-only path — because rebuildFT runs inside mpirt rank bodies,
+// where a channel wait (the singleflight path) would block the event
+// engine's host loop. The coalescing GetOrBuild path is reserved for
+// host-side service traffic (cmd/nbr-plan, harness.MeasurePlanThroughput).
+
+// planCache is the installed cache; nil (the default) means every
+// constructor builds fresh, exactly the pre-cache behavior.
+var planCache atomic.Pointer[plancache.Cache]
+
+// UsePlanCache installs c as the process-wide plan cache consulted by
+// the plan-build entry points (nil uninstalls). It returns the
+// previously installed cache so tests and tools can restore it.
+func UsePlanCache(c *plancache.Cache) *plancache.Cache {
+	return planCache.Swap(c)
+}
+
+// ActivePlanCache returns the installed plan cache, or nil.
+func ActivePlanCache() *plancache.Cache { return planCache.Load() }
+
+// Algorithm salts keep the Topo component of keys from colliding across
+// algorithms that otherwise hash the same inputs.
+const (
+	saltNaive uint64 = iota + 1
+	saltDH
+	saltCN
+	saltLeader
+)
+
+// dhKey is the content address of a Distance Halving pattern: the
+// pattern depends only on the graph, the stop threshold, the agent
+// policy and the avoid set.
+func dhKey(g *vgraph.Graph, l int, policy pattern.Policy, avoid []bool) plancache.Key {
+	return plancache.Key{
+		Topo:  plancache.HashWords(saltDH, uint64(l), uint64(policy)),
+		Graph: g.Fingerprint(),
+		Avoid: pattern.AvoidHash(avoid),
+		Algo:  "dh",
+		Param: l,
+	}
+}
+
+// cnKey is the content address of a (consecutive-grouping) Common
+// Neighbor pattern.
+func cnKey(g *vgraph.Graph, k int, avoid []bool) plancache.Key {
+	return plancache.Key{
+		Topo:  plancache.HashWords(saltCN, uint64(k)),
+		Graph: g.Fingerprint(),
+		Avoid: pattern.AvoidHash(avoid),
+		Algo:  "cn",
+		Param: k,
+	}
+}
+
+// leaderKey is the content address of a leader hierarchy. The placement
+// vector is part of the Topo component: two recoveries with different
+// survivor placements must never share a plan even when their projected
+// graphs fingerprint equally.
+func leaderKey(g *vgraph.Graph, c topology.Cluster, k int, place []int, avoid []bool) plancache.Key {
+	return plancache.Key{
+		Topo:  plancache.HashWords(saltLeader, c.Fingerprint(), plancache.HashInts(place)),
+		Graph: g.Fingerprint(),
+		Avoid: pattern.AvoidHash(avoid),
+		Algo:  "leader",
+		Param: k,
+	}
+}
+
+// buildDHPattern returns the DH pattern for (g, l, policy, avoid),
+// consulting the installed plan cache. Safe inside rank bodies.
+func buildDHPattern(g *vgraph.Graph, l int, policy pattern.Policy, avoid []bool) (*pattern.Pattern, error) {
+	pc := ActivePlanCache()
+	if pc == nil {
+		return pattern.BuildAvoiding(g, l, policy, avoid)
+	}
+	v, err := pc.GetOrBuildLocal(dhKey(g, l, policy, avoid), func() (any, int64, error) {
+		pat, err := pattern.BuildAvoiding(g, l, policy, avoid)
+		if err != nil {
+			return nil, 0, err
+		}
+		return pat, patternCost(pat), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*pattern.Pattern), nil
+}
+
+// cachedCNPattern returns the consecutive-grouping CN pattern for
+// (g, k, avoid), consulting the installed plan cache. Safe inside rank
+// bodies.
+func cachedCNPattern(g *vgraph.Graph, k int, avoid []bool) (*CNPattern, error) {
+	pc := ActivePlanCache()
+	if pc == nil {
+		return BuildCNAvoiding(g, k, avoid)
+	}
+	v, err := pc.GetOrBuildLocal(cnKey(g, k, avoid), func() (any, int64, error) {
+		pat, err := BuildCNAvoiding(g, k, avoid)
+		if err != nil {
+			return nil, 0, err
+		}
+		return pat, cnCost(pat), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*CNPattern), nil
+}
+
+// cachedLeader returns the leader hierarchy for (g, c, k, place, avoid),
+// consulting the installed plan cache. The cached artifact is the
+// *LeaderBased op itself: its plan is immutable after construction and
+// its counts memo is atomic, so one instance serves all callers. Safe
+// inside rank bodies.
+func cachedLeader(g *vgraph.Graph, c topology.Cluster, k int, place []int, avoid []bool) (*LeaderBased, error) {
+	pc := ActivePlanCache()
+	if pc == nil {
+		return newLeaderBased(g, c, k, place, avoid)
+	}
+	v, err := pc.GetOrBuildLocal(leaderKey(g, c, k, place, avoid), func() (any, int64, error) {
+		op, err := newLeaderBased(g, c, k, place, avoid)
+		if err != nil {
+			return nil, 0, err
+		}
+		return op, leaderCost(op), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*LeaderBased), nil
+}
+
+// PlanKey returns the content-addressed cache key a planner service
+// should use for one plan request: algo is a planverify.Algos name,
+// msgBytes quantises into the key's size class, param is the
+// algorithm's integer knob (DH stop threshold, CN group size K,
+// leaders per node; 0 selects the conformance-suite default). The
+// in-process constructors key identically except for the size class,
+// which they leave 0 — built patterns are size-oblivious — so a
+// service keying by PlanKey shares artifacts across all message sizes
+// in a class while keeping per-class hit statistics honest.
+func PlanKey(algo string, g *vgraph.Graph, c topology.Cluster, msgBytes, param int, avoid []bool) plancache.Key {
+	param = normalizePlanParam(algo, c, param)
+	var k plancache.Key
+	switch algo {
+	case "naive":
+		k = plancache.Key{
+			Topo:  plancache.HashWords(saltNaive),
+			Graph: g.Fingerprint(),
+			Avoid: pattern.AvoidHash(avoid),
+			Algo:  "naive",
+		}
+	case "dh":
+		k = dhKey(g, param, pattern.PolicyLoadAware, avoid)
+	case "cn":
+		k = cnKey(g, param, avoid)
+	case "leader":
+		k = leaderKey(g, c, param, nil, avoid)
+	default:
+		k = plancache.Key{
+			Topo:  plancache.HashWords(0, c.Fingerprint()),
+			Graph: g.Fingerprint(),
+			Avoid: pattern.AvoidHash(avoid),
+			Algo:  algo,
+			Param: param,
+		}
+	}
+	k.Size = plancache.SizeClass(msgBytes)
+	return k
+}
+
+// normalizePlanParam resolves param 0 to each algorithm's
+// conformance-suite default (planverify.Params.normalized mirrors
+// these).
+func normalizePlanParam(algo string, c topology.Cluster, param int) int {
+	if param != 0 {
+		return param
+	}
+	switch algo {
+	case "dh":
+		return c.L()
+	case "cn":
+		return 3
+	case "leader":
+		return 1
+	}
+	return 0
+}
+
+// BuildPlan negotiates one plan from scratch — no cache consultation —
+// and returns the artifact plus its estimated resident cost in bytes:
+// the Builder a planner service pairs with PlanKey, and the no-cache
+// baseline of the heavy-traffic benchmark.
+func BuildPlan(algo string, g *vgraph.Graph, c topology.Cluster, param int, avoid []bool) (any, int64, error) {
+	param = normalizePlanParam(algo, c, param)
+	switch algo {
+	case "naive":
+		op := NewNaive(g)
+		return op, 64, nil
+	case "dh":
+		pat, err := pattern.BuildAvoiding(g, param, pattern.PolicyLoadAware, avoid)
+		if err != nil {
+			return nil, 0, err
+		}
+		return pat, patternCost(pat), nil
+	case "cn":
+		pat, err := BuildCNAvoiding(g, param, avoid)
+		if err != nil {
+			return nil, 0, err
+		}
+		return pat, cnCost(pat), nil
+	case "leader":
+		var op *LeaderBased
+		var err error
+		if avoid == nil {
+			op, err = NewLeaderBasedK(g, c, param)
+		} else {
+			place := make([]int, g.N())
+			for i := range place {
+				place[i] = i
+			}
+			op, err = NewLeaderBasedPlacedAvoiding(g, c, param, place, avoid)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		return op, leaderCost(op), nil
+	}
+	return nil, 0, fmt.Errorf("collective: unknown plan algorithm %q", algo)
+}
+
+// Cost estimators: approximate resident bytes of a cached artifact,
+// counting slice payloads at 8 bytes per int plus per-slice and
+// per-rank overheads. Eviction only needs costs monotonic in real
+// footprint, not exact.
+
+const (
+	wordBytes   = 8
+	sliceBytes  = 24 // slice header
+	perRankOver = 64
+)
+
+func intsCost(n int) int64 { return sliceBytes + wordBytes*int64(n) }
+
+func patternCost(p *pattern.Pattern) int64 {
+	c := int64(256)
+	for i := range p.Plans {
+		pl := &p.Plans[i]
+		c += perRankOver
+		for j := range pl.Steps {
+			st := &pl.Steps[j]
+			c += 96 + intsCost(len(st.RecvSources)) + intsCost(len(st.SelfCopies))
+		}
+		for j := range pl.FinalSends {
+			c += intsCost(len(pl.FinalSends[j].Sources)) + wordBytes
+		}
+		c += intsCost(len(pl.FinalRecvs)) + intsCost(len(pl.FinalSelfCopies)) + intsCost(len(pl.BufSources))
+	}
+	return c
+}
+
+func cnCost(p *CNPattern) int64 {
+	c := int64(128)
+	groups := map[*int]bool{}
+	for i := range p.Plans {
+		pl := &p.Plans[i]
+		c += perRankOver + intsCost(len(pl.RecvFrom))
+		// Group slices are shared across members; charge each distinct
+		// backing array once.
+		if len(pl.Group) > 0 && !groups[&pl.Group[0]] {
+			groups[&pl.Group[0]] = true
+			c += intsCost(len(pl.Group))
+		}
+		for j := range pl.Sends {
+			c += intsCost(len(pl.Sends[j].Sources)) + wordBytes
+		}
+	}
+	for i := range p.NegRounds {
+		for _, cand := range p.NegRounds[i] {
+			c += intsCost(len(cand))
+		}
+	}
+	return c
+}
+
+func leaderCost(op *LeaderBased) int64 {
+	c := int64(128) + intsCost(len(op.place))
+	for i := range op.plan {
+		pl := &op.plan[i]
+		c += perRankOver +
+			intsCost(len(pl.directSends)) + intsCost(len(pl.directRecvs)) +
+			intsCost(len(pl.gatherTo)) + intsCost(len(pl.gatherFrom)) +
+			intsCost(len(pl.nodeRecvs)) + intsCost(len(pl.selfDeliver)) +
+			intsCost(len(pl.fromLeaders))
+		for j := range pl.nodeSends {
+			c += intsCost(len(pl.nodeSends[j].Sources)) + wordBytes
+		}
+		for j := range pl.distribute {
+			c += intsCost(len(pl.distribute[j].Sources)) + wordBytes
+		}
+	}
+	return c
+}

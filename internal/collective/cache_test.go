@@ -1,0 +1,338 @@
+package collective
+
+import (
+	"reflect"
+	"testing"
+
+	"nbrallgather/internal/mpirt"
+	"nbrallgather/internal/pattern"
+	"nbrallgather/internal/plancache"
+	"nbrallgather/internal/topology"
+	"nbrallgather/internal/vgraph"
+)
+
+// installCache swaps in a fresh plan cache for the test and restores
+// whatever was installed before (nil in the normal suite).
+func installCache(t *testing.T) *plancache.Cache {
+	t.Helper()
+	pc := plancache.New(plancache.Config{MaxBytes: 64 << 20})
+	prev := UsePlanCache(pc)
+	t.Cleanup(func() { UsePlanCache(prev) })
+	return pc
+}
+
+func TestUsePlanCacheInstallRestore(t *testing.T) {
+	if ActivePlanCache() != nil {
+		t.Fatal("suite entered with a cache installed")
+	}
+	pc := plancache.New(plancache.Config{MaxBytes: 1 << 20})
+	if prev := UsePlanCache(pc); prev != nil {
+		t.Fatalf("previous cache = %v, want nil", prev)
+	}
+	if ActivePlanCache() != pc {
+		t.Fatal("ActivePlanCache did not return the installed cache")
+	}
+	if prev := UsePlanCache(nil); prev != pc {
+		t.Fatal("uninstall did not return the installed cache")
+	}
+	if ActivePlanCache() != nil {
+		t.Fatal("cache still installed after uninstall")
+	}
+}
+
+// TestCachedPlansDeepEqual: for every cached algorithm, the artifact a
+// cold cache builds is structurally identical to an uncached
+// negotiation, and a second construction is a hit returning the very
+// same artifact.
+func TestCachedPlansDeepEqual(t *testing.T) {
+	g := erGraph(t, 24, 0.3, 9)
+	c := topology.Cluster{Nodes: 3, SocketsPerNode: 2, RanksPerSocket: 4, NodesPerGroup: 3}
+
+	t.Run("dh", func(t *testing.T) {
+		fresh, err := NewDistanceHalving(g, c.L())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := installCache(t)
+		first, err := NewDistanceHalving(g, c.L())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fresh.Pattern(), first.Pattern()) {
+			t.Fatal("cached DH pattern differs from fresh negotiation")
+		}
+		second, err := NewDistanceHalving(g, c.L())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.Pattern() != first.Pattern() {
+			t.Fatal("second construction did not reuse the cached pattern")
+		}
+		if st := pc.Stats(); st.Hits == 0 || st.Misses == 0 {
+			t.Fatalf("stats = %+v, want one miss then a hit", st)
+		}
+	})
+
+	t.Run("cn", func(t *testing.T) {
+		fresh, err := NewCommonNeighbor(g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		installCache(t)
+		first, err := NewCommonNeighbor(g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fresh.Pattern(), first.Pattern()) {
+			t.Fatal("cached CN pattern differs from fresh negotiation")
+		}
+		second, err := NewCommonNeighbor(g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.Pattern() != first.Pattern() {
+			t.Fatal("second construction did not reuse the cached pattern")
+		}
+	})
+
+	t.Run("leader", func(t *testing.T) {
+		fresh, err := NewLeaderBasedK(g, c, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		installCache(t)
+		first, err := NewLeaderBasedK(g, c, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fresh.plan, first.plan) {
+			t.Fatal("cached leader plan differs from fresh negotiation")
+		}
+		second, err := NewLeaderBasedK(g, c, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second != first {
+			t.Fatal("second construction did not reuse the cached op")
+		}
+	})
+}
+
+// TestCachedTrafficBitIdentical: running an op whose plan came from the
+// cache must move bit-for-bit identical traffic to the same op built
+// fresh — on both execution engines. Message/byte counters are exactly
+// deterministic (virtual times are not; see README), so the comparison
+// pins the full structural footprint.
+func TestCachedTrafficBitIdentical(t *testing.T) {
+	g := erGraph(t, 16, 0.35, 21)
+	c := topology.Cluster{Nodes: 2, SocketsPerNode: 2, RanksPerSocket: 4, NodesPerGroup: 2}
+	const m = 96
+
+	build := func(t *testing.T) []Op {
+		t.Helper()
+		dh, err := NewDistanceHalving(g, c.L())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn, err := NewCommonNeighbor(g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := NewLeaderBasedK(g, c, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []Op{dh, cn, lb}
+	}
+
+	freshOps := build(t)
+	installCache(t)
+	build(t) // populate the cache
+	cachedOps := build(t)
+
+	counters := func(rep *mpirt.Report) [][]int64 {
+		return [][]int64{
+			rep.MsgsByDist[:], rep.BytesByDist[:],
+			{rep.MaxRankMsgs, rep.MaxRankBytes},
+			rep.RankMsgs, rep.RankBytes,
+			rep.NICMsgs, rep.NICBytes,
+			rep.UplinkMsgs, rep.UplinkBytes,
+		}
+	}
+	for _, engine := range mpirt.Engines() {
+		for i := range freshOps {
+			fresh, cached := freshOps[i], cachedOps[i]
+			runOne := func(op Op) *mpirt.Report {
+				rep, err := mpirt.Run(mpirt.Config{Cluster: c, Ranks: g.N(), Engine: engine}, func(p *mpirt.Proc) {
+					r := p.Rank()
+					sbuf := make([]byte, m)
+					fillPattern(sbuf, r)
+					rbuf := make([]byte, g.InDegree(r)*m)
+					op.Run(p, sbuf, m, rbuf)
+				})
+				if err != nil {
+					t.Fatalf("%s on %s engine: %v", op.Name(), engine, err)
+				}
+				return rep
+			}
+			fr, cr := runOne(fresh), runOne(cached)
+			if !reflect.DeepEqual(counters(fr), counters(cr)) {
+				t.Errorf("%s on %s engine: cached plan moved different traffic than fresh plan",
+					fresh.Name(), engine)
+			}
+		}
+	}
+}
+
+// TestRebuildFTRepairCaching: repeated identical recoveries — same
+// survivor graph, same avoid set — reuse one negotiated repair plan,
+// keyed under the avoid-set hash.
+func TestRebuildFTRepairCaching(t *testing.T) {
+	g := erGraph(t, 16, 0.35, 33)
+	c := ftCluster()
+	pc := installCache(t)
+
+	dh, err := NewDistanceHalving(g, c.L())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := make([]int, 0, g.N()-1)
+	for r := 0; r < g.N(); r++ {
+		if r != 5 {
+			alive = append(alive, r)
+		}
+	}
+	g2, err := g.Project(alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avoid := make([]bool, g2.N())
+	avoid[2] = true
+
+	before := pc.Stats()
+	first := rebuildFT(dh, g2, alive, avoid)
+	mid := pc.Stats()
+	second := rebuildFT(dh, g2, alive, avoid)
+	after := pc.Stats()
+
+	if mid.Misses != before.Misses+1 {
+		t.Fatalf("first repair: misses %d → %d, want one build", before.Misses, mid.Misses)
+	}
+	if after.Misses != mid.Misses {
+		t.Fatalf("second identical repair negotiated again (misses %d → %d)", mid.Misses, after.Misses)
+	}
+	if after.Hits != mid.Hits+1 {
+		t.Fatalf("second repair: hits %d → %d, want a cache hit", mid.Hits, after.Hits)
+	}
+	fp, ok1 := first.(*DistanceHalving)
+	sp, ok2 := second.(*DistanceHalving)
+	if !ok1 || !ok2 {
+		t.Fatalf("repair degraded to %s / %s, want distance-halving", first.Name(), second.Name())
+	}
+	if fp.Pattern() != sp.Pattern() {
+		t.Fatal("identical recoveries hold different pattern instances")
+	}
+	// A different avoid set must key separately.
+	avoid2 := make([]bool, g2.N())
+	avoid2[3] = true
+	rebuildFT(dh, g2, alive, avoid2)
+	if st := pc.Stats(); st.Misses != after.Misses+1 {
+		t.Fatal("distinct avoid set did not trigger a fresh negotiation")
+	}
+}
+
+// TestPlanKeyDistinct: the service-level key separates everything that
+// must not share a plan and nothing more.
+func TestPlanKeyDistinct(t *testing.T) {
+	g := erGraph(t, 16, 0.3, 4)
+	h := erGraph(t, 16, 0.3, 5)
+	c := topology.ForRanks(16, 4)
+	avoid := make([]bool, 16)
+	avoid[1] = true
+
+	base := PlanKey("dh", g, c, 1024, 0, nil)
+	distinct := []plancache.Key{
+		PlanKey("cn", g, c, 1024, 0, nil),
+		PlanKey("leader", g, c, 1024, 0, nil),
+		PlanKey("naive", g, c, 1024, 0, nil),
+		PlanKey("dh", h, c, 1024, 0, nil),
+		PlanKey("dh", g, c, 1<<16, 0, nil),
+		PlanKey("dh", g, c, 1024, 0, avoid),
+		PlanKey("dh", g, c, 1024, c.L()+1, nil),
+	}
+	for i, k := range distinct {
+		if k == base {
+			t.Errorf("variant %d collides with the base key", i)
+		}
+	}
+	if PlanKey("dh", g, c, 1024, 0, nil) != base {
+		t.Error("identical inputs produced different keys")
+	}
+	// Param 0 resolves to the conformance default, so explicit-default
+	// requests share the cache line.
+	if PlanKey("dh", g, c, 1024, c.L(), nil) != base {
+		t.Error("explicit default param does not share the default key")
+	}
+	// The in-process constructor key differs only by size class.
+	ck := dhKey(g, c.L(), pattern.PolicyLoadAware, nil)
+	ck.Size = plancache.SizeClass(1024)
+	if ck != base {
+		t.Error("PlanKey(dh) does not align with the constructor key")
+	}
+}
+
+// TestBuildPlanAlgos: BuildPlan negotiates every algorithm the service
+// fronts and reports a positive resident cost.
+func TestBuildPlanAlgos(t *testing.T) {
+	g := erGraph(t, 16, 0.3, 4)
+	c := topology.ForRanks(16, 4)
+	for _, algo := range []string{"naive", "dh", "cn", "leader"} {
+		v, cost, err := BuildPlan(algo, g, c, 0, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if v == nil || cost <= 0 {
+			t.Fatalf("%s: artifact %v cost %d", algo, v, cost)
+		}
+	}
+	if _, _, err := BuildPlan("bogus", g, c, 0, nil); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// BenchmarkBuildCN pins the satellite optimisation: the CN builder's
+// per-group destination union now rides the shared bitset instead of
+// re-sorting map-derived edge lists on every negotiation.
+func BenchmarkBuildCN(b *testing.B) {
+	g, err := vgraph.ErdosRenyi(128, 0.2, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildCN(g, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphFingerprint measures the canonical hash computed once
+// per graph construction — the cost every cache key amortises.
+func BenchmarkGraphFingerprint(b *testing.B) {
+	g, err := vgraph.ErdosRenyi(128, 0.2, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([][]int, g.N())
+	for r := 0; r < g.N(); r++ {
+		out[r] = g.Out(r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vgraph.FromOutLists(g.N(), out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

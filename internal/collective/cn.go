@@ -2,8 +2,8 @@ package collective
 
 import (
 	"fmt"
-	"sort"
 
+	"nbrallgather/internal/bitset"
 	"nbrallgather/internal/mpirt"
 	"nbrallgather/internal/order"
 	"nbrallgather/internal/pattern"
@@ -88,18 +88,29 @@ func BuildCNAvoiding(g *vgraph.Graph, k int, avoid []bool) (*CNPattern, error) {
 	if len(cur) > 0 {
 		groups = append(groups, cur)
 	}
+	// The group's destination set is the union of its members' outgoing
+	// neighborhoods. Walking the union bitset ascending (with the
+	// graph's presorted adjacency sets answering membership) replaces
+	// the per-build map of contributor lists the old builder had to
+	// collect and re-sort on every negotiation — that canonicalisation
+	// now happens once, at graph construction. Each rank belongs to
+	// exactly one group and destinations ascend, so Sends come out
+	// sorted by destination without a per-member sort.
+	dests := bitset.New(n)
+	var dbuf, cs []int
 	for _, group := range groups {
-		// contributors[v] = group members with v as an outgoing
-		// neighbor.
-		contributors := map[int][]int{}
+		dests.Clear()
 		for _, r := range group {
-			for _, v := range g.Out(r) {
-				contributors[v] = append(contributors[v], r)
-			}
+			dests.Or(g.OutSet(r))
 		}
-		for i, v := range order.SortedKeys(contributors) {
-			cs := contributors[v]
-			sort.Ints(cs)
+		dbuf = dests.Elems(dbuf[:0])
+		for i, v := range dbuf {
+			cs = cs[:0]
+			for _, r := range group {
+				if g.OutSet(r).Has(v) {
+					cs = append(cs, r)
+				}
+			}
 			// Delegate rotates over the contributors so delivery load
 			// spreads across the group; with an avoid set, rotation
 			// runs over the unimpaired contributors when any exist.
@@ -117,14 +128,11 @@ func BuildCNAvoiding(g *vgraph.Graph, k int, avoid []bool) (*CNPattern, error) {
 			}
 			delegate := pool[i%len(pool)]
 			dp := &p.Plans[delegate]
-			dp.Sends = append(dp.Sends, pattern.FinalSend{Dst: v, Sources: cs})
+			dp.Sends = append(dp.Sends, pattern.FinalSend{Dst: v, Sources: append([]int(nil), cs...)})
 			senders[v][delegate] = true
 		}
 		for _, r := range group {
 			p.Plans[r].Group = group
-			sort.Slice(p.Plans[r].Sends, func(a, b int) bool {
-				return p.Plans[r].Sends[a].Dst < p.Plans[r].Sends[b].Dst
-			})
 		}
 	}
 	for v := 0; v < n; v++ {
@@ -191,9 +199,10 @@ func NewCommonNeighbor(g *vgraph.Graph, k int) (*CommonNeighbor, error) {
 }
 
 // NewCommonNeighborAvoiding builds the link-aware CN pattern (see
-// BuildCNAvoiding) and binds the collective to it.
+// BuildCNAvoiding) and binds the collective to it, consulting the
+// installed plan cache (UsePlanCache) before negotiating.
 func NewCommonNeighborAvoiding(g *vgraph.Graph, k int, avoid []bool) (*CommonNeighbor, error) {
-	pat, err := BuildCNAvoiding(g, k, avoid)
+	pat, err := cachedCNPattern(g, k, avoid)
 	if err != nil {
 		return nil, err
 	}

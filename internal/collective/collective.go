@@ -81,9 +81,10 @@ type DistanceHalving struct {
 }
 
 // NewDistanceHalving builds the communication pattern centrally for
-// stop threshold l and binds the collective to it.
+// stop threshold l and binds the collective to it, consulting the
+// installed plan cache (UsePlanCache) before negotiating.
 func NewDistanceHalving(g *vgraph.Graph, l int) (*DistanceHalving, error) {
-	pat, err := pattern.Build(g, l)
+	pat, err := buildDHPattern(g, l, pattern.PolicyLoadAware, nil)
 	if err != nil {
 		return nil, err
 	}

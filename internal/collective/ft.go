@@ -220,7 +220,10 @@ func rebuildFT(op VOp, g2 *vgraph.Graph, alive []int, avoid []bool) VOp {
 		// the plan's direct final sends. With an avoid set, impaired
 		// ranks sit the matching out entirely and deliveries to them
 		// stay pinned to their original sources.
-		if pat, err := pattern.BuildAvoiding(g2, a.pat.L, pattern.PolicyLoadAware, avoid); err == nil {
+		// The rebuilt pattern caches under the avoid-set key: repeated
+		// recoveries over the same survivor graph and fault set reuse
+		// one negotiation.
+		if pat, err := buildDHPattern(g2, a.pat.L, pattern.PolicyLoadAware, avoid); err == nil {
 			return NewDistanceHalvingFromPattern(pat)
 		}
 	case *CommonNeighbor:

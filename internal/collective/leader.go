@@ -62,7 +62,7 @@ func NewLeaderBased(g *vgraph.Graph, c topology.Cluster) (*LeaderBased, error) {
 // (the node's first k ranks); node-pair traffic is spread across them
 // by descending segment count onto the least-loaded leader.
 func NewLeaderBasedK(g *vgraph.Graph, c topology.Cluster, k int) (*LeaderBased, error) {
-	return newLeaderBased(g, c, k, nil, nil)
+	return cachedLeader(g, c, k, nil, nil)
 }
 
 // NewLeaderBasedPlaced builds the hierarchy for a communicator whose
@@ -99,7 +99,7 @@ func NewLeaderBasedPlacedAvoiding(g *vgraph.Graph, c topology.Cluster, k int, pl
 		}
 		seen[cr] = true
 	}
-	return newLeaderBased(g, c, k, append([]int(nil), place...), avoid)
+	return cachedLeader(g, c, k, append([]int(nil), place...), avoid)
 }
 
 func newLeaderBased(g *vgraph.Graph, c topology.Cluster, k int, place []int, avoid []bool) (*LeaderBased, error) {

@@ -35,12 +35,13 @@ func FmtTime(s float64) string {
 func PrintComparisons(w io.Writer, title string, rows []Comparison) {
 	fmt.Fprintf(w, "\n== %s ==\n", title)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "workload\tmsg\tnaive\tDH\tCN(best K)\tDH speedup\tCN speedup\tnaive msgs\tDH msgs")
+	fmt.Fprintln(tw, "workload\tmsg\tnaive\tDH\tCN(best K)\tDH speedup\tCN speedup\tDH plan\tCN plan\tnaive msgs\tDH msgs")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s (K=%d)\t%.2fx\t%.2fx\t%d\t%d\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s (K=%d)\t%.2fx\t%.2fx\t%s\t%s\t%d\t%d\n",
 			r.Label, FmtBytes(r.MsgSize),
 			FmtTime(r.Naive.Mean), FmtTime(r.DH.Mean), FmtTime(r.CN.Mean), r.CNK,
 			r.SpeedupDH(), r.SpeedupCN(),
+			FmtTime(r.DH.PlanWall.Seconds()), FmtTime(r.CN.PlanWall.Seconds()),
 			r.Naive.MsgsPerTrial, r.DH.MsgsPerTrial)
 	}
 	tw.Flush()
@@ -48,12 +49,13 @@ func PrintComparisons(w io.Writer, title string, rows []Comparison) {
 
 // CSVComparisons renders the same rows as CSV for plotting.
 func CSVComparisons(w io.Writer, rows []Comparison) {
-	fmt.Fprintln(w, "workload,msg_bytes,naive_s,dh_s,cn_s,cn_k,dh_speedup,cn_speedup,naive_msgs,dh_msgs,cn_msgs")
+	fmt.Fprintln(w, "workload,msg_bytes,naive_s,dh_s,cn_s,cn_k,dh_speedup,cn_speedup,naive_plan_s,dh_plan_s,cn_plan_s,naive_msgs,dh_msgs,cn_msgs")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s,%d,%g,%g,%g,%d,%g,%g,%d,%d,%d\n",
+		fmt.Fprintf(w, "%s,%d,%g,%g,%g,%d,%g,%g,%g,%g,%g,%d,%d,%d\n",
 			strings.ReplaceAll(r.Label, ",", ";"), r.MsgSize,
 			r.Naive.Mean, r.DH.Mean, r.CN.Mean, r.CNK,
 			r.SpeedupDH(), r.SpeedupCN(),
+			r.Naive.PlanWall.Seconds(), r.DH.PlanWall.Seconds(), r.CN.PlanWall.Seconds(),
 			r.Naive.MsgsPerTrial, r.DH.MsgsPerTrial, r.CN.MsgsPerTrial)
 	}
 }

@@ -1,0 +1,33 @@
+package pattern
+
+// Canonical avoid-set hashing for plan-cache keys. The repair layer
+// derives avoid sets from link-health state; two equal sets must key
+// identically however they were produced, and the three "no
+// restriction" spellings must stay distinguishable from a real set:
+// a nil slice hashes to 0 (the unrestricted builders), while an
+// all-false slice — semantically equivalent but a different build
+// input length-wise — hashes to a nonzero length-dependent value.
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// AvoidHash fingerprints an avoid set canonically: nil → 0; otherwise
+// an FNV-1a fold of the length and the indices of avoided ranks,
+// guaranteed nonzero.
+func AvoidHash(avoid []bool) uint64 {
+	if avoid == nil {
+		return 0
+	}
+	h := (fnvOffset ^ uint64(len(avoid))) * fnvPrime
+	for i, a := range avoid {
+		if a {
+			h = (h ^ uint64(i)) * fnvPrime
+		}
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

@@ -1,0 +1,484 @@
+// Package plancache is a concurrent, content-addressed cache for built
+// communication plans. Pattern negotiation (agent election, CN
+// grouping, leader assignment) is the expensive, reusable artifact of a
+// neighborhood allgather: a production application builds a
+// neighborhood once and invokes the collective millions of times, so a
+// planner service must answer repeated requests for the same
+// (topology, graph, algorithm, size class, avoid set) without
+// re-negotiating from scratch.
+//
+// The cache provides three lookups with different concurrency
+// contracts:
+//
+//   - Get is the allocation-free hit path: one mutex acquisition, one
+//     map probe, an intrusive LRU touch. It is safe from any goroutine
+//     and never blocks beyond the mutex.
+//   - GetOrBuildLocal consults the cache and, on a miss, builds inline
+//     on the caller's stack. It uses only the mutex — no channel
+//     operations — so it is safe to call from inside mpirt rank bodies
+//     (the event engine runs ranks as cooperative coroutines; a
+//     channel wait there would block the host). Two racing callers may
+//     build the same key twice; the first insert wins and both see the
+//     same artifact afterwards.
+//   - GetOrBuild is the service path: misses are coalesced through a
+//     singleflight table (a thundering herd of identical requests
+//     plans exactly once) and gated by admission control — at most
+//     MaxPlanners builds run concurrently and at most MaxQueue callers
+//     wait for a slot; beyond that requests fail fast with a typed
+//     *OverloadError so planning load degrades gracefully instead of
+//     collapsing.
+//
+// Eviction is size-bounded LRU: every artifact carries a cost in bytes
+// (estimated resident size) and inserting past MaxBytes evicts from the
+// cold end until the budget holds. Hit/miss/coalesce/eviction/overload
+// counters are exported through Stats.
+//
+// The package is deliberately value-agnostic (artifacts are `any`): the
+// collective layer owns the keying and cost estimation, keeping the
+// dependency arrow collective → plancache.
+package plancache
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Key is the content address of one built plan. Two requests with equal
+// Keys are guaranteed to want the same artifact: every component is a
+// canonical fingerprint of the corresponding input (see
+// vgraph.Graph.Fingerprint, topology.Cluster.Fingerprint and
+// pattern.AvoidHash for the hashing discipline).
+type Key struct {
+	// Topo fingerprints the cluster shape plus any algorithm-specific
+	// placement (e.g. the leader hierarchy's survivor placement vector).
+	Topo uint64
+	// Graph fingerprints the neighborhood graph's adjacency.
+	Graph uint64
+	// Avoid fingerprints the repair avoid set (0 for nil — the
+	// unrestricted builders).
+	Avoid uint64
+	// Algo names the algorithm ("naive", "dh", "cn", "leader", …).
+	Algo string
+	// Size is the message-size class (SizeClass of the payload bytes);
+	// plans that do not specialise on size use class 0.
+	Size int
+	// Param is the algorithm's integer knob: DH stop threshold L, CN
+	// group size K, leaders per node.
+	Param int
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s[p=%d,s=%d]@t=%016x/g=%016x/a=%016x",
+		k.Algo, k.Param, k.Size, k.Topo, k.Graph, k.Avoid)
+}
+
+// SizeClass buckets a payload byte count into a power-of-two class
+// index (0 for n ≤ 1): plans are reusable across nearby sizes, so the
+// key quantises rather than caching per exact byte count.
+func SizeClass(bytes int) int {
+	c := 0
+	for n := 1; n < bytes; n <<= 1 {
+		c++
+	}
+	return c
+}
+
+// FNV-1a constants, word-at-a-time. Fingerprints feed map keys, not
+// security decisions, so a fast non-cryptographic mix is appropriate.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// HashWords folds 64-bit words into an FNV-1a style fingerprint. Use it
+// to combine component fingerprints into a Key field.
+func HashWords(ws ...uint64) uint64 {
+	h := fnvOffset
+	for _, w := range ws {
+		h = (h ^ w) * fnvPrime
+	}
+	return h
+}
+
+// HashInts fingerprints an int slice (length-prefixed, so [1],[ ] and
+// [ ],[1] differ). A nil slice hashes to 0, distinguishing "absent"
+// from "empty".
+func HashInts(xs []int) uint64 {
+	if xs == nil {
+		return 0
+	}
+	h := (fnvOffset ^ uint64(len(xs))) * fnvPrime
+	for _, x := range xs {
+		h = (h ^ uint64(uint(x))) * fnvPrime
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Builder produces the artifact for a missing key, returning the value
+// and its estimated resident cost in bytes.
+type Builder func() (val any, cost int64, err error)
+
+// ErrOverload is the sentinel matched by errors.Is for admission-control
+// rejections.
+var ErrOverload = errors.New("plancache: planner overloaded")
+
+// OverloadError reports an admission-control rejection: every planner
+// slot was busy and the wait queue was full when the request arrived.
+type OverloadError struct {
+	// Key is the rejected request.
+	Key Key
+	// Planners and Queued are the configured bounds in force.
+	Planners, Queued int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("plancache: overloaded building %v (%d planners busy, %d waiters queued)",
+		e.Key, e.Planners, e.Queued)
+}
+
+// Unwrap makes errors.Is(err, ErrOverload) work.
+func (e *OverloadError) Unwrap() error { return ErrOverload }
+
+// Config sizes a Cache. The zero value of any field selects its
+// default.
+type Config struct {
+	// MaxBytes bounds the summed artifact cost (default 64 MiB). An
+	// artifact costing more than MaxBytes on its own is returned to the
+	// caller but not cached.
+	MaxBytes int64
+	// MaxPlanners bounds concurrent builds on the GetOrBuild path
+	// (default GOMAXPROCS).
+	MaxPlanners int
+	// MaxQueue bounds callers waiting for a planner slot (default
+	// 4×MaxPlanners). Admission beyond MaxPlanners+MaxQueue fails with
+	// *OverloadError.
+	MaxQueue int
+	// OnInsert, when non-nil, runs before an artifact is published to
+	// the cache — the verify-on-insert hook: return an error to reject
+	// the artifact (the build fails with that error and nothing is
+	// cached). It runs outside the cache lock, once per successful
+	// build on the GetOrBuild path; racing GetOrBuildLocal callers may
+	// invoke it more than once for the same key.
+	OnInsert func(Key, any) error
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups served from the cache; Misses counts lookups
+	// that led the caller to build; Coalesced counts GetOrBuild callers
+	// who waited on another caller's in-flight build instead of
+	// building; Overloads counts admission-control rejections.
+	Hits, Misses, Coalesced, Overloads int64
+	// Inserts and Evictions count artifacts entering and leaving the
+	// cache; BuildErrors counts failed builds (including OnInsert
+	// rejections); TooBig counts artifacts over the whole budget that
+	// were returned uncached.
+	Inserts, Evictions, BuildErrors, TooBig int64
+	// Bytes and Entries describe current occupancy; Capacity echoes
+	// MaxBytes.
+	Bytes, Capacity int64
+	Entries         int
+}
+
+// HitRate returns Hits over all completed lookups (hit, miss or
+// coalesced), or 0 before any traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// CoalescingFactor returns the mean number of requests each build
+// served — (Misses+Coalesced)/Misses — or 1 before any build.
+func (s Stats) CoalescingFactor() float64 {
+	if s.Misses == 0 {
+		return 1
+	}
+	return float64(s.Misses+s.Coalesced) / float64(s.Misses)
+}
+
+// entry is one cached artifact on the intrusive LRU list (MRU at head).
+type entry struct {
+	key        Key
+	val        any
+	cost       int64
+	prev, next *entry
+}
+
+// flight is one in-progress build on the singleflight table. Waiters
+// block on done; val/err are published before done closes.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is a concurrent content-addressed plan cache. Use New.
+type Cache struct {
+	mu       sync.Mutex
+	slotFree *sync.Cond // signalled when a planner slot frees up
+	entries  map[Key]*entry
+	inflight map[Key]*flight
+	head     *entry // MRU
+	tail     *entry // LRU
+	bytes    int64
+	active   int // builds holding a planner slot
+	queued   int // callers waiting for a slot
+
+	maxBytes    int64
+	maxPlanners int
+	maxQueue    int
+	onInsert    func(Key, any) error
+
+	stats Stats
+}
+
+// New builds a cache from cfg, applying defaults for zero fields.
+func New(cfg Config) *Cache {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 64 << 20
+	}
+	if cfg.MaxPlanners <= 0 {
+		cfg.MaxPlanners = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxPlanners
+	}
+	c := &Cache{
+		entries:     make(map[Key]*entry),
+		inflight:    make(map[Key]*flight),
+		maxBytes:    cfg.MaxBytes,
+		maxPlanners: cfg.MaxPlanners,
+		maxQueue:    cfg.MaxQueue,
+		onInsert:    cfg.OnInsert,
+	}
+	c.slotFree = sync.NewCond(&c.mu)
+	return c
+}
+
+// Get is the hit path: it returns the cached artifact for k and whether
+// it was present, touching the LRU on a hit. It allocates nothing.
+//
+//lint:hotpath
+func (c *Cache) Get(k Key) (any, bool) {
+	c.mu.Lock()
+	e := c.entries[k]
+	if e == nil {
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.stats.Hits++
+	c.touch(e)
+	v := e.val
+	c.mu.Unlock()
+	return v, true
+}
+
+// Peek returns the cached artifact without touching the LRU or the
+// counters (diagnostics only).
+func (c *Cache) Peek(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.entries[k]; e != nil {
+		return e.val, true
+	}
+	return nil, false
+}
+
+// GetOrBuildLocal returns the artifact for k, building it inline on a
+// miss. It performs no channel operations and never waits on another
+// goroutine, so it is the lookup to use from inside mpirt rank bodies
+// (see the package comment). Racing callers may build the same key
+// concurrently; the first completed insert wins and later builders
+// adopt the published artifact, so all callers observe one identity.
+func (c *Cache) GetOrBuildLocal(k Key, build Builder) (any, error) {
+	if v, ok := c.Get(k); ok {
+		return v, nil
+	}
+	v, cost, err := build()
+	if err != nil {
+		c.mu.Lock()
+		c.stats.BuildErrors++
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.onInsert != nil {
+		// Re-check first: if a racing builder already published this
+		// key its artifact was already verified.
+		c.mu.Lock()
+		e := c.entries[k]
+		c.mu.Unlock()
+		if e != nil {
+			return e.val, nil
+		}
+		if verr := c.onInsert(k, v); verr != nil {
+			c.mu.Lock()
+			c.stats.BuildErrors++
+			c.mu.Unlock()
+			return nil, verr
+		}
+	}
+	c.mu.Lock()
+	v = c.insertLocked(k, v, cost)
+	c.mu.Unlock()
+	return v, nil
+}
+
+// GetOrBuild returns the artifact for k, coalescing concurrent misses
+// (one build serves every waiter) and holding builds to the admission
+// bounds. It blocks on channel/condition waits and must not be called
+// from inside mpirt rank bodies — use GetOrBuildLocal there.
+func (c *Cache) GetOrBuild(k Key, build Builder) (any, error) {
+	c.mu.Lock()
+	for {
+		if e := c.entries[k]; e != nil {
+			c.stats.Hits++
+			c.touch(e)
+			v := e.val
+			c.mu.Unlock()
+			return v, nil
+		}
+		if f := c.inflight[k]; f != nil {
+			c.stats.Coalesced++
+			c.mu.Unlock()
+			<-f.done
+			return f.val, f.err
+		}
+		if c.active < c.maxPlanners {
+			break
+		}
+		if c.queued >= c.maxQueue {
+			c.stats.Overloads++
+			oe := &OverloadError{Key: k, Planners: c.maxPlanners, Queued: c.queued}
+			c.mu.Unlock()
+			return nil, oe
+		}
+		c.queued++
+		c.slotFree.Wait()
+		c.queued--
+		// Re-check from the top: the key may have been built, another
+		// flight may have started, or the slot may be gone again.
+	}
+	c.active++
+	c.stats.Misses++
+	f := &flight{done: make(chan struct{})}
+	c.inflight[k] = f
+	c.mu.Unlock()
+
+	v, cost, err := build()
+	if err == nil && c.onInsert != nil {
+		if verr := c.onInsert(k, v); verr != nil {
+			v, err = nil, verr
+		}
+	}
+
+	c.mu.Lock()
+	delete(c.inflight, k)
+	c.active--
+	c.slotFree.Signal()
+	if err == nil {
+		v = c.insertLocked(k, v, cost)
+	} else {
+		c.stats.BuildErrors++
+	}
+	c.mu.Unlock()
+
+	f.val, f.err = v, err
+	close(f.done)
+	return v, err
+}
+
+// Stats returns a snapshot of the counters and occupancy.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Bytes = c.bytes
+	s.Capacity = c.maxBytes
+	s.Entries = len(c.entries)
+	return s
+}
+
+// Len returns the number of cached artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// insertLocked publishes (k, v) and evicts past the byte budget. The
+// first insert of a key wins: if k is already present (a racing
+// GetOrBuildLocal builder lost), the existing artifact is returned so
+// every caller converges on one identity.
+func (c *Cache) insertLocked(k Key, v any, cost int64) any {
+	if e := c.entries[k]; e != nil {
+		c.touch(e)
+		return e.val
+	}
+	if cost < 0 {
+		cost = 0
+	}
+	if cost > c.maxBytes {
+		c.stats.TooBig++
+		return v
+	}
+	e := &entry{key: k, val: v, cost: cost}
+	c.entries[k] = e
+	c.pushFront(e)
+	c.bytes += cost
+	c.stats.Inserts++
+	for c.bytes > c.maxBytes && c.tail != e {
+		c.evictLocked(c.tail)
+	}
+	return v
+}
+
+func (c *Cache) evictLocked(e *entry) {
+	c.unlink(e)
+	delete(c.entries, e.key)
+	c.bytes -= e.cost
+	c.stats.Evictions++
+}
+
+// touch moves e to the MRU end.
+func (c *Cache) touch(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

@@ -1,0 +1,382 @@
+package plancache
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func key(i int) Key {
+	return Key{Topo: uint64(i) * 31, Graph: uint64(i), Algo: "t", Param: i}
+}
+
+func TestGetMissThenHit(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	k := key(1)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := "artifact"
+	v, err := c.GetOrBuildLocal(k, func() (any, int64, error) { return want, 100, nil })
+	if err != nil || v != want {
+		t.Fatalf("GetOrBuildLocal = %v, %v", v, err)
+	}
+	v, ok := c.Get(k)
+	if !ok || v != want {
+		t.Fatalf("Get after insert = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Inserts != 1 || st.Bytes != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSingleflightStress is the thundering-herd contract under -race:
+// many goroutines request one key concurrently; exactly one build runs
+// and every caller sees the identical artifact.
+func TestSingleflightStress(t *testing.T) {
+	const goroutines = 64
+	c := New(Config{MaxBytes: 1 << 20, MaxPlanners: goroutines, MaxQueue: goroutines})
+	var builds atomic.Int64
+	k := key(7)
+	build := func() (any, int64, error) {
+		builds.Add(1)
+		// Hold the flight open long enough for the herd to pile on.
+		time.Sleep(20 * time.Millisecond)
+		return &struct{ x int }{7}, 64, nil
+	}
+	results := make([]any, goroutines)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, err := c.GetOrBuild(k, build)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d concurrent requests ran %d builds, want 1", goroutines, n)
+	}
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d got a different artifact", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Coalesced != goroutines-1 {
+		t.Fatalf("Hits+Coalesced = %d, want %d", st.Hits+st.Coalesced, goroutines-1)
+	}
+}
+
+// TestLocalRaceConverges: racing GetOrBuildLocal callers may build
+// twice, but every caller converges on the first inserted artifact.
+func TestLocalRaceConverges(t *testing.T) {
+	const goroutines = 32
+	c := New(Config{MaxBytes: 1 << 20})
+	k := key(3)
+	results := make([]any, goroutines)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, err := c.GetOrBuildLocal(k, func() (any, int64, error) {
+				return &struct{ id int }{i}, 32, nil
+			})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d diverged from the published artifact", i)
+		}
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+// TestEvictionBudgetProperty: whatever the insertion sequence, the
+// cache never exceeds its byte budget.
+func TestEvictionBudgetProperty(t *testing.T) {
+	prop := func(seed int64, budgetSmall uint8) bool {
+		budget := int64(budgetSmall)%4096 + 64
+		c := New(Config{MaxBytes: budget})
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 300; i++ {
+			k := key(rng.Intn(50))
+			cost := int64(rng.Intn(2000))
+			if rng.Intn(3) == 0 {
+				c.Get(k)
+			} else {
+				_, _ = c.GetOrBuildLocal(k, func() (any, int64, error) { return i, cost, nil })
+			}
+			if st := c.Stats(); st.Bytes > budget {
+				t.Logf("seed %d: bytes %d exceeded budget %d after %d ops", seed, st.Bytes, budget, i+1)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZipfHotKeysSurvive: replaying a Zipf-skewed request stream
+// through a cache that can only hold a fraction of the population must
+// keep the hottest keys resident.
+func TestZipfHotKeysSurvive(t *testing.T) {
+	const population = 200
+	const cost = 100
+	// Budget for ~a quarter of the population.
+	c := New(Config{MaxBytes: population / 4 * cost})
+	rng := rand.New(rand.NewSource(11))
+	zipf := rand.NewZipf(rng, 1.3, 1, population-1)
+	for i := 0; i < 20000; i++ {
+		k := key(int(zipf.Uint64()))
+		_, _ = c.GetOrBuildLocal(k, func() (any, int64, error) { return i, cost, nil })
+	}
+	for hot := 0; hot < 3; hot++ {
+		if _, ok := c.Peek(key(hot)); !ok {
+			t.Errorf("hot key %d evicted; stats %+v", hot, c.Stats())
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("replay never evicted — budget too large for the property to mean anything")
+	}
+	if st.HitRate() < 0.8 {
+		t.Errorf("Zipf(1.3) replay hit rate %.2f, want ≥ 0.8", st.HitRate())
+	}
+}
+
+// TestAdmissionOverload: with every planner slot busy and the queue
+// full, GetOrBuild fails fast with the typed overload error.
+func TestAdmissionOverload(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, MaxPlanners: 1, MaxQueue: 1})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _ = c.GetOrBuild(key(1), func() (any, int64, error) {
+			close(started)
+			<-release
+			return 1, 8, nil
+		})
+	}()
+	<-started
+	// Fill the single queue slot with a second distinct key.
+	queued := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrBuild(key(2), func() (any, int64, error) { return 2, 8, nil })
+		queued <- err
+	}()
+	// Wait until the waiter is actually queued.
+	for {
+		c.mu.Lock()
+		q := c.queued
+		c.mu.Unlock()
+		if q == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := c.GetOrBuild(key(3), func() (any, int64, error) { return 3, 8, nil })
+	if err == nil {
+		t.Fatal("third concurrent request admitted past planners=1 queue=1")
+	}
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("err = %v, want ErrOverload", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Planners != 1 {
+		t.Fatalf("err = %#v, want *OverloadError with Planners=1", err)
+	}
+	close(release)
+	if qerr := <-queued; qerr != nil {
+		t.Fatalf("queued request failed: %v", qerr)
+	}
+	if c.Stats().Overloads != 1 {
+		t.Fatalf("Overloads = %d, want 1", c.Stats().Overloads)
+	}
+}
+
+// TestOnInsertHook: a rejecting hook fails the build and caches
+// nothing; an accepting hook runs once per build.
+func TestOnInsertHook(t *testing.T) {
+	var calls atomic.Int64
+	reject := errors.New("bad plan")
+	c := New(Config{MaxBytes: 1 << 20, OnInsert: func(k Key, v any) error {
+		calls.Add(1)
+		if k.Param == 13 {
+			return reject
+		}
+		return nil
+	}})
+	if _, err := c.GetOrBuild(key(13), func() (any, int64, error) { return 1, 8, nil }); !errors.Is(err, reject) {
+		t.Fatalf("err = %v, want rejection", err)
+	}
+	if _, ok := c.Peek(key(13)); ok {
+		t.Fatal("rejected artifact was cached")
+	}
+	if _, err := c.GetOrBuild(key(1), func() (any, int64, error) { return 1, 8, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetOrBuild(key(1), func() (any, int64, error) { return 1, 8, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("hook ran %d times, want 2 (one per build)", got)
+	}
+	st := c.Stats()
+	if st.BuildErrors != 1 {
+		t.Fatalf("BuildErrors = %d, want 1", st.BuildErrors)
+	}
+}
+
+func TestBuildErrorNotCached(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	boom := errors.New("boom")
+	if _, err := c.GetOrBuild(key(1), func() (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failed flight must not poison the key.
+	v, err := c.GetOrBuild(key(1), func() (any, int64, error) { return "ok", 8, nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("retry = %v, %v", v, err)
+	}
+}
+
+func TestTooBigBypassesCache(t *testing.T) {
+	c := New(Config{MaxBytes: 100})
+	v, err := c.GetOrBuildLocal(key(1), func() (any, int64, error) { return "huge", 1000, nil })
+	if err != nil || v != "huge" {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	if _, ok := c.Peek(key(1)); ok {
+		t.Fatal("over-budget artifact was cached")
+	}
+	if c.Stats().TooBig != 1 {
+		t.Fatalf("TooBig = %d", c.Stats().TooBig)
+	}
+}
+
+// TestGetZeroAlloc pins the hit path's allocation freedom — the same
+// property `nbr-bench -micro -assert-zero-alloc` guards end to end.
+func TestGetZeroAlloc(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	k := key(1)
+	if _, err := c.GetOrBuildLocal(k, func() (any, int64, error) { return "v", 8, nil }); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := c.Get(k); !ok {
+			t.Fatal("miss")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Get allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// Budget for exactly two unit-cost entries: touching key 1 must
+	// make key 2 the eviction victim when key 3 arrives.
+	c := New(Config{MaxBytes: 2})
+	for i := 1; i <= 2; i++ {
+		if _, err := c.GetOrBuildLocal(key(i), func() (any, int64, error) { return i, 1, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("key 1 missing")
+	}
+	if _, err := c.GetOrBuildLocal(key(3), func() (any, int64, error) { return 3, 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Peek(key(2)); ok {
+		t.Fatal("LRU victim (key 2) survived")
+	}
+	for _, i := range []int{1, 3} {
+		if _, ok := c.Peek(key(i)); !ok {
+			t.Fatalf("key %d evicted, want resident", i)
+		}
+	}
+}
+
+func TestSizeClass(t *testing.T) {
+	cases := []struct{ bytes, class int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {1024, 10}, {1025, 11},
+	}
+	for _, tc := range cases {
+		if got := SizeClass(tc.bytes); got != tc.class {
+			t.Errorf("SizeClass(%d) = %d, want %d", tc.bytes, got, tc.class)
+		}
+	}
+}
+
+func TestHashInts(t *testing.T) {
+	if HashInts(nil) != 0 {
+		t.Error("nil must hash to 0")
+	}
+	if HashInts([]int{}) == 0 {
+		t.Error("empty must hash nonzero (distinct from nil)")
+	}
+	if HashInts([]int{1, 2}) == HashInts([]int{2, 1}) {
+		t.Error("order must matter")
+	}
+}
+
+func TestOverloadErrorMessage(t *testing.T) {
+	e := &OverloadError{Key: key(5), Planners: 4, Queued: 16}
+	if msg := e.Error(); msg == "" {
+		t.Fatal("empty message")
+	} else if want := fmt.Sprintf("%d planners", 4); !contains(msg, want) {
+		t.Fatalf("message %q missing %q", msg, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c := New(Config{MaxBytes: 1 << 20})
+	k := key(1)
+	if _, err := c.GetOrBuildLocal(k, func() (any, int64, error) { return "v", 8, nil }); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(k)
+	}
+}

@@ -1,0 +1,33 @@
+package topology
+
+// FNV-1a word mix, matching the fingerprint discipline in vgraph: fast,
+// canonical, non-cryptographic.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Fingerprint returns the cluster's content fingerprint for plan-cache
+// keying: two clusters fingerprint equally iff every shape field and
+// the (possibly scattered) node→group assignment agree, so a cached
+// plan is only ever reused on an identical machine shape.
+func (c Cluster) Fingerprint() uint64 {
+	h := fnvOffset
+	for _, w := range [...]uint64{
+		uint64(c.Nodes),
+		uint64(c.SocketsPerNode),
+		uint64(c.RanksPerSocket),
+		uint64(c.NodesPerGroup),
+	} {
+		h = (h ^ w) * fnvPrime
+	}
+	if c.NodeGroup != nil {
+		// Length-prefixed so nil (dense assignment) and an explicit
+		// identity assignment hash differently only through the prefix.
+		h = (h ^ uint64(len(c.NodeGroup)+1)) * fnvPrime
+		for _, g := range c.NodeGroup {
+			h = (h ^ uint64(g)) * fnvPrime
+		}
+	}
+	return h
+}

@@ -1,0 +1,42 @@
+package topology
+
+import "testing"
+
+func TestClusterFingerprint(t *testing.T) {
+	base := Cluster{Nodes: 4, SocketsPerNode: 2, RanksPerSocket: 4, NodesPerGroup: 2}
+	if base.Fingerprint() != base.Fingerprint() {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	variants := []Cluster{
+		{Nodes: 8, SocketsPerNode: 2, RanksPerSocket: 4, NodesPerGroup: 2},
+		{Nodes: 4, SocketsPerNode: 1, RanksPerSocket: 4, NodesPerGroup: 2},
+		{Nodes: 4, SocketsPerNode: 2, RanksPerSocket: 2, NodesPerGroup: 2},
+		{Nodes: 4, SocketsPerNode: 2, RanksPerSocket: 4, NodesPerGroup: 4},
+	}
+	for i, v := range variants {
+		if v.Fingerprint() == base.Fingerprint() {
+			t.Errorf("variant %d collides with the base cluster", i)
+		}
+	}
+}
+
+func TestClusterFingerprintNodeGroup(t *testing.T) {
+	base := Cluster{Nodes: 4, SocketsPerNode: 2, RanksPerSocket: 4, NodesPerGroup: 2}
+	// An explicit identity assignment is a different machine description
+	// than the dense default, even though placement is equivalent.
+	explicit := base
+	explicit.NodeGroup = []int{0, 0, 1, 1}
+	if explicit.Fingerprint() == base.Fingerprint() {
+		t.Error("explicit node→group assignment collides with dense default")
+	}
+	scattered := base
+	scattered.NodeGroup = []int{0, 1, 0, 1}
+	if scattered.Fingerprint() == explicit.Fingerprint() {
+		t.Error("scattered assignment collides with identity assignment")
+	}
+	same := base
+	same.NodeGroup = []int{0, 1, 0, 1}
+	if same.Fingerprint() != scattered.Fingerprint() {
+		t.Error("equal assignments fingerprint differently")
+	}
+}

@@ -1,0 +1,75 @@
+package vgraph
+
+import "testing"
+
+func TestFingerprintCanonical(t *testing.T) {
+	// Same adjacency presented in different list order (and with
+	// duplicates) must fingerprint identically: FromOutLists
+	// canonicalises before hashing.
+	a, err := FromOutLists(4, [][]int{{1, 2}, {2, 3}, {3}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromOutLists(4, [][]int{{2, 1, 2}, {3, 2}, {3}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal adjacency fingerprints differently across input orderings")
+	}
+	if a.Fingerprint() == 0 {
+		t.Fatal("fingerprint is zero")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	a, err := FromOutLists(4, [][]int{{1, 2}, {2, 3}, {3}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		n    int
+		out  [][]int
+	}{
+		{"edge moved", 4, [][]int{{1, 3}, {2, 3}, {3}, {0}}},
+		{"edge dropped", 4, [][]int{{1}, {2, 3}, {3}, {0}}},
+		{"larger graph", 5, [][]int{{1, 2}, {2, 3}, {3}, {0}, {}}},
+	}
+	for _, tc := range cases {
+		g, err := FromOutLists(tc.n, tc.out)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if g.Fingerprint() == a.Fingerprint() {
+			t.Errorf("%s: fingerprint collides with the base graph", tc.name)
+		}
+	}
+}
+
+func TestFingerprintStableAcrossConstructors(t *testing.T) {
+	// A generator-built graph and a hand-reassembled copy of its
+	// adjacency agree — the fingerprint is a property of the content,
+	// not the construction route.
+	g, err := ErdosRenyi(32, 0.25, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]int, g.N())
+	for r := 0; r < g.N(); r++ {
+		// Reverse each list to prove order-insensitivity end to end.
+		src := g.Out(r)
+		rev := make([]int, len(src))
+		for i, v := range src {
+			rev[len(src)-1-i] = v
+		}
+		out[r] = rev
+	}
+	h, err := FromOutLists(g.N(), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fingerprint() != h.Fingerprint() {
+		t.Fatal("rebuilt graph fingerprints differently")
+	}
+}

@@ -23,6 +23,9 @@ type Graph struct {
 	// outSets mirrors out as bit sets for fast half-restricted
 	// intersection queries during pattern construction.
 	outSets []*bitset.Set
+	// fp is the content fingerprint, computed once at construction so
+	// plan-cache keying never re-canonicalises the adjacency.
+	fp uint64
 }
 
 // FromOutLists builds a graph from per-rank outgoing-neighbor lists.
@@ -69,8 +72,37 @@ func FromOutLists(n int, out [][]int) (*Graph, error) {
 		}
 	}
 	// in-lists are already sorted: u ascends in the outer loop.
+	g.fp = fingerprint(n, g.out)
 	return g, nil
 }
+
+// FNV-1a over 64-bit words; collisions only cost a cache mislookup
+// probability of ~2^-64 per key pair, acceptable for content addressing.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fingerprint hashes the canonical adjacency (sorted, deduplicated —
+// FromOutLists guarantees both), so isomorphic inputs presented in any
+// list order fingerprint identically.
+func fingerprint(n int, out [][]int) uint64 {
+	h := (fnvOffset ^ uint64(n)) * fnvPrime
+	for u, lst := range out {
+		h = (h ^ uint64(uint(u)<<32|uint(len(lst)))) * fnvPrime
+		for _, v := range lst {
+			h = (h ^ uint64(v)) * fnvPrime
+		}
+	}
+	return h
+}
+
+// Fingerprint returns the graph's content fingerprint: equal adjacency
+// ⇒ equal fingerprint, regardless of how the graph was constructed.
+// It is precomputed, so calling it is free — the canonicalisation the
+// per-call plan builders used to repeat is hoisted here, once per
+// graph.
+func (g *Graph) Fingerprint() uint64 { return g.fp }
 
 // N returns the number of ranks.
 func (g *Graph) N() int { return g.n }
